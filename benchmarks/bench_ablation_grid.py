@@ -1,0 +1,30 @@
+"""Ablation: full (Pmin, Vmin) grid behind the paper's Pmin = Vmin diagonal."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_ablation_grid
+
+
+def test_benchmark_ablation_grid(benchmark, show_result):
+    result = benchmark.pedantic(run_ablation_grid, rounds=1, iterations=1)
+    show_result(result, chart=False, checkpoints=[8, 16, 32, 64, 128])
+
+    # Vmin dominates: for a fixed Pmin, larger Vmin gives a clearly better
+    # plateau sigma.
+    at_pmin32 = [series.value_at(32) for series in result.series]
+    assert at_pmin32 == sorted(at_pmin32, reverse=True)
+
+    # Pmin beyond Vmin helps only marginally: within each Vmin row, going from
+    # Pmin = Vmin to Pmin = 4 * Vmin changes sigma far less than doubling Vmin
+    # does at fixed Pmin.
+    for series in result.series:
+        vmin = int(series.meta["vmin"])
+        if 4 * vmin <= float(series.x[-1]):
+            at_diag = series.value_at(vmin)
+            at_4x = series.value_at(4 * vmin)
+            assert abs(at_diag - at_4x) < 0.5 * at_diag + 1.0, (
+                f"Vmin={vmin}: raising Pmin from {vmin} to {4 * vmin} changed sigma "
+                f"from {at_diag:.2f}% to {at_4x:.2f}%, more than 'marginally'"
+            )

@@ -1,0 +1,20 @@
+"""Ablation: capacity-weighted fairness on a heterogeneous cluster."""
+
+from __future__ import annotations
+
+from repro.experiments import run_ablation_heterogeneous
+
+
+def test_benchmark_ablation_heterogeneous(benchmark, show_result):
+    result = benchmark.pedantic(run_ablation_heterogeneous, rounds=1, iterations=1)
+    show_result(result, chart=False, checkpoints=[1])
+
+    local = result.get("local approach (weighted sigma %)").final()
+    ch = result.get("weighted CH (weighted sigma %)").final()
+    # Both stay in a sane range, and the model's controlled partition counts
+    # should track capacities at least as well as random CH cut points.
+    assert 0.0 <= local < 60.0
+    assert 0.0 <= ch < 60.0
+    assert local < ch * 1.25, (
+        f"local weighted unfairness {local:.2f}% should not be clearly worse than CH {ch:.2f}%"
+    )

@@ -1,0 +1,19 @@
+"""Ablation: protocol-level parallelism of the local approach vs the global one."""
+
+from __future__ import annotations
+
+from repro.experiments import run_ablation_parallelism
+
+
+def test_benchmark_ablation_parallelism(benchmark, show_result):
+    result = benchmark.pedantic(run_ablation_parallelism, rounds=1, iterations=1)
+    show_result(result, chart=False, checkpoints=[8, 16, 32, 64, 128])
+
+    global_makespan = result.get("global makespan (s)").y
+    local_makespan = result.get("local makespan (s)").y
+    # The local approach should complete the creation burst faster at every
+    # cluster size, and its advantage should grow with the cluster.
+    assert (local_makespan < global_makespan).all()
+    speedup = global_makespan / local_makespan
+    assert speedup[-1] > speedup[0], "the speedup should grow with the cluster size"
+    assert speedup[-1] > 3.0

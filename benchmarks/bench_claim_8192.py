@@ -1,0 +1,20 @@
+"""Section 4.1.1 text claim: sigma(Qv) stays stable out to 8192 vnodes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_claim_8192
+
+
+def test_benchmark_claim_8192(benchmark, show_result):
+    result = benchmark.pedantic(run_claim_8192, rounds=1, iterations=1)
+    show_result(result, checkpoints=[64, 1024, 2048, 4096, 6144, 8192], chart=False)
+
+    plateau = result.get("windowed plateau").y
+    # After the initial transient the plateau values should stay within a
+    # narrow band (no monotonic drift as V grows by 8x).
+    spread = plateau.max() - plateau.min()
+    assert spread < 0.35 * plateau.mean(), (
+        f"sigma plateau drifts too much across 1024..8192 vnodes: {plateau}"
+    )

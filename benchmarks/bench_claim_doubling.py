@@ -1,0 +1,16 @@
+"""Section 4.1.1 text claim: doubling Pmin and Vmin lowers sigma by ~30 %."""
+
+from __future__ import annotations
+
+from repro.experiments import run_claim_doubling
+
+
+def test_benchmark_claim_doubling(benchmark, show_result):
+    result = benchmark.pedantic(run_claim_doubling, rounds=1, iterations=1)
+    show_result(result, chart=False, checkpoints=[8, 16, 32, 64, 128])
+
+    drops = result.get("drop vs previous (%)").y
+    # Every doubling should help, by an amount in the broad vicinity of the
+    # paper's "nearly 30%" (the exact value depends on the averaging runs).
+    assert (drops > 10.0).all(), f"some doubling helped by less than 10%: {drops}"
+    assert (drops < 60.0).all(), f"some doubling helped implausibly much: {drops}"

@@ -1,0 +1,22 @@
+"""Figure 4: sigma(Qv) vs. number of vnodes for Pmin = Vmin in {8,...,128}."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig4
+
+
+def test_benchmark_fig4(benchmark, show_result):
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    show_result(result)
+
+    # Paper shape check: larger (Pmin, Vmin) balances better at 1024 vnodes.
+    finals = [series.final() for series in result.series]
+    assert finals == sorted(finals, reverse=True), (
+        "sigma(Qv) at 1024 vnodes should decrease as Pmin = Vmin increases"
+    )
+    # 1st zone: while V <= Vmax there is a single group, and at V = Vmax the
+    # group is perfectly balanced (invariant G5').
+    for series in result.series:
+        vmax = 2 * int(series.meta["vmin"])
+        if vmax <= len(series):
+            assert abs(series.value_at(vmax)) < 1e-9

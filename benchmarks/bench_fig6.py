@@ -1,0 +1,19 @@
+"""Figure 6: degradation of sigma(Qv) as Vmin decreases (Pmin = 32)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig6
+
+
+def test_benchmark_fig6(benchmark, show_result):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    show_result(result)
+
+    # Paper shape check: smaller Vmin (more, smaller groups) balances worse.
+    finals = [series.final() for series in result.series]
+    assert finals == sorted(finals, reverse=True), (
+        "sigma(Qv) at 1024 vnodes should decrease as Vmin increases"
+    )
+    # Vmin = 512 keeps a single group for the whole run (Vmax = 1024), which
+    # is exactly the global approach: perfect balance at V = 1024 = 2^10.
+    assert abs(result.get("Vmin=512").final()) < 1e-9

@@ -1,0 +1,24 @@
+"""Figure 7: evolution of the real vs. ideal number of groups (Pmin = Vmin = 32)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_fig7
+
+
+def test_benchmark_fig7(benchmark, show_result):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    show_result(result)
+
+    greal = result.get("Greal")
+    gideal = result.get("Gideal")
+    # The ideal curve doubles at every power-of-two boundary of V / Vmax.
+    assert gideal.value_at(64) == 1
+    assert gideal.value_at(65) == 2
+    assert gideal.value_at(1024) == 16
+    # The real curve tracks the ideal one but diverges (premature/late splits).
+    final_real = greal.final()
+    assert 12 <= final_real <= 28, f"Greal(1024) = {final_real} far from the paper's ~16-24"
+    divergence = np.abs(greal.y - gideal.y).max()
+    assert divergence > 0, "Greal should diverge from Gideal at some point"

@@ -1,0 +1,20 @@
+"""Figure 8: sigma(Qg), the balance between groups (Pmin = Vmin = 32)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_fig8
+
+
+def test_benchmark_fig8(benchmark, show_result):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    show_result(result)
+
+    series = result.get("sigma(Qg)")
+    # Exactly one group while V <= Vmax = 64: sigma(Qg) is identically zero.
+    assert abs(series.value_at(60)) < 1e-12
+    # Once several groups coexist their quotas differ; the paper observes
+    # values up to roughly 30-40 %.
+    assert series.y.max() > 5.0
+    assert series.y.max() < 80.0

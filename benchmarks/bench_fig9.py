@@ -1,0 +1,21 @@
+"""Figure 9: sigma(Qn) of the local approach vs. Consistent Hashing."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig9
+
+
+def test_benchmark_fig9(benchmark, show_result):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    show_result(result)
+
+    ch32 = result.get("CH, 32 partitions/node").final()
+    ch64 = result.get("CH, 64 partitions/node").final()
+    # More partitions per node improves CH (classic k log N result).
+    assert ch64 < ch32
+    # The paper's headline: with a properly chosen Vmin, the local approach
+    # balances better than CH at a comparable partition budget.
+    for vmin in (128, 256, 512):
+        local = result.get(f"local approach, Vmin={vmin}").final()
+        assert local < ch32, f"local (Vmin={vmin}) = {local:.2f}% should beat CH-32 = {ch32:.2f}%"
+    assert result.get("local approach, Vmin=512").final() < ch64

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one figure/claim/ablation of
+DESIGN.md's experiment index.  Runs are averaged over ``REPRO_RUNS``
+repetitions (default 10; the paper used 100) of ``REPRO_VNODES`` creations
+(default 1024, as in the paper) — export those variables to change the
+fidelity/runtime tradeoff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render_result
+from repro.experiments.base import ExperimentResult
+
+
+@pytest.fixture
+def show_result(capsys):
+    """Fixture returning a printer that bypasses pytest's output capture.
+
+    The benchmark harness prints the regenerated table/chart of each figure
+    so that ``pytest benchmarks/ --benchmark-only`` output can be compared
+    with the paper directly.
+    """
+
+    def _show(result: ExperimentResult, **render_kwargs) -> None:
+        with capsys.disabled():
+            print()
+            print(render_result(result, **render_kwargs))
+            print()
+
+    return _show

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Elastic scaling: nodes join and leave, enrollments change, data follows.
+
+The model's selling point is *dynamic* balancing: the share of the DHT held
+by each node can change at run time — nodes join, leave, or re-dedicate
+resources — and the hash table redistributes itself while staying balanced.
+This example drives such a scenario and tracks:
+
+* the balance quality ``sigma-bar(Qv)`` after every step;
+* how much data actually moved (partitions and items migrated);
+* that every stored item remains reachable throughout.
+
+Run with::
+
+    python examples/elastic_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro import DHTConfig, LocalDHT
+from repro.report import format_table
+from repro.workloads import KeyWorkload
+
+
+def snapshot(dht: LocalDHT, step: str, rows: list) -> None:
+    """Record one row of the evolution table."""
+    rows.append(
+        [
+            step,
+            dht.n_snodes,
+            dht.n_vnodes,
+            dht.n_groups,
+            100.0 * dht.sigma_qv(),
+            100.0 * dht.sigma_qn(),
+            dht.storage.stats.partitions_moved,
+            dht.storage.stats.items_moved,
+        ]
+    )
+
+
+def main() -> None:
+    dht = LocalDHT(DHTConfig.for_local(pmin=8, vmin=8), rng=99)
+    rows: list = []
+
+    # Phase 1: three nodes bootstrap the DHT with 6 vnodes each.
+    snodes = dht.add_snodes(3, cluster_nodes=["alpha", "beta", "gamma"])
+    for snode in snodes:
+        dht.set_enrollment(snode, 6)
+    workload = KeyWorkload.sequential(2000)
+    for key, value in workload.items():
+        dht.put(key, value)
+    snapshot(dht, "bootstrap (3 nodes x 6 vnodes)", rows)
+
+    # Phase 2: two new nodes join the cluster.
+    for name in ("delta", "epsilon"):
+        snode = dht.add_snode(cluster_node=name)
+        dht.set_enrollment(snode, 6)
+        snapshot(dht, f"{name} joins (+6 vnodes)", rows)
+
+    # Phase 3: alpha frees half of its resources for another application
+    # (the coexistence scenario of the paper's conclusions).
+    dht.set_enrollment(snodes[0], 3)
+    snapshot(dht, "alpha halves its enrollment", rows)
+
+    # Phase 4: beta leaves the DHT entirely.
+    dht.remove_snode(snodes[1])
+    snapshot(dht, "beta leaves the cluster", rows)
+
+    # Phase 5: a replacement node joins with double capacity.
+    snode = dht.add_snode(cluster_node="zeta")
+    dht.set_enrollment(snode, 12)
+    snapshot(dht, "zeta joins (+12 vnodes)", rows)
+
+    print(
+        format_table(
+            ["step", "snodes", "vnodes", "groups", "sigma(Qv) %", "sigma(Qn) %",
+             "partitions moved", "items moved"],
+            rows,
+        )
+    )
+
+    # Integrity: every key is still reachable and correct.
+    missing = sum(1 for k, v in workload.items() if dht.get(k) != v)
+    print(f"\nitems verified after all rescaling steps: {len(workload) - missing}/{len(workload)}")
+    assert missing == 0
+
+    # The paper's invariants still hold (balanced-state invariants are relaxed
+    # after removals; see DESIGN.md).
+    dht.check_invariants()
+    print("invariants hold after the full join/leave/rescale sequence")
+
+
+if __name__ == "__main__":
+    main()

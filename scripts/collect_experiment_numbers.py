@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Collect the headline numbers recorded in EXPERIMENTS.md.
+
+Runs every figure experiment at a moderate fidelity (REPRO_RUNS runs of the
+paper-sized workloads) and writes a compact JSON summary used to fill in the
+paper-vs-measured tables of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.experiments import (
+    run_ablation_parallelism,
+    run_claim_8192,
+    run_claim_doubling,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+)
+
+
+def main(path: str) -> None:
+    summary = {}
+
+    fig4 = run_fig4()
+    summary["fig4"] = {
+        "params": fig4.params,
+        "final_sigma_percent": {s.label: round(s.final(), 2) for s in fig4.series},
+        "at_512": {s.label: round(s.value_at(512), 2) for s in fig4.series},
+    }
+
+    fig5 = run_fig5(fig4_result=fig4)
+    theta_series = fig5.get("theta")
+    summary["fig5"] = {
+        "theta": {int(x): round(float(y), 3) for x, y in zip(theta_series.x, theta_series.y)},
+    }
+
+    fig6 = run_fig6()
+    summary["fig6"] = {
+        "params": fig6.params,
+        "final_sigma_percent": {s.label: round(s.final(), 2) for s in fig6.series},
+    }
+
+    fig7 = run_fig7()
+    summary["fig7"] = {
+        "params": fig7.params,
+        "greal_final": round(fig7.get("Greal").final(), 1),
+        "gideal_final": round(fig7.get("Gideal").final(), 1),
+        "greal_at_512": round(fig7.get("Greal").value_at(512), 1),
+    }
+
+    fig8 = run_fig8()
+    summary["fig8"] = {
+        "max_sigma_qg_percent": round(float(fig8.get("sigma(Qg)").y.max()), 2),
+        "final_sigma_qg_percent": round(fig8.get("sigma(Qg)").final(), 2),
+    }
+
+    fig9 = run_fig9()
+    summary["fig9"] = {
+        "params": fig9.params,
+        "final_sigma_percent": {s.label: round(s.final(), 2) for s in fig9.series},
+    }
+
+    doubling = run_claim_doubling(fig4_result=fig4)
+    summary["claim_doubling"] = {
+        "plateau_percent": {int(x): round(float(y), 2)
+                            for x, y in zip(doubling.series[0].x, doubling.series[0].y)},
+        "drop_percent": {int(x): round(float(y), 1)
+                         for x, y in zip(doubling.series[1].x, doubling.series[1].y)},
+    }
+
+    claim_8192 = run_claim_8192()
+    summary["claim_8192"] = {
+        "plateaus": {int(x): round(float(y), 2)
+                     for x, y in zip(claim_8192.series[1].x, claim_8192.series[1].y)},
+    }
+
+    par = run_ablation_parallelism()
+    summary["ablation_parallelism"] = {
+        "snodes": [int(x) for x in par.series[0].x],
+        "global_makespan_s": [round(float(v), 3) for v in par.series[0].y],
+        "local_makespan_s": [round(float(v), 3) for v in par.series[1].y],
+    }
+
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=2)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "experiment_summary.json")

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on minimal environments that lack the
+``wheel`` package (legacy ``setup.py develop`` editable installs).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""Reproduction of "A Cluster Oriented Model for Dynamically Balanced DHTs".
+
+Rufino, Alves, Exposto, Pina — IPDPS 2004.
+
+The library provides:
+
+* ``repro.core`` — the paper's model: the *global* approach (GPDR, complete
+  knowledge) and the *local* approach (groups + LPDR, partial knowledge),
+  with a full entity layer (snodes, vnodes, partitions, key/value storage).
+* ``repro.baselines`` — the Consistent Hashing reference model.
+* ``repro.sim`` — fast, count-level simulators used by the benchmark
+  harness to regenerate the paper's evaluation figures.
+* ``repro.cluster`` — a cluster substrate (heterogeneous nodes, message
+  model, discrete-event protocol simulation) used to quantify the
+  parallelism claims of the paper.
+* ``repro.metrics`` / ``repro.workloads`` / ``repro.experiments`` — balance
+  metrics, workload generators and the per-figure experiment harness.
+
+Quickstart
+----------
+>>> from repro import DHTConfig, LocalDHT
+>>> dht = LocalDHT(DHTConfig.for_local(pmin=8, vmin=8), rng=7)
+>>> snodes = dht.add_snodes(4)
+>>> for snode in snodes:
+...     for _ in range(8):
+...         _ = dht.create_vnode(snode)
+>>> dht.put("user:42", {"name": "Ada"})             # doctest: +ELLIPSIS
+LookupResult(...)
+>>> dht.get("user:42")
+{'name': 'Ada'}
+"""
+
+from repro.core import (
+    DHTConfig,
+    GlobalDHT,
+    GroupId,
+    HashSpace,
+    InvariantViolation,
+    LocalDHT,
+    LookupResult,
+    Partition,
+    ReproError,
+    SimulationConfig,
+    SnodeId,
+    VnodeRef,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DHTConfig",
+    "SimulationConfig",
+    "GlobalDHT",
+    "LocalDHT",
+    "HashSpace",
+    "Partition",
+    "SnodeId",
+    "VnodeRef",
+    "GroupId",
+    "LookupResult",
+    "ReproError",
+    "InvariantViolation",
+]

@@ -1,0 +1,130 @@
+"""Command-line interface for the reproduction.
+
+Provides three subcommands::
+
+    python -m repro list                         # registered experiments
+    python -m repro run fig4 [--runs N] [...]    # run one experiment
+    python -m repro demo [--vnodes N] [...]      # build a small DHT and report it
+
+``run`` prints the same checkpoint table / ASCII chart the benchmarks print
+and can persist the result to JSON (``--output``) for later comparison with
+``repro.experiments.persistence``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core import DHTConfig, GlobalDHT, LocalDHT
+from repro.experiments import (
+    get_experiment,
+    list_experiments,
+    render_result,
+)
+from repro.experiments.persistence import save_result
+from repro.report import format_table
+from repro.workloads import KeyWorkload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Cluster Oriented Model for Dynamically Balanced DHTs'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered experiments")
+
+    run = sub.add_parser("run", help="run one experiment and print its tables")
+    run.add_argument("experiment", help="experiment id (see 'repro list')")
+    run.add_argument("--runs", type=int, default=None, help="runs to average (default: REPRO_RUNS or 10)")
+    run.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    run.add_argument("--output", default=None, help="write the result to this JSON file")
+    run.add_argument("--no-chart", action="store_true", help="omit the ASCII chart")
+
+    demo = sub.add_parser("demo", help="build a small DHT and print its balance report")
+    demo.add_argument("--approach", choices=("local", "global"), default="local")
+    demo.add_argument("--snodes", type=int, default=4)
+    demo.add_argument("--vnodes", type=int, default=32, help="total vnodes to create")
+    demo.add_argument("--pmin", type=int, default=8)
+    demo.add_argument("--vmin", type=int, default=8)
+    demo.add_argument("--items", type=int, default=200, help="items to store")
+    demo.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = []
+    for experiment_id in list_experiments():
+        fn = get_experiment(experiment_id)
+        doc = (fn.__doc__ or "").strip().splitlines()[0] if fn.__doc__ else ""
+        rows.append([experiment_id, doc])
+    print(format_table(["experiment", "description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        fn = get_experiment(args.experiment)
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.runs is not None:
+        kwargs["runs"] = args.runs
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    try:
+        result = fn(**kwargs)
+    except TypeError:
+        # Some experiments (e.g. ablation_parallelism) do not take 'runs'.
+        kwargs.pop("runs", None)
+        result = fn(**kwargs)
+    print(render_result(result, chart=not args.no_chart))
+    if args.output:
+        path = save_result(result, args.output)
+        print(f"\nresult written to {path}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    if args.approach == "local":
+        dht = LocalDHT(DHTConfig.for_local(pmin=args.pmin, vmin=args.vmin), rng=args.seed)
+    else:
+        dht = GlobalDHT(DHTConfig.for_global(pmin=args.pmin), rng=args.seed)
+    snodes = dht.add_snodes(args.snodes)
+    for i in range(args.vnodes):
+        dht.create_vnode(snodes[i % len(snodes)])
+    workload = KeyWorkload.uniform(args.items, rng=args.seed)
+    for key, value in workload.items():
+        dht.put(key, value)
+    dht.check_invariants()
+
+    info = dht.describe()
+    print(format_table(["property", "value"], [[k, str(v)] for k, v in info.items()]))
+    print()
+    rows = [
+        [str(sid), snode.n_vnodes, snode.partition_count, 100.0 * float(snode.quota)]
+        for sid, snode in dht.snodes.items()
+    ]
+    print(format_table(["snode", "vnodes", "partitions", "quota %"], rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Cluster substrate: nodes, network model and DHT control-protocol simulation.
+
+The paper's evaluation only measures balance quality, but its central
+argument for the local approach is *parallelism*: in the global approach
+every snode participates in every vnode creation, so consecutive creations
+serialize across the whole DHT; in the local approach a creation only
+involves the snodes hosting vnodes of the victim group, so creations in
+different groups overlap in time (sections 1, 3 and 6).
+
+This package provides the substrate needed to quantify that claim:
+
+* :mod:`repro.cluster.node` / :mod:`repro.cluster.cluster` — physical nodes
+  (possibly heterogeneous) hosting snodes;
+* :mod:`repro.cluster.network` — a one-hop cluster network model (latency +
+  bandwidth), as assumed by the paper (section 5);
+* :mod:`repro.cluster.simulator` — a small discrete-event simulation engine
+  with FIFO resources (locks);
+* :mod:`repro.cluster.protocol` — the vnode-creation control protocol of
+  both approaches driven by the fast balance simulators, producing
+  per-creation latency and makespan statistics.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import NetworkModel
+from repro.cluster.node import ClusterNode
+from repro.cluster.protocol import (
+    CreationProtocolSimulator,
+    ProtocolCosts,
+    ProtocolStats,
+)
+from repro.cluster.simulator import EventScheduler, FifoResource
+from repro.cluster.messages import (
+    Ack,
+    CreateVnodeRequest,
+    Message,
+    PartitionTransfer,
+    RecordSync,
+)
+
+__all__ = [
+    "ClusterNode",
+    "Cluster",
+    "NetworkModel",
+    "EventScheduler",
+    "FifoResource",
+    "Message",
+    "CreateVnodeRequest",
+    "RecordSync",
+    "PartitionTransfer",
+    "Ack",
+    "ProtocolCosts",
+    "ProtocolStats",
+    "CreationProtocolSimulator",
+]

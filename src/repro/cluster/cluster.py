@@ -1,0 +1,114 @@
+"""The cluster: a set of physical nodes and the snodes placed on them."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.node import ClusterNode
+from repro.core.errors import ReproError
+from repro.workloads.heterogeneity import CapacityProfile, NodeSpec
+
+
+class Cluster:
+    """A collection of physical nodes with snode placement bookkeeping.
+
+    Examples
+    --------
+    >>> from repro.workloads import CapacityProfile
+    >>> cluster = Cluster.from_profile(CapacityProfile.homogeneous(4))
+    >>> placement = cluster.place_snodes(4)
+    >>> sorted(placement) == [0, 1, 2, 3]
+    True
+    """
+
+    def __init__(self, nodes: Optional[List[ClusterNode]] = None):
+        self.nodes: Dict[str, ClusterNode] = {}
+        for node in nodes or []:
+            self.add_node(node)
+        self._next_snode_id = 0
+
+    # ------------------------------------------------------------------ nodes
+
+    @classmethod
+    def from_profile(cls, profile: CapacityProfile) -> "Cluster":
+        """Build a cluster from a capacity profile."""
+        return cls([ClusterNode(spec) for spec in profile.nodes])
+
+    @classmethod
+    def homogeneous(cls, n: int) -> "Cluster":
+        """A cluster of ``n`` identical nodes (the paper's evaluation setting)."""
+        return cls.from_profile(CapacityProfile.homogeneous(n))
+
+    def add_node(self, node: ClusterNode) -> None:
+        """Add a physical node to the cluster."""
+        if node.name in self.nodes:
+            raise ReproError(f"cluster node {node.name!r} already exists")
+        self.nodes[node.name] = node
+
+    def add_node_spec(self, spec: NodeSpec) -> ClusterNode:
+        """Add a physical node described by a capacity spec."""
+        node = ClusterNode(spec)
+        self.add_node(node)
+        return node
+
+    def get_node(self, name: str) -> ClusterNode:
+        """Resolve a node by name."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ReproError(f"cluster node {name!r} does not exist") from None
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of physical nodes."""
+        return len(self.nodes)
+
+    @property
+    def n_snodes(self) -> int:
+        """Total number of snodes placed."""
+        return sum(n.n_snodes for n in self.nodes.values())
+
+    # ------------------------------------------------------------------ placement
+
+    def place_snodes(self, n_snodes: int) -> Dict[int, str]:
+        """Place ``n_snodes`` snodes round-robin over the physical nodes.
+
+        Returns ``snode_id -> node name``.  The paper's evaluation uses one
+        snode per physical node; placing several snodes per node is how a
+        node would participate in several DHTs.
+        """
+        if not self.nodes:
+            raise ReproError("cannot place snodes on an empty cluster")
+        if n_snodes < 1:
+            raise ValueError("n_snodes must be >= 1")
+        names = list(self.nodes)
+        placement: Dict[int, str] = {}
+        for i in range(n_snodes):
+            snode_id = self._next_snode_id
+            self._next_snode_id += 1
+            name = names[i % len(names)]
+            self.nodes[name].host_snode(snode_id)
+            placement[snode_id] = name
+        return placement
+
+    def snode_host(self, snode_id: int) -> str:
+        """Name of the physical node hosting the given snode."""
+        for name, node in self.nodes.items():
+            if snode_id in node.snodes:
+                return name
+        raise ReproError(f"snode {snode_id} is not placed on any cluster node")
+
+    # ------------------------------------------------------------------ capacity
+
+    def capacity_weights(self) -> Dict[str, float]:
+        """Per-node capacity relative to the average node (for enrollments)."""
+        profile = CapacityProfile([node.spec for node in self.nodes.values()])
+        return profile.relative_weights()
+
+    def enrollments(self, base_vnodes: int = 4) -> Dict[str, int]:
+        """Vnodes each physical node should contribute, given its capacity."""
+        profile = CapacityProfile([node.spec for node in self.nodes.values()])
+        return profile.enrollments(base_vnodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cluster(nodes={self.n_nodes}, snodes={self.n_snodes})"

@@ -1,0 +1,68 @@
+"""Control-protocol messages exchanged during vnode creation.
+
+The message classes exist to make the protocol simulation explicit and
+self-documenting: each creation is a sequence of typed messages whose sizes
+feed the network model.  Sizes are estimates of a compact wire encoding and
+only matter relative to each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class of all protocol messages."""
+
+    src: int
+    dst: int
+
+    #: Estimated wire size of the fixed part of any message (headers, ids).
+    BASE_SIZE_BYTES = 64
+
+    def size_bytes(self) -> float:
+        """Wire size of the message."""
+        return float(self.BASE_SIZE_BYTES)
+
+
+@dataclass(frozen=True)
+class CreateVnodeRequest(Message):
+    """Request asking the destination snode to take part in a vnode creation."""
+
+    vnode: int = 0
+
+    def size_bytes(self) -> float:
+        return float(self.BASE_SIZE_BYTES + 16)
+
+
+@dataclass(frozen=True)
+class RecordSync(Message):
+    """GPDR/LPDR synchronization message carrying one record replica.
+
+    The record has one entry (canonical name + partition count) per vnode.
+    """
+
+    n_entries: int = 0
+
+    #: Estimated size of one record entry (canonical name + count).
+    ENTRY_SIZE_BYTES = 24
+
+    def size_bytes(self) -> float:
+        return float(self.BASE_SIZE_BYTES + self.ENTRY_SIZE_BYTES * self.n_entries)
+
+
+@dataclass(frozen=True)
+class PartitionTransfer(Message):
+    """Hand-over of one partition and the items stored under it."""
+
+    payload_bytes: float = 0.0
+
+    def size_bytes(self) -> float:
+        return float(self.BASE_SIZE_BYTES + self.payload_bytes)
+
+
+@dataclass(frozen=True)
+class Ack(Message):
+    """Acknowledgement closing a request/response exchange."""

@@ -1,0 +1,54 @@
+"""Cluster network model.
+
+The paper's model targets clusters and explicitly relies on their "short
+(typically one-hop) communication paths and high bandwidth" (section 5).
+The network model is therefore a flat one-hop fabric described by a
+per-message latency and a bandwidth; message delivery time is
+``latency + size / bandwidth``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """One-hop cluster network: per-message latency plus bandwidth.
+
+    Defaults correspond to commodity gigabit Ethernet of the paper's era:
+    100 microseconds of one-way latency and 1 Gbit/s of bandwidth.
+    """
+
+    latency_s: float = 100e-6
+    bandwidth_bytes_per_s: float = 125e6
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth_bytes_per_s must be strictly positive")
+
+    def message_time(self, size_bytes: float) -> float:
+        """One-way delivery time of a message of the given size."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        return self.latency_s + size_bytes / self.bandwidth_bytes_per_s
+
+    def rpc_time(self, request_bytes: float, reply_bytes: float = 64.0) -> float:
+        """Round-trip time of a request/reply exchange."""
+        return self.message_time(request_bytes) + self.message_time(reply_bytes)
+
+    def broadcast_time(self, size_bytes: float, n_destinations: int) -> float:
+        """Time to send the same message to ``n_destinations`` peers.
+
+        The sender serializes the transmissions onto its link (store-and-
+        forward), but propagation overlaps, so the cost is one latency plus
+        ``n`` serialization times.
+        """
+        if n_destinations < 0:
+            raise ValueError("n_destinations must be non-negative")
+        if n_destinations == 0:
+            return 0.0
+        serialization = size_bytes / self.bandwidth_bytes_per_s
+        return self.latency_s + n_destinations * serialization

@@ -1,0 +1,52 @@
+"""Physical cluster nodes hosting snodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.workloads.heterogeneity import NodeSpec
+
+
+@dataclass
+class ClusterNode:
+    """A physical machine of the cluster.
+
+    A cluster node may host several snodes (one per DHT it participates in,
+    section 2.1.1); here we track the snode ids and the node's capacity
+    specification, which drives its enrollment level.
+    """
+
+    spec: NodeSpec
+    snodes: List[int] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        """The node's name (from its capacity spec)."""
+        return self.spec.name
+
+    @property
+    def capacity_score(self) -> float:
+        """Scalar capacity of this node."""
+        return self.spec.capacity_score()
+
+    def host_snode(self, snode_id: int) -> None:
+        """Record that this node hosts the given snode."""
+        if snode_id in self.snodes:
+            raise ValueError(f"snode {snode_id} already hosted by {self.name}")
+        self.snodes.append(snode_id)
+
+    def release_snode(self, snode_id: int) -> None:
+        """Record that the given snode left this node."""
+        try:
+            self.snodes.remove(snode_id)
+        except ValueError:
+            raise ValueError(f"snode {snode_id} is not hosted by {self.name}") from None
+
+    @property
+    def n_snodes(self) -> int:
+        """Number of snodes currently hosted."""
+        return len(self.snodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClusterNode({self.name}, snodes={self.snodes})"

@@ -1,0 +1,313 @@
+"""Discrete-event simulation of the vnode-creation control protocol.
+
+This is the substrate behind the parallelism/scalability claims of the
+paper (sections 1, 3 and 6), which its evaluation argues only qualitatively:
+
+* **Global approach** — a vnode creation is only complete "when the GPDR
+  becomes synchronized in all snodes and all the necessary transfers of
+  partitions have been concluded" (section 2.5), so every creation involves
+  every snode and consecutive creations execute serially.  The simulation
+  models this with a single DHT-wide FIFO lock.
+* **Local approach** — a creation involves only the snodes hosting vnodes of
+  the victim group (section 3.6), so creations targeting different groups
+  overlap; the simulation uses one FIFO lock per group.
+
+The balance dynamics (which group receives a vnode, how many partitions are
+handed over, when groups split) come from the fast simulators of
+:mod:`repro.sim`; the protocol layer adds message costs from the network
+model and the per-snode record-processing cost, then lets the event engine
+resolve queueing.  The outcome (per-creation latency, makespan, message and
+byte counts) feeds the ``ablation_parallelism`` benchmark.
+
+Simplification: the *identity* of the victim group does not depend on the
+request timing (it is drawn from the balance simulator in arrival order).
+This is the same independence assumption the paper makes when it evaluates
+balance quality separately from protocol concurrency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cluster.messages import Ack, CreateVnodeRequest, PartitionTransfer, RecordSync
+from repro.cluster.network import NetworkModel
+from repro.cluster.simulator import EventScheduler, FifoResource
+from repro.core.config import DHTConfig
+from repro.core.errors import ProtocolError
+from repro.sim.global_ import GlobalBalanceSimulator
+from repro.sim.local import CreationRecord, LocalBalanceSimulator
+from repro.utils.rng import RngLike, ensure_rng
+from repro.workloads.arrivals import ArrivalEvent
+
+Approach = Literal["global", "local"]
+
+
+@dataclass(frozen=True)
+class ProtocolCosts:
+    """Cost parameters of the control protocol."""
+
+    #: Cluster network (one-hop latency + bandwidth).
+    network: NetworkModel = field(default_factory=NetworkModel)
+    #: CPU time to process one record entry during the update/sort of a
+    #: GPDR/LPDR replica (section 4.1.2 points out this grows with the table).
+    record_entry_processing_s: float = 2e-6
+    #: Application data moved when one partition is handed over.
+    partition_payload_bytes: float = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.record_entry_processing_s < 0:
+            raise ValueError("record_entry_processing_s must be non-negative")
+        if self.partition_payload_bytes < 0:
+            raise ValueError("partition_payload_bytes must be non-negative")
+
+
+@dataclass
+class ProtocolStats:
+    """Outcome of a protocol simulation."""
+
+    approach: str
+    n_snodes: int
+    latencies: np.ndarray
+    makespan: float
+    total_messages: int
+    total_bytes: float
+    lock_waits: int
+
+    @property
+    def n_creations(self) -> int:
+        """Number of vnode creations simulated."""
+        return len(self.latencies)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean creation latency (arrival to completion), in seconds."""
+        return float(self.latencies.mean()) if self.latencies.size else 0.0
+
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile creation latency, in seconds."""
+        return float(np.percentile(self.latencies, 95)) if self.latencies.size else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed creations per second of simulated time."""
+        return self.n_creations / self.makespan if self.makespan > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Summary dict (for reports and benchmarks)."""
+        return {
+            "approach": self.approach,
+            "n_snodes": self.n_snodes,
+            "creations": self.n_creations,
+            "makespan_s": self.makespan,
+            "mean_latency_s": self.mean_latency,
+            "p95_latency_s": self.p95_latency,
+            "throughput_per_s": self.throughput,
+            "messages": self.total_messages,
+            "bytes": self.total_bytes,
+            "lock_waits": self.lock_waits,
+        }
+
+
+class CreationProtocolSimulator:
+    """Simulate a schedule of vnode creations under either approach.
+
+    Parameters
+    ----------
+    config:
+        DHT configuration.  For the global approach ``vmin`` is ignored.
+    n_snodes:
+        Number of snodes enrolled (one per cluster node in the paper's
+        setting).  Vnodes are assigned to the snode named by each arrival
+        event.
+    arrivals:
+        The workload: a sequence of :class:`~repro.workloads.arrivals.ArrivalEvent`
+        (only ``create`` events are supported) or plain arrival times.
+    approach:
+        ``"global"`` or ``"local"``.
+    costs:
+        Network and processing cost parameters.
+    rng:
+        Seed/generator for the balance simulator's random decisions.
+
+    Examples
+    --------
+    >>> from repro.core import DHTConfig
+    >>> from repro.workloads import ConsecutiveCreations
+    >>> sim = CreationProtocolSimulator(
+    ...     DHTConfig.for_local(pmin=4, vmin=4), n_snodes=8,
+    ...     arrivals=ConsecutiveCreations(64, n_snodes=8), approach="local", rng=0)
+    >>> stats = sim.run()
+    >>> stats.n_creations
+    64
+    """
+
+    def __init__(
+        self,
+        config: DHTConfig,
+        n_snodes: int,
+        arrivals: Union[Sequence[ArrivalEvent], Sequence[float]],
+        approach: Approach = "local",
+        costs: Optional[ProtocolCosts] = None,
+        rng: RngLike = None,
+    ):
+        if n_snodes < 1:
+            raise ValueError("n_snodes must be >= 1")
+        if approach not in ("global", "local"):
+            raise ValueError(f"approach must be 'global' or 'local', got {approach!r}")
+        self.config = config
+        self.n_snodes = n_snodes
+        self.approach = approach
+        self.costs = costs if costs is not None else ProtocolCosts()
+        self.rng = ensure_rng(rng)
+        self.events = self._normalize_arrivals(arrivals)
+        if not self.events:
+            raise ValueError("the arrival schedule is empty")
+
+    @staticmethod
+    def _normalize_arrivals(
+        arrivals: Union[Sequence[ArrivalEvent], Sequence[float]]
+    ) -> List[ArrivalEvent]:
+        events: List[ArrivalEvent] = []
+        for index, item in enumerate(arrivals):
+            if isinstance(item, ArrivalEvent):
+                if item.kind != "create":
+                    raise ProtocolError(
+                        "the creation-protocol simulator only supports 'create' events"
+                    )
+                events.append(item)
+            else:
+                events.append(ArrivalEvent(time=float(item), snode=index, kind="create"))
+        return sorted(events, key=lambda e: e.time)
+
+    # ------------------------------------------------------------------ costs
+
+    def _creation_duration(self, record: CreationRecord, involved_snodes: int) -> tuple:
+        """Service time of one creation once its lock is held.
+
+        Returns ``(duration_s, n_messages, n_bytes)``.
+        """
+        net = self.costs.network
+        peers = max(0, involved_snodes - 1)
+        messages = 0
+        total_bytes = 0.0
+        duration = 0.0
+
+        if self.approach == "local":
+            # Lookup of the victim vnode/group (one RPC to the owner snode).
+            request = CreateVnodeRequest(src=0, dst=0, vnode=record.vnode)
+            duration += net.rpc_time(request.size_bytes())
+            messages += 2
+            total_bytes += request.size_bytes() + Ack.BASE_SIZE_BYTES
+
+        # Creation request broadcast to the other involved snodes + acks.
+        request = CreateVnodeRequest(src=0, dst=0, vnode=record.vnode)
+        duration += net.broadcast_time(request.size_bytes(), peers) + net.latency_s
+        messages += 2 * peers
+        total_bytes += peers * (request.size_bytes() + Ack.BASE_SIZE_BYTES)
+
+        # Every involved snode updates and re-sorts its record replica; the
+        # coordinator then distributes the synchronized record.
+        record_entries = record.group_size
+        duration += self.costs.record_entry_processing_s * record_entries
+        sync = RecordSync(src=0, dst=0, n_entries=record_entries)
+        duration += net.broadcast_time(sync.size_bytes(), peers)
+        messages += peers
+        total_bytes += peers * sync.size_bytes()
+
+        # A group split doubles the record exchanges (two new LPDRs are built).
+        if record.group_split:
+            duration += net.broadcast_time(sync.size_bytes(), peers)
+            messages += peers
+            total_bytes += peers * sync.size_bytes()
+
+        # Partition transfers all land on the snode hosting the new vnode, so
+        # they serialize on its link.
+        transfer = PartitionTransfer(
+            src=0, dst=0, payload_bytes=self.costs.partition_payload_bytes
+        )
+        duration += record.n_transfers * net.message_time(transfer.size_bytes())
+        messages += record.n_transfers
+        total_bytes += record.n_transfers * transfer.size_bytes()
+
+        return duration, messages, total_bytes
+
+    # ------------------------------------------------------------------ running
+
+    def run(self) -> ProtocolStats:
+        """Run the discrete-event simulation and return its statistics."""
+        # Drive the balance simulator in arrival order to learn what each
+        # creation does (victim group, transfers, splits).
+        if self.approach == "local":
+            balance = LocalBalanceSimulator(self.config, rng=self.rng)
+        else:
+            balance = GlobalBalanceSimulator(self.config, rng=self.rng)
+        records: List[CreationRecord] = [balance.create_vnode() for _ in self.events]
+
+        # Map vnodes to hosting snodes (the snode that issued the creation).
+        vnode_snode: Dict[int, int] = {
+            record.vnode: event.snode % self.n_snodes
+            for record, event in zip(records, self.events)
+        }
+
+        scheduler = EventScheduler()
+        locks: Dict[object, FifoResource] = {}
+        latencies = np.zeros(len(self.events), dtype=np.float64)
+        completion = np.zeros(len(self.events), dtype=np.float64)
+        total_messages = 0
+        total_bytes = 0.0
+
+        def lock_key(record: CreationRecord) -> object:
+            if self.approach == "global":
+                return "global"
+            return ("group", record.group_id)
+
+        def get_lock(key: object) -> FifoResource:
+            if key not in locks:
+                locks[key] = FifoResource(scheduler, name=str(key))
+            return locks[key]
+
+        for index, (event, record) in enumerate(zip(self.events, records)):
+            involved = {vnode_snode[m] for m in record.group_members}
+            involved.add(event.snode % self.n_snodes)
+            if self.approach == "global":
+                involved_count = self.n_snodes
+            else:
+                involved_count = len(involved)
+            duration, messages, nbytes = self._creation_duration(record, involved_count)
+            total_messages += messages
+            total_bytes += nbytes
+            key = lock_key(record)
+
+            def make_handlers(i: int, dur: float, lock_key_value: object):
+                def on_grant() -> None:
+                    def on_complete() -> None:
+                        completion[i] = scheduler.now
+                        latencies[i] = scheduler.now - self.events[i].time
+                        get_lock(lock_key_value).release()
+
+                    scheduler.schedule_after(dur, on_complete)
+
+                def on_arrival() -> None:
+                    get_lock(lock_key_value).acquire(on_grant)
+
+                return on_arrival
+
+            scheduler.schedule_at(event.time, make_handlers(index, duration, key))
+
+        scheduler.run()
+        first_arrival = min(e.time for e in self.events)
+        makespan = float(completion.max() - first_arrival) if len(completion) else 0.0
+        lock_waits = sum(lock.total_waits for lock in locks.values())
+        return ProtocolStats(
+            approach=self.approach,
+            n_snodes=self.n_snodes,
+            latencies=latencies,
+            makespan=makespan,
+            total_messages=total_messages,
+            total_bytes=total_bytes,
+            lock_waits=lock_waits,
+        )

@@ -1,0 +1,123 @@
+"""A small discrete-event simulation engine with FIFO resources.
+
+The engine is deliberately minimal: an event queue ordered by time (ties
+broken by insertion order, so the simulation is deterministic) and a FIFO
+resource abstraction used to model the serialization points of the DHT
+control protocol (the global "every snode participates" barrier and the
+per-group locks of the local approach).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.errors import ProtocolError
+
+EventCallback = Callable[[], None]
+
+
+class EventScheduler:
+    """Time-ordered event queue with deterministic tie-breaking."""
+
+    def __init__(self):
+        self._queue: List = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self._processed = 0
+
+    def schedule_at(self, time: float, callback: EventCallback) -> None:
+        """Schedule ``callback`` to run at absolute time ``time``."""
+        if time < self.now:
+            raise ProtocolError(
+                f"cannot schedule an event in the past (now={self.now}, requested={time})"
+            )
+        heapq.heappush(self._queue, (float(time), next(self._counter), callback))
+
+    def schedule_after(self, delay: float, callback: EventCallback) -> None:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ProtocolError(f"delay must be non-negative, got {delay}")
+        self.schedule_at(self.now + delay, callback)
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet executed."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Execute events in time order.
+
+        Stops when the queue empties, when the next event is later than
+        ``until``, or after ``max_events`` (a loud guard against runaway
+        event loops).  Returns the simulation time reached.
+        """
+        executed = 0
+        while self._queue:
+            time, _, callback = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = time
+            callback()
+            self._processed += 1
+            executed += 1
+            if executed >= max_events:
+                raise ProtocolError(f"event limit reached ({max_events}); aborting simulation")
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+
+class FifoResource:
+    """A resource granted to one holder at a time, in request order.
+
+    Models the serialization points of the protocol: the DHT-wide barrier of
+    the global approach and the per-group locks of the local approach.
+    """
+
+    def __init__(self, scheduler: EventScheduler, name: str = "resource"):
+        self.scheduler = scheduler
+        self.name = name
+        self._busy = False
+        self._waiters: List[Callable[[], None]] = []
+        self.total_waits = 0
+        self.total_grants = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while some holder owns the resource."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for the resource."""
+        return len(self._waiters)
+
+    def acquire(self, on_grant: Callable[[], None]) -> None:
+        """Request the resource; ``on_grant`` runs (via the scheduler) when granted."""
+        self.total_grants += 1
+        if not self._busy:
+            self._busy = True
+            self.scheduler.schedule_after(0.0, on_grant)
+        else:
+            self.total_waits += 1
+            self._waiters.append(on_grant)
+
+    def release(self) -> None:
+        """Release the resource, granting it to the next waiter (if any)."""
+        if not self._busy:
+            raise ProtocolError(f"resource {self.name!r} released while not held")
+        if self._waiters:
+            next_grant = self._waiters.pop(0)
+            self.scheduler.schedule_after(0.0, next_grant)
+        else:
+            self._busy = False

@@ -1,0 +1,102 @@
+"""Core model of the paper: entities, invariants and balancing algorithms.
+
+The package is layered:
+
+* :mod:`repro.core.hashspace` / :mod:`repro.core.ids` — the value types
+  (partitions, hash space, canonical names, group identifiers);
+* :mod:`repro.core.records` / :mod:`repro.core.balancer` — the *record
+  layer*: GPDR/LPDR tables and the creation-time balancing planner;
+* :mod:`repro.core.entities` / :mod:`repro.core.storage` /
+  :mod:`repro.core.lookup` — the *entity layer*: vnodes, snodes, groups,
+  stored items and key routing;
+* :mod:`repro.core.global_model` / :mod:`repro.core.local_model` — the two
+  DHT approaches tying everything together.
+"""
+
+from repro.core.balancer import (
+    RebalancePlan,
+    SplitAllAction,
+    TransferAction,
+    plan_vnode_creation,
+    transfer_improves_balance,
+)
+from repro.core.config import DHTConfig, SimulationConfig, DEFAULT_BH
+from repro.core.entities import Group, Snode, Vnode
+from repro.core.errors import (
+    ConfigError,
+    EmptyDHTError,
+    InvariantViolation,
+    KeyLookupError,
+    PartitionError,
+    ProtocolError,
+    ReproError,
+    StorageError,
+    UnknownGroupError,
+    UnknownSnodeError,
+    UnknownVnodeError,
+)
+from repro.core.global_model import GlobalDHT
+from repro.core.hashspace import (
+    HashSpace,
+    Partition,
+    WHOLE_SPACE,
+    iter_level_partitions,
+    partitions_are_disjoint,
+    partitions_cover_space,
+    total_fraction,
+)
+from repro.core.ids import GroupId, SnodeId, VnodeRef
+from repro.core.local_model import LocalDHT, ideal_group_count
+from repro.core.lookup import LookupResult, PartitionRouter
+from repro.core.records import GPDR, LPDR, PartitionDistributionRecord
+from repro.core.snapshot import restore_dht, snapshot_dht
+from repro.core.storage import DHTStorage, MigrationStats, StoredItem, VnodeStore
+
+__all__ = [
+    "DEFAULT_BH",
+    "DHTConfig",
+    "SimulationConfig",
+    "HashSpace",
+    "Partition",
+    "WHOLE_SPACE",
+    "iter_level_partitions",
+    "partitions_are_disjoint",
+    "partitions_cover_space",
+    "total_fraction",
+    "SnodeId",
+    "VnodeRef",
+    "GroupId",
+    "GPDR",
+    "LPDR",
+    "PartitionDistributionRecord",
+    "RebalancePlan",
+    "SplitAllAction",
+    "TransferAction",
+    "plan_vnode_creation",
+    "transfer_improves_balance",
+    "Vnode",
+    "Snode",
+    "Group",
+    "GlobalDHT",
+    "LocalDHT",
+    "ideal_group_count",
+    "snapshot_dht",
+    "restore_dht",
+    "LookupResult",
+    "PartitionRouter",
+    "DHTStorage",
+    "VnodeStore",
+    "StoredItem",
+    "MigrationStats",
+    "ReproError",
+    "ConfigError",
+    "InvariantViolation",
+    "UnknownSnodeError",
+    "UnknownVnodeError",
+    "UnknownGroupError",
+    "PartitionError",
+    "StorageError",
+    "KeyLookupError",
+    "ProtocolError",
+    "EmptyDHTError",
+]

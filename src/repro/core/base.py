@@ -1,0 +1,377 @@
+"""Shared machinery of the global and local DHT models.
+
+:class:`BaseDHT` owns everything the two approaches have in common:
+
+* the snode / vnode registries and canonical-name allocation;
+* the key/value storage layer and partition-to-vnode routing;
+* quota computation and the balance-quality metrics of section 2.3/3.5;
+* application of a :class:`~repro.core.balancer.RebalancePlan` to the entity
+  layer (moving actual partitions and migrating stored items);
+* enrollment management (growing/shrinking the number of vnodes a snode
+  contributes, which is how heterogeneity and dynamic enrollment levels of
+  section 2.1.2 are expressed).
+
+The concrete subclasses (:class:`~repro.core.global_model.GlobalDHT` and
+:class:`~repro.core.local_model.LocalDHT`) implement vnode creation/removal
+and the invariant checks specific to each approach.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from fractions import Fraction
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.balancer import RebalancePlan, SplitAllAction, TransferAction
+from repro.core.config import DHTConfig
+from repro.core.entities import Snode, Vnode
+from repro.core.errors import (
+    EmptyDHTError,
+    InvariantViolation,
+    UnknownSnodeError,
+    UnknownVnodeError,
+)
+from repro.core.hashspace import HashSpace, Partition
+from repro.core.ids import SnodeId, VnodeRef
+from repro.core.lookup import LookupResult, PartitionRouter
+from repro.core.storage import DHTStorage
+from repro.utils.rng import RngLike, ensure_rng
+
+SnodeLike = Union[Snode, SnodeId, int]
+
+
+class BaseDHT(ABC):
+    """Common state and behaviour of both DHT approaches."""
+
+    #: Human-readable name of the approach (overridden by subclasses).
+    approach = "abstract"
+
+    def __init__(self, config: DHTConfig, rng: RngLike = None):
+        self.config = config
+        self.rng = ensure_rng(rng)
+        self.hash_space = HashSpace(config.bh)
+        self.storage = DHTStorage(self.hash_space)
+        self.snodes: Dict[SnodeId, Snode] = {}
+        self.vnodes: Dict[VnodeRef, Vnode] = {}
+        self._router = PartitionRouter(self.hash_space)
+        self._topology_version = 0
+        self._next_snode_id = 0
+        self._removals_occurred = False
+
+    # ------------------------------------------------------------------ snodes
+
+    def add_snode(self, cluster_node: Optional[str] = None) -> Snode:
+        """Enroll a new snode in the DHT (it starts with zero vnodes)."""
+        snode = Snode(SnodeId(self._next_snode_id), cluster_node=cluster_node)
+        self._next_snode_id += 1
+        self.snodes[snode.id] = snode
+        return snode
+
+    def add_snodes(self, n: int, cluster_nodes: Optional[Iterable[str]] = None) -> List[Snode]:
+        """Enroll ``n`` snodes at once (convenience for simulations)."""
+        hosts = list(cluster_nodes) if cluster_nodes is not None else [None] * n
+        if len(hosts) != n:
+            raise ValueError("cluster_nodes must have exactly n entries")
+        return [self.add_snode(host) for host in hosts]
+
+    def get_snode(self, snode: SnodeLike) -> Snode:
+        """Resolve an id / integer / Snode object to the registered Snode."""
+        if isinstance(snode, Snode):
+            if snode.id not in self.snodes or self.snodes[snode.id] is not snode:
+                raise UnknownSnodeError(f"snode {snode.id} is not enrolled in this DHT")
+            return snode
+        if isinstance(snode, int):
+            snode = SnodeId(snode)
+        if isinstance(snode, SnodeId):
+            try:
+                return self.snodes[snode]
+            except KeyError:
+                raise UnknownSnodeError(f"snode {snode} is not enrolled in this DHT") from None
+        raise TypeError(f"cannot resolve snode from {type(snode).__name__}")
+
+    def remove_snode(self, snode: SnodeLike) -> None:
+        """Withdraw a snode from the DHT, removing each of its vnodes first."""
+        node = self.get_snode(snode)
+        for ref in list(node.vnodes):
+            self.remove_vnode(ref)
+        del self.snodes[node.id]
+
+    @property
+    def n_snodes(self) -> int:
+        """Number of snodes currently enrolled."""
+        return len(self.snodes)
+
+    # ------------------------------------------------------------------ vnodes
+
+    @abstractmethod
+    def create_vnode(self, snode: SnodeLike) -> VnodeRef:
+        """Create a new vnode hosted by ``snode`` and rebalance the DHT."""
+
+    @abstractmethod
+    def remove_vnode(self, ref: VnodeRef) -> None:
+        """Remove a vnode, redistributing its partitions (library extension)."""
+
+    def get_vnode(self, ref: VnodeRef) -> Vnode:
+        """Resolve a vnode reference to its entity."""
+        try:
+            return self.vnodes[ref]
+        except KeyError:
+            raise UnknownVnodeError(f"vnode {ref} does not exist in this DHT") from None
+
+    @property
+    def n_vnodes(self) -> int:
+        """Total number of vnodes in the DHT (``V``)."""
+        return len(self.vnodes)
+
+    @property
+    def total_partitions(self) -> int:
+        """Total number of partitions in the DHT (``P``)."""
+        return sum(v.partition_count for v in self.vnodes.values())
+
+    def set_enrollment(self, snode: SnodeLike, target_vnodes: int) -> List[VnodeRef]:
+        """Grow or shrink a snode's enrollment to ``target_vnodes`` vnodes.
+
+        This is how dynamic enrollment changes (section 2.1.2) are expressed:
+        growing creates vnodes one by one (each creation triggers the
+        balancing algorithm); shrinking removes the snode's most recently
+        created vnodes.  Returns the refs created (possibly empty).
+        """
+        if target_vnodes < 0:
+            raise ValueError("target_vnodes must be non-negative")
+        node = self.get_snode(snode)
+        created: List[VnodeRef] = []
+        while node.n_vnodes < target_vnodes:
+            created.append(self.create_vnode(node))
+        while node.n_vnodes > target_vnodes:
+            newest = max(node.vnodes, key=lambda r: r.vnode_index)
+            self.remove_vnode(newest)
+        return created
+
+    # ------------------------------------------------------------- vnode helpers
+
+    def _register_vnode(self, snode: Snode, vnode: Vnode) -> None:
+        """Attach a freshly created vnode to the snode/DHT registries."""
+        snode.attach_vnode(vnode)
+        self.vnodes[vnode.ref] = vnode
+        self.storage.register_vnode(vnode.ref)
+        self._bump_topology()
+
+    def _unregister_vnode(self, ref: VnodeRef) -> Vnode:
+        """Detach a vnode from the snode/DHT registries (storage must be empty)."""
+        vnode = self.get_vnode(ref)
+        self.get_snode(ref.snode).detach_vnode(ref)
+        del self.vnodes[ref]
+        self.storage.unregister_vnode(ref)
+        self._bump_topology()
+        self._removals_occurred = True
+        return vnode
+
+    def _apply_plan(self, plan: RebalancePlan, scope: Iterable[VnodeRef]) -> None:
+        """Mirror a rebalance plan onto the entity and storage layers.
+
+        ``scope`` is the set of vnodes affected by split-all cascades: every
+        vnode of the DHT for the global approach, the vnodes of the victim
+        group for the local approach.  Transfers name their vnodes
+        explicitly.
+        """
+        scope_refs = list(scope)
+        for action in plan.actions:
+            if isinstance(action, SplitAllAction):
+                for ref in scope_refs:
+                    self.get_vnode(ref).split_all_partitions()
+            elif isinstance(action, TransferAction):
+                victim = self.get_vnode(action.victim)
+                recipient = self.get_vnode(action.recipient)
+                partition = victim.pick_victim_partition()
+                victim.remove_partition(partition)
+                recipient.add_partition(partition)
+                self.storage.migrate_partition(partition, victim.ref, recipient.ref)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown rebalance action {action!r}")
+        self._bump_topology()
+
+    def _drain_vnode(self, ref: VnodeRef, recipients: List[VnodeRef]) -> None:
+        """Hand every partition of ``ref`` to the least-loaded recipient.
+
+        Used by vnode removal.  Each handover picks the recipient with the
+        fewest partitions (deterministic tie-break by canonical name) so the
+        redistribution stays as balanced as possible.
+        """
+        if not recipients:
+            raise EmptyDHTError("cannot drain a vnode without any recipient vnodes")
+        vnode = self.get_vnode(ref)
+        for partition in sorted(vnode.partitions, key=lambda p: p.start_fraction):
+            target_ref = min(
+                recipients, key=lambda r: (self.get_vnode(r).partition_count, r)
+            )
+            target = self.get_vnode(target_ref)
+            vnode.remove_partition(partition)
+            target.add_partition(partition)
+            self.storage.migrate_partition(partition, ref, target_ref)
+        self._bump_topology()
+
+    # ------------------------------------------------------------------ routing
+
+    def _bump_topology(self) -> None:
+        self._topology_version += 1
+
+    def _iter_ownership(self) -> Iterator[Tuple[Partition, VnodeRef]]:
+        for ref, vnode in self.vnodes.items():
+            for partition in vnode.partitions:
+                yield partition, ref
+
+    def _ensure_router(self) -> PartitionRouter:
+        if self._router.is_stale(self._topology_version):
+            self._router.rebuild(self._iter_ownership(), self._topology_version)
+        return self._router
+
+    def find_owner(self, index: int) -> LookupResult:
+        """Route a hash index to its partition, owning vnode and hosting snode."""
+        router = self._ensure_router()
+        partition, ref = router.locate(index)
+        vnode = self.get_vnode(ref)
+        return LookupResult(
+            index=index,
+            partition=partition,
+            vnode=ref,
+            snode=ref.snode,
+            group=vnode.group_id,
+        )
+
+    def lookup(self, key: Hashable) -> LookupResult:
+        """Route an application key to its owner (hashing it first)."""
+        return self.find_owner(self.hash_space.hash_key(key))
+
+    # ---------------------------------------------------------------- key/value API
+
+    def put(self, key: Hashable, value: Any) -> LookupResult:
+        """Store ``value`` under ``key`` at the owning vnode."""
+        result = self.lookup(key)
+        self.storage.put(result.vnode, key, result.index, value)
+        return result
+
+    def get(self, key: Hashable) -> Any:
+        """Fetch the value stored under ``key`` (raises ``KeyError`` if absent)."""
+        result = self.lookup(key)
+        return self.storage.get(result.vnode, key)
+
+    def delete(self, key: Hashable) -> Any:
+        """Delete and return the value stored under ``key``."""
+        result = self.lookup(key)
+        return self.storage.delete(result.vnode, key)
+
+    def contains(self, key: Hashable) -> bool:
+        """True if ``key`` is currently stored in the DHT."""
+        try:
+            result = self.lookup(key)
+        except EmptyDHTError:
+            return False
+        return self.storage.contains(result.vnode, key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.contains(key)
+
+    # ------------------------------------------------------------------ quotas
+
+    def exact_quotas(self) -> Dict[VnodeRef, Fraction]:
+        """Exact quota ``Q_v`` of every vnode as a :class:`fractions.Fraction`."""
+        return {ref: v.quota for ref, v in self.vnodes.items()}
+
+    def quotas(self) -> Dict[VnodeRef, float]:
+        """Quota ``Q_v`` of every vnode as floats."""
+        return {ref: float(v.quota) for ref, v in self.vnodes.items()}
+
+    def quota_array(self) -> np.ndarray:
+        """Vnode quotas as a numpy array (order: vnode registry order)."""
+        return np.array([float(v.quota) for v in self.vnodes.values()], dtype=np.float64)
+
+    def snode_quotas(self) -> Dict[SnodeId, float]:
+        """Quota ``Q_n`` handled by each physical/software node (section 4.3)."""
+        return {sid: float(s.quota) for sid, s in self.snodes.items()}
+
+    def sigma_qv(self) -> float:
+        """Relative standard deviation of vnode quotas, as a fraction (not %).
+
+        This is the paper's quality metric ``sigma-bar(Qv)`` (sections 2.3 and
+        3.5), computed against the ideal average ``1/V`` (which equals the
+        actual mean because quotas always sum to 1).
+        """
+        quotas = self.quota_array()
+        if quotas.size == 0:
+            return 0.0
+        mean = 1.0 / quotas.size
+        return float(np.sqrt(np.mean((quotas - mean) ** 2)) / mean)
+
+    def sigma_qn(self) -> float:
+        """Relative standard deviation of per-snode quotas (``sigma-bar(Qn)``)."""
+        values = np.array([float(s.quota) for s in self.snodes.values()])
+        if values.size == 0:
+            return 0.0
+        mean = values.mean()
+        if mean == 0:
+            return 0.0
+        return float(values.std() / mean)
+
+    # --------------------------------------------------------------- invariants
+
+    def verify_coverage(self) -> None:
+        """Check invariant G1/G1': the partitions exactly tile the hash space."""
+        if not self.vnodes:
+            return
+        router = self._ensure_router()
+        if not router.coverage_is_complete():
+            raise InvariantViolation(
+                "G1", "the union of all partitions does not tile the hash space"
+            )
+
+    def verify_storage_consistency(self) -> None:
+        """Check that every stored item lives at the vnode owning its hash index."""
+        for ref in self.vnodes:
+            for key, value in self.storage.items_of(ref):
+                owner = self.lookup(key).vnode
+                if owner != ref:
+                    raise InvariantViolation(
+                        "storage",
+                        f"key {key!r} stored at {ref} but routed to {owner}",
+                    )
+
+    @abstractmethod
+    def check_invariants(self, strict: Optional[bool] = None) -> None:
+        """Verify every invariant of the approach; raise on violation.
+
+        ``strict=None`` (default) enables the balanced-state invariants (G5,
+        G5', the lower bound of L2) only if no vnode was ever removed —
+        removal is a library extension the paper does not define, and it
+        cannot always restore those invariants without partition merging.
+        """
+
+    def _effective_strict(self, strict: Optional[bool]) -> bool:
+        if strict is None:
+            return not self._removals_occurred
+        return strict
+
+    # ------------------------------------------------------------------- misc
+
+    def describe(self) -> Dict[str, Any]:
+        """A plain-dict summary of the DHT state (used by examples/reports)."""
+        return {
+            "approach": self.approach,
+            "bh": self.config.bh,
+            "pmin": self.config.pmin,
+            "vmin": self.config.vmin,
+            "snodes": self.n_snodes,
+            "vnodes": self.n_vnodes,
+            "partitions": self.total_partitions,
+            "items": self.storage.total_items(),
+            "sigma_qv": self.sigma_qv(),
+            "sigma_qn": self.sigma_qn(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(snodes={self.n_snodes}, vnodes={self.n_vnodes}, "
+            f"partitions={self.total_partitions})"
+        )

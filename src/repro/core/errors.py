@@ -1,0 +1,60 @@
+"""Exception hierarchy for the DHT model.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """Invalid model configuration (e.g. a non power-of-two ``Pmin``)."""
+
+
+class InvariantViolation(ReproError):
+    """One of the paper's invariants (G1-G5, L1-L2, G1'-G5') was violated.
+
+    Raised by the ``check_invariants`` methods of the DHT classes and by
+    internal consistency checks.  Seeing this exception always indicates a
+    bug in the model implementation, never a user error.
+    """
+
+    def __init__(self, invariant: str, message: str):
+        self.invariant = invariant
+        super().__init__(f"invariant {invariant} violated: {message}")
+
+
+class UnknownSnodeError(ReproError):
+    """Referenced snode does not exist in the DHT."""
+
+
+class UnknownVnodeError(ReproError):
+    """Referenced vnode does not exist in the DHT."""
+
+
+class UnknownGroupError(ReproError):
+    """Referenced group does not exist in the DHT."""
+
+
+class PartitionError(ReproError):
+    """Illegal partition operation (bad split, overlap, missing owner...)."""
+
+
+class StorageError(ReproError):
+    """Key/value storage failure (e.g. storing to a vnode that does not own the key)."""
+
+
+class KeyLookupError(ReproError):
+    """A key or hash index could not be routed to any partition/vnode."""
+
+
+class ProtocolError(ReproError):
+    """Cluster protocol simulation error (bad message, unknown destination...)."""
+
+
+class EmptyDHTError(ReproError):
+    """Operation requires at least one vnode but the DHT is empty."""

@@ -1,0 +1,188 @@
+"""The global approach: a DHT balanced with complete knowledge (section 2).
+
+Every snode replicates the **GPDR** (Global Partition Distribution Record)
+and participates in every vnode creation, which therefore serializes across
+the whole DHT.  In exchange, the balancing algorithm sees the complete
+distribution and achieves the best quality: ``sigma-bar(Qv)`` equals
+``sigma-bar(Pv)`` because every partition has the same size (invariant G3),
+and it returns to exactly zero whenever the number of vnodes is a power of
+two (invariant G5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.balancer import plan_vnode_creation
+from repro.core.base import BaseDHT, SnodeLike
+from repro.core.config import DHTConfig
+from repro.core.entities import Vnode
+from repro.core.errors import (
+    EmptyDHTError,
+    InvariantViolation,
+    ReproError,
+    StorageError,
+)
+from repro.core.hashspace import iter_level_partitions
+from repro.core.ids import VnodeRef
+from repro.core.records import GPDR
+from repro.utils.rng import RngLike
+from repro.utils.validation import is_power_of_two
+
+
+class GlobalDHT(BaseDHT):
+    """Cluster-oriented DHT balanced with the *global* approach.
+
+    Examples
+    --------
+    >>> from repro import DHTConfig, GlobalDHT
+    >>> dht = GlobalDHT(DHTConfig.for_global(pmin=4), rng=0)
+    >>> snode = dht.add_snode()
+    >>> refs = [dht.create_vnode(snode) for _ in range(4)]
+    >>> dht.sigma_qv()   # V = 4 is a power of two: perfectly balanced (G5)
+    0.0
+    """
+
+    approach = "global"
+
+    def __init__(self, config: Optional[DHTConfig] = None, rng: RngLike = None):
+        config = config if config is not None else DHTConfig.for_global()
+        super().__init__(config, rng)
+        self.gpdr = GPDR()
+        #: Common splitlevel of every partition (invariant G3).  Meaningful
+        #: only once the first vnode exists.
+        self.splitlevel = config.initial_splitlevel
+
+    # ------------------------------------------------------------------ creation
+
+    def create_vnode(self, snode: SnodeLike) -> VnodeRef:
+        """Create a vnode on ``snode``, running the balancing algorithm of §2.5."""
+        node = self.get_snode(snode)
+        ref = node.new_vnode_ref()
+        vnode = Vnode(ref)
+        self._register_vnode(node, vnode)
+
+        first_vnode = len(self.gpdr) == 0
+        plan = plan_vnode_creation(self.gpdr, ref, self.config.pmin)
+
+        if first_vnode:
+            # The very first vnode receives Pmin equal partitions tiling R_h.
+            self.splitlevel = self.config.initial_splitlevel
+            for partition in iter_level_partitions(self.splitlevel):
+                vnode.add_partition(partition)
+            self._bump_topology()
+            return ref
+
+        # Mirror the plan on the entity layer; split-all cascades raise the
+        # global splitlevel (all partitions are split, G3 is preserved).
+        self.splitlevel += len(plan.split_alls)
+        self._apply_plan(plan, scope=list(self.vnodes.keys()))
+        return ref
+
+    # ------------------------------------------------------------------ removal
+
+    def remove_vnode(self, ref: VnodeRef) -> None:
+        """Remove a vnode, redistributing its partitions to the least-loaded vnodes.
+
+        This operation is a library extension: the paper states that nodes may
+        leave the DHT but does not give the algorithm.  Redistribution keeps
+        invariants G1-G4 intact; G5 (perfect balance at power-of-two ``V``)
+        can no longer be guaranteed because restoring it would require merging
+        partitions owned by different vnodes.
+        """
+        vnode = self.get_vnode(ref)
+        others = [r for r in self.vnodes if r != ref]
+        if not others:
+            if self.storage.item_count(ref) > 0:
+                raise StorageError(
+                    "cannot remove the last vnode while it still stores items"
+                )
+            self.gpdr.remove_vnode(ref)
+            for partition in vnode.partitions:
+                vnode.remove_partition(partition)
+            self._unregister_vnode(ref)
+            self.splitlevel = self.config.initial_splitlevel
+            return
+
+        self._drain_vnode(ref, others)
+        self.gpdr.remove_vnode(ref)
+        for other in others:
+            self.gpdr.set_count(other, self.get_vnode(other).partition_count)
+        self._unregister_vnode(ref)
+
+    # ------------------------------------------------------------------ metrics
+
+    def sigma_pv(self) -> float:
+        """Relative standard deviation of partition counts (``sigma-bar(Pv)``).
+
+        In the global approach this equals ``sigma-bar(Qv)`` (section 2.4),
+        a fact exercised by the test suite.
+        """
+        return self.gpdr.relative_std()
+
+    def partition_counts(self) -> Dict[VnodeRef, int]:
+        """Current ``vnode -> partition count`` mapping (a GPDR snapshot)."""
+        return self.gpdr.counts()
+
+    # --------------------------------------------------------------- invariants
+
+    def check_invariants(self, strict: Optional[bool] = None) -> None:
+        """Verify G1-G5 plus record/entity/storage consistency."""
+        strict = self._effective_strict(strict)
+        if not self.vnodes:
+            if len(self.gpdr) != 0:
+                raise InvariantViolation("GPDR", "record not empty but DHT has no vnodes")
+            return
+
+        # Record/entity consistency.
+        if set(self.gpdr.vnodes()) != set(self.vnodes):
+            raise InvariantViolation("GPDR", "GPDR vnode set differs from the entity layer")
+        for ref, vnode in self.vnodes.items():
+            if self.gpdr.count(ref) != vnode.partition_count:
+                raise InvariantViolation(
+                    "GPDR",
+                    f"vnode {ref}: GPDR records {self.gpdr.count(ref)} partitions, "
+                    f"entity owns {vnode.partition_count}",
+                )
+
+        # G1: full, non-overlapping cover of R_h.
+        self.verify_coverage()
+
+        # G2: the overall number of partitions is a power of two.
+        total = self.total_partitions
+        if not is_power_of_two(total):
+            raise InvariantViolation("G2", f"total partition count {total} is not a power of two")
+
+        # G3: every partition has the same size (same splitlevel).
+        for ref, vnode in self.vnodes.items():
+            levels = vnode.splitlevels()
+            if levels and levels != {self.splitlevel}:
+                raise InvariantViolation(
+                    "G3",
+                    f"vnode {ref} owns partitions at splitlevels {sorted(levels)}; "
+                    f"expected {{{self.splitlevel}}}",
+                )
+
+        # G4: Pmin <= Pv <= Pmax for every vnode (single-vnode DHT holds Pmin).
+        for ref, vnode in self.vnodes.items():
+            count = vnode.partition_count
+            if count < self.config.pmin:
+                raise InvariantViolation(
+                    "G4", f"vnode {ref} holds {count} < Pmin={self.config.pmin} partitions"
+                )
+            if strict and count > self.config.pmax:
+                raise InvariantViolation(
+                    "G4", f"vnode {ref} holds {count} > Pmax={self.config.pmax} partitions"
+                )
+
+        # G5: when V is a power of two, every vnode holds exactly Pmin partitions.
+        if strict and is_power_of_two(self.n_vnodes):
+            for ref, vnode in self.vnodes.items():
+                if vnode.partition_count != self.config.pmin:
+                    raise InvariantViolation(
+                        "G5",
+                        f"V={self.n_vnodes} is a power of two but vnode {ref} holds "
+                        f"{vnode.partition_count} != Pmin={self.config.pmin} partitions",
+                    )
+
+        self.verify_storage_consistency()

@@ -1,0 +1,269 @@
+"""Hash space and partition algebra.
+
+The hash space is ``R_h = {i in N0 : 0 <= i < 2**Bh}`` (section 2.2).  Every
+partition of the model results from repeated *binary splits* of ``R_h``
+(section 3.4): a partition at splitlevel ``l`` covers a contiguous,
+power-of-two aligned sub-range of size ``2**Bh / 2**l``.
+
+A partition is therefore fully described by the pair ``(level, index)``
+with ``0 <= index < 2**level`` — independent of ``Bh``.  The absolute range
+is obtained by scaling with a :class:`HashSpace`.  This representation makes
+the split/merge algebra exact integer arithmetic and keeps partitions
+hashable and orderable (they sort by position in the ring).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.core.errors import PartitionError
+from repro.utils.rng import RngLike, ensure_rng
+
+KeyLike = Union[bytes, str, int]
+
+
+@dataclass(frozen=True, order=True)
+class Partition:
+    """A contiguous, binary-aligned sub-range of the hash space.
+
+    Attributes
+    ----------
+    level:
+        Splitlevel (number of binary splits from the whole hash space).
+    index:
+        Position among the ``2**level`` partitions of that level,
+        in ring order (partition ``index`` covers
+        ``[index * 2**(Bh-level), (index+1) * 2**(Bh-level))``).
+    """
+
+    # NOTE: field order matters for the total order: partitions are ordered
+    # primarily by their start fraction and secondarily by size (see __lt__
+    # emulation through (start_fraction, level)); we keep the dataclass
+    # order (level, index) but provide explicit comparison helpers below and
+    # rely on sort keys in call sites that need ring order.
+    level: int
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise PartitionError(f"splitlevel must be non-negative, got {self.level}")
+        if not (0 <= self.index < (1 << self.level)):
+            raise PartitionError(
+                f"partition index {self.index} out of range for level {self.level}"
+            )
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def fraction(self) -> Fraction:
+        """Fraction of the hash space covered by this partition (``2**-level``)."""
+        return Fraction(1, 1 << self.level)
+
+    @property
+    def start_fraction(self) -> Fraction:
+        """Start of the partition as a fraction of the hash space."""
+        return Fraction(self.index, 1 << self.level)
+
+    @property
+    def end_fraction(self) -> Fraction:
+        """Exclusive end of the partition as a fraction of the hash space."""
+        return Fraction(self.index + 1, 1 << self.level)
+
+    def size(self, bh: int) -> int:
+        """Absolute size in hash indices for a ``bh``-bit hash space."""
+        self._check_level(bh)
+        return 1 << (bh - self.level)
+
+    def start(self, bh: int) -> int:
+        """Absolute first hash index covered (inclusive)."""
+        self._check_level(bh)
+        return self.index << (bh - self.level)
+
+    def end(self, bh: int) -> int:
+        """Absolute last hash index covered plus one (exclusive)."""
+        return self.start(bh) + self.size(bh)
+
+    def contains_index(self, i: int, bh: int) -> bool:
+        """True if hash index ``i`` falls inside this partition."""
+        return self.start(bh) <= i < self.end(bh)
+
+    def _check_level(self, bh: int) -> None:
+        if self.level > bh:
+            raise PartitionError(
+                f"partition at splitlevel {self.level} is finer than a {bh}-bit hash space"
+            )
+
+    # -- split / merge algebra ----------------------------------------------
+
+    def split(self) -> Tuple["Partition", "Partition"]:
+        """Binary-split into two equal halves (splitlevel + 1)."""
+        return (
+            Partition(self.level + 1, self.index * 2),
+            Partition(self.level + 1, self.index * 2 + 1),
+        )
+
+    @property
+    def parent(self) -> "Partition":
+        """The partition this one was split from (one splitlevel up)."""
+        if self.level == 0:
+            raise PartitionError("the whole hash space has no parent partition")
+        return Partition(self.level - 1, self.index // 2)
+
+    @property
+    def sibling(self) -> "Partition":
+        """The other half of this partition's parent."""
+        if self.level == 0:
+            raise PartitionError("the whole hash space has no sibling partition")
+        return Partition(self.level, self.index ^ 1)
+
+    def is_ancestor_of(self, other: "Partition") -> bool:
+        """True if ``other`` lies strictly inside this partition."""
+        if other.level <= self.level:
+            return False
+        return (other.index >> (other.level - self.level)) == self.index
+
+    def overlaps(self, other: "Partition") -> bool:
+        """True if the two partitions share at least one hash index."""
+        if self == other:
+            return True
+        return self.is_ancestor_of(other) or other.is_ancestor_of(self)
+
+    def at_level(self, level: int) -> List["Partition"]:
+        """Decompose this partition into its descendants at a deeper ``level``."""
+        if level < self.level:
+            raise PartitionError(
+                f"cannot decompose level-{self.level} partition at coarser level {level}"
+            )
+        shift = level - self.level
+        base = self.index << shift
+        return [Partition(level, base + k) for k in range(1 << shift)]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"P(l={self.level}, i={self.index})"
+
+
+#: The partition covering the whole hash space (splitlevel 0).
+WHOLE_SPACE = Partition(0, 0)
+
+
+class HashSpace:
+    """The range ``R_h = [0, 2**Bh)`` of a ``Bh``-bit hash function.
+
+    Provides key hashing, random index generation and conversion of
+    :class:`Partition` objects to absolute index ranges.
+    """
+
+    __slots__ = ("bh", "size")
+
+    def __init__(self, bh: int):
+        if not (1 <= bh <= 128):
+            raise PartitionError(f"bh must be in [1, 128], got {bh}")
+        self.bh = int(bh)
+        self.size = 1 << self.bh
+
+    # -- hashing -------------------------------------------------------------
+
+    def hash_key(self, key: KeyLike) -> int:
+        """Hash an application key into a hash index in ``R_h``.
+
+        Keys may be ``bytes``, ``str`` (UTF-8 encoded) or ``int`` (hashed by
+        its two's-complement byte representation), mirroring what a real DHT
+        front end would do.  BLAKE2b is used for speed and stable output
+        across processes (unlike the builtin :func:`hash`).
+        """
+        if isinstance(key, str):
+            data = key.encode("utf-8")
+        elif isinstance(key, bytes):
+            data = key
+        elif isinstance(key, bool):
+            raise TypeError("bool keys are ambiguous; use int, str or bytes")
+        elif isinstance(key, int):
+            data = key.to_bytes((key.bit_length() + 8) // 8 or 1, "little", signed=True)
+        else:
+            raise TypeError(f"unsupported key type {type(key).__name__}")
+        digest = hashlib.blake2b(data, digest_size=16).digest()
+        return int.from_bytes(digest, "big") % self.size
+
+    def random_index(self, rng: RngLike = None) -> int:
+        """Draw a uniformly random hash index from ``R_h``.
+
+        Used by the local approach to pick the victim group of a new vnode
+        (section 3.6).
+        """
+        gen = ensure_rng(rng)
+        if self.bh <= 63:
+            return int(gen.integers(0, self.size))
+        # Compose two draws for very wide hash spaces (numpy integers() is
+        # limited to 64-bit ranges).
+        high_bits = self.bh - 63
+        high = int(gen.integers(0, 1 << high_bits))
+        low = int(gen.integers(0, 1 << 63))
+        return ((high << 63) | low) % self.size
+
+    def contains(self, index: int) -> bool:
+        """True if ``index`` is a valid hash index of this space."""
+        return 0 <= index < self.size
+
+    # -- partition helpers ----------------------------------------------------
+
+    def partition_range(self, partition: Partition) -> Tuple[int, int]:
+        """Absolute ``[start, end)`` indices covered by ``partition``."""
+        return partition.start(self.bh), partition.end(self.bh)
+
+    def partition_of_index(self, index: int, level: int) -> Partition:
+        """The level-``level`` partition containing hash index ``index``."""
+        if not self.contains(index):
+            raise PartitionError(f"hash index {index} outside R_h (bh={self.bh})")
+        if level > self.bh:
+            raise PartitionError(f"splitlevel {level} exceeds bh={self.bh}")
+        return Partition(level, index >> (self.bh - level))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HashSpace(bh={self.bh})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HashSpace) and other.bh == self.bh
+
+    def __hash__(self) -> int:
+        return hash(("HashSpace", self.bh))
+
+
+# -- set-level predicates ------------------------------------------------------
+
+
+def partitions_are_disjoint(partitions: Iterable[Partition]) -> bool:
+    """True if no two partitions in the collection overlap (invariant G1)."""
+    parts = sorted(partitions, key=lambda p: (p.start_fraction, p.level))
+    for a, b in zip(parts, parts[1:]):
+        if a.overlaps(b):
+            return False
+    return True
+
+
+def partitions_cover_space(partitions: Iterable[Partition]) -> bool:
+    """True if the partitions exactly tile the whole hash space (invariant G1).
+
+    The check is exact: partitions must be pairwise disjoint and their
+    fractions must sum to 1.
+    """
+    parts = list(partitions)
+    if not parts:
+        return False
+    if not partitions_are_disjoint(parts):
+        return False
+    total = sum((p.fraction for p in parts), Fraction(0))
+    return total == 1
+
+
+def total_fraction(partitions: Iterable[Partition]) -> Fraction:
+    """Exact total fraction of the hash space covered by the partitions."""
+    return sum((p.fraction for p in partitions), Fraction(0))
+
+
+def iter_level_partitions(level: int) -> Iterator[Partition]:
+    """Iterate over every partition of a given splitlevel, in ring order."""
+    for index in range(1 << level):
+        yield Partition(level, index)

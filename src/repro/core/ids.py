@@ -1,0 +1,139 @@
+"""Identifiers for snodes, vnodes and groups.
+
+* Vnodes are identified by their *canonical name* ``snode_id.vnode_id``
+  (footnote 2 of the paper), modelled by :class:`VnodeRef`.
+* Groups are identified by the decentralized binary-prefix scheme of
+  figure 3: the first group is ``0b0``; whenever a group splits, the two
+  resulting groups inherit its binary identifier prefixed by ``0`` and ``1``
+  respectively.  Only the snode coordinating the split needs to be involved
+  in assigning the new identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True, order=True)
+class SnodeId:
+    """Identifier of a software node (snode)."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"snode id must be non-negative, got {self.value}")
+
+    def __str__(self) -> str:
+        return f"s{self.value}"
+
+
+@dataclass(frozen=True, order=True)
+class VnodeRef:
+    """Canonical name of a vnode: ``snode_id.vnode_id``.
+
+    ``vnode_index`` numbers the vnodes created by a given snode; the pair is
+    globally unique without any coordination, exactly as in the paper.
+    """
+
+    snode: SnodeId
+    vnode_index: int
+
+    def __post_init__(self) -> None:
+        if self.vnode_index < 0:
+            raise ValueError(f"vnode index must be non-negative, got {self.vnode_index}")
+
+    @property
+    def canonical_name(self) -> str:
+        """The ``snode_id.vnode_id`` string used in GPDR/LPDR tables."""
+        return f"{self.snode.value}.{self.vnode_index}"
+
+    @classmethod
+    def parse(cls, name: str) -> "VnodeRef":
+        """Parse a canonical name back into a :class:`VnodeRef`."""
+        try:
+            snode_str, vnode_str = name.split(".")
+            return cls(SnodeId(int(snode_str)), int(vnode_str))
+        except (ValueError, TypeError) as exc:
+            raise ValueError(f"invalid canonical vnode name: {name!r}") from exc
+
+    def __str__(self) -> str:
+        return self.canonical_name
+
+
+@dataclass(frozen=True, order=True)
+class GroupId:
+    """Group identifier from the binary-prefix scheme of figure 3.
+
+    A group identifier is a ``depth``-bit binary string; ``value`` is the
+    integer obtained by reading that string as a base-2 number (as displayed
+    in figure 3).  Splitting a group of identifier ``b`` (depth ``d``)
+    produces the identifiers ``0b`` and ``1b`` (depth ``d+1``): the new bit is
+    *prefixed*, i.e. becomes the most significant bit.
+    """
+
+    depth: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError(f"group id depth must be >= 1, got {self.depth}")
+        if not (0 <= self.value < (1 << self.depth)):
+            raise ValueError(
+                f"group id value {self.value} out of range for depth {self.depth}"
+            )
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def root(cls) -> "GroupId":
+        """The identifier of the very first group of a DHT (``0b0``)."""
+        return cls(depth=1, value=0)
+
+    def split(self) -> Tuple["GroupId", "GroupId"]:
+        """Identifiers of the two groups resulting from splitting this one.
+
+        The first child keeps the same value (prefix ``0``); the second child
+        sets the new most-significant bit (prefix ``1``).
+        """
+        return (
+            GroupId(self.depth + 1, self.value),
+            GroupId(self.depth + 1, self.value | (1 << self.depth)),
+        )
+
+    @property
+    def parent(self) -> "GroupId":
+        """The group this one resulted from (drops the most significant bit)."""
+        if self.depth == 1:
+            raise ValueError("the root group has no parent")
+        return GroupId(self.depth - 1, self.value & ((1 << (self.depth - 1)) - 1))
+
+    @property
+    def sibling(self) -> "GroupId":
+        """The other group produced by the same split."""
+        if self.depth == 1:
+            raise ValueError("the root group has no sibling")
+        return GroupId(self.depth, self.value ^ (1 << (self.depth - 1)))
+
+    # -- presentation ----------------------------------------------------------
+
+    @property
+    def binary_string(self) -> str:
+        """The identifier as a binary string of exactly ``depth`` bits."""
+        return format(self.value, f"0{self.depth}b")
+
+    @property
+    def is_root(self) -> bool:
+        """True for the initial group of the DHT."""
+        return self.depth == 1 and self.value == 0
+
+    def is_descendant_of(self, other: "GroupId") -> bool:
+        """True if this identifier was obtained from ``other`` by >= 1 splits."""
+        if self.depth <= other.depth:
+            return False
+        mask = (1 << other.depth) - 1
+        return (self.value & mask) == other.value
+
+    def __str__(self) -> str:
+        return f"g{self.binary_string}"

@@ -1,0 +1,105 @@
+"""Routing of hash indices and keys to partitions, vnodes and snodes.
+
+In the cluster setting of the paper a lookup is a one-hop operation: the
+client hashes the key, consults the partition distribution information and
+sends the request straight to the snode hosting the owning vnode.  This
+module provides that resolution step for the single-process model: a
+:class:`PartitionRouter` keeps a sorted interval table of every partition in
+the DHT and answers point queries with binary search.
+
+The router is rebuilt lazily: the DHT bumps a *topology version* whenever
+partitions change hands or are split, and the router rebuilds its table the
+next time it is queried with a stale version.  This keeps creation-heavy
+simulations cheap (no per-transfer bookkeeping) while queries stay
+``O(log P)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.errors import EmptyDHTError, KeyLookupError
+from repro.core.hashspace import HashSpace, Partition
+from repro.core.ids import GroupId, SnodeId, VnodeRef
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of routing a key or hash index."""
+
+    index: int
+    partition: Partition
+    vnode: VnodeRef
+    snode: SnodeId
+    group: Optional[GroupId] = None
+
+
+class PartitionRouter:
+    """Sorted interval table mapping hash indices to owning vnodes."""
+
+    def __init__(self, hash_space: HashSpace):
+        self.hash_space = hash_space
+        self._starts: List[int] = []
+        self._entries: List[Tuple[Partition, VnodeRef]] = []
+        self._built_version = -1
+
+    @property
+    def built_version(self) -> int:
+        """Topology version the current table was built against (-1 = never)."""
+        return self._built_version
+
+    def rebuild(
+        self,
+        ownership: Iterable[Tuple[Partition, VnodeRef]],
+        version: int,
+    ) -> None:
+        """Rebuild the interval table from ``(partition, owner)`` pairs."""
+        entries = sorted(ownership, key=lambda po: po[0].start(self.hash_space.bh))
+        self._starts = [p.start(self.hash_space.bh) for p, _ in entries]
+        self._entries = entries
+        self._built_version = version
+
+    def is_stale(self, version: int) -> bool:
+        """True if the table was built against an older topology version."""
+        return self._built_version != version
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of partitions in the routing table."""
+        return len(self._entries)
+
+    def locate(self, index: int) -> Tuple[Partition, VnodeRef]:
+        """Find the partition (and owner) containing hash index ``index``."""
+        if not self._entries:
+            raise EmptyDHTError("the DHT has no partitions; create a vnode first")
+        if not self.hash_space.contains(index):
+            raise KeyLookupError(f"hash index {index} outside the hash space")
+        pos = bisect.bisect_right(self._starts, index) - 1
+        if pos < 0:
+            raise KeyLookupError(
+                f"hash index {index} precedes every partition; routing table corrupt"
+            )
+        partition, owner = self._entries[pos]
+        if not partition.contains_index(index, self.hash_space.bh):
+            raise KeyLookupError(
+                f"hash index {index} not covered by any partition; routing table "
+                "has a gap (invariant G1 violated)"
+            )
+        return partition, owner
+
+    def coverage_is_complete(self) -> bool:
+        """True if the table's partitions exactly tile the hash space."""
+        if not self._entries:
+            return False
+        expected_start = 0
+        for partition, _ in self._entries:
+            if partition.start(self.hash_space.bh) != expected_start:
+                return False
+            expected_start = partition.end(self.hash_space.bh)
+        return expected_start == self.hash_space.size
+
+    def owners(self) -> Dict[Partition, VnodeRef]:
+        """The current ``partition -> owner`` mapping as a dict."""
+        return {p: owner for p, owner in self._entries}

@@ -1,0 +1,178 @@
+"""Serialization of DHT state to plain JSON-compatible dictionaries.
+
+A real deployment of the model needs to persist and exchange its metadata:
+the GPDR/LPDR replicas, the partition ownership and (optionally) the stored
+items.  This module provides that capability for both approaches:
+
+* :func:`snapshot_dht` — capture a :class:`~repro.core.global_model.GlobalDHT`
+  or :class:`~repro.core.local_model.LocalDHT` as a nested dict of plain
+  Python types (JSON-serializable as long as stored values are);
+* :func:`restore_dht` — rebuild an equivalent DHT object from a snapshot.
+
+Round-tripping preserves: the configuration, snodes (including their
+canonical-name counters, so future vnode names do not collide), vnodes and
+their partitions, groups/LPDRs (local approach), the global splitlevel
+(global approach) and, when ``include_data=True``, every stored item.
+
+The restored DHT is structurally identical (same quotas, same invariants,
+same routing), but it gets a fresh RNG unless a seed is supplied — snapshots
+capture *state*, not the random stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.config import DHTConfig
+from repro.core.entities import Group, Vnode
+from repro.core.errors import ReproError
+from repro.core.global_model import GlobalDHT
+from repro.core.hashspace import Partition
+from repro.core.ids import GroupId, SnodeId, VnodeRef
+from repro.core.local_model import LocalDHT
+from repro.utils.rng import RngLike
+
+#: Snapshot format version (bumped on incompatible layout changes).
+SNAPSHOT_VERSION = 1
+
+AnyDHT = Union[GlobalDHT, LocalDHT]
+
+
+def _partition_to_dict(partition: Partition) -> List[int]:
+    return [partition.level, partition.index]
+
+
+def _vnode_to_dict(vnode: Vnode) -> Dict[str, Any]:
+    return {
+        "ref": vnode.ref.canonical_name,
+        "group": vnode.group_id.binary_string if vnode.group_id is not None else None,
+        "partitions": sorted(
+            (_partition_to_dict(p) for p in vnode.partitions), key=tuple
+        ),
+    }
+
+
+def snapshot_dht(dht: AnyDHT, include_data: bool = True) -> Dict[str, Any]:
+    """Capture the full state of a DHT as a JSON-compatible dictionary."""
+    config = {
+        "bh": dht.config.bh,
+        "pmin": dht.config.pmin,
+        "vmin": dht.config.vmin,
+    }
+    snodes = [
+        {
+            "id": snode.id.value,
+            "cluster_node": snode.cluster_node,
+            "next_vnode_index": snode._next_vnode_index,
+        }
+        for snode in dht.snodes.values()
+    ]
+    vnodes = [_vnode_to_dict(vnode) for vnode in dht.vnodes.values()]
+
+    snapshot: Dict[str, Any] = {
+        "version": SNAPSHOT_VERSION,
+        "approach": dht.approach,
+        "config": config,
+        "next_snode_id": dht._next_snode_id,
+        "removals_occurred": dht._removals_occurred,
+        "snodes": snodes,
+        "vnodes": vnodes,
+    }
+
+    if isinstance(dht, LocalDHT):
+        snapshot["groups"] = [
+            {
+                "id": group.id.binary_string,
+                "splitlevel": group.splitlevel,
+                "members": [ref.canonical_name for ref in group.vnodes],
+            }
+            for group in dht.groups.values()
+        ]
+        snapshot["group_splits"] = dht.group_splits
+    else:
+        snapshot["splitlevel"] = dht.splitlevel
+
+    if include_data:
+        items: List[Dict[str, Any]] = []
+        for ref in dht.vnodes:
+            for key, value in dht.storage.items_of(ref):
+                items.append(
+                    {
+                        "vnode": ref.canonical_name,
+                        "key": key,
+                        "index": dht.storage._store(ref).get(key).index,
+                        "value": value,
+                    }
+                )
+        snapshot["items"] = items
+    return snapshot
+
+
+def _group_id_from_string(binary: str) -> GroupId:
+    return GroupId(depth=len(binary), value=int(binary, 2))
+
+
+def restore_dht(snapshot: Dict[str, Any], rng: RngLike = None) -> AnyDHT:
+    """Rebuild a DHT from a snapshot produced by :func:`snapshot_dht`."""
+    version = snapshot.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ReproError(
+            f"unsupported snapshot version {version!r} (expected {SNAPSHOT_VERSION})"
+        )
+    config = DHTConfig(
+        bh=snapshot["config"]["bh"],
+        pmin=snapshot["config"]["pmin"],
+        vmin=snapshot["config"]["vmin"],
+    )
+    approach = snapshot.get("approach")
+    if approach == "local":
+        dht: AnyDHT = LocalDHT(config, rng=rng)
+    elif approach == "global":
+        dht = GlobalDHT(config, rng=rng)
+    else:
+        raise ReproError(f"unknown approach {approach!r} in snapshot")
+
+    # Snodes (preserving ids and name counters).
+    for entry in snapshot["snodes"]:
+        snode = dht.add_snode(cluster_node=entry["cluster_node"])
+        if snode.id.value != entry["id"]:
+            # Ids are allocated sequentially; a gap means snodes were removed
+            # before the snapshot.  Fix up the registry to match.
+            del dht.snodes[snode.id]
+            snode.id = SnodeId(entry["id"])  # type: ignore[misc]
+            dht.snodes[snode.id] = snode
+        snode._next_vnode_index = entry["next_vnode_index"]
+    dht._next_snode_id = snapshot["next_snode_id"]
+
+    # Vnodes and their partitions.
+    for entry in snapshot["vnodes"]:
+        ref = VnodeRef.parse(entry["ref"])
+        vnode = Vnode(ref)
+        for level, index in entry["partitions"]:
+            vnode.add_partition(Partition(level, index))
+        snode = dht.get_snode(ref.snode)
+        snode.attach_vnode(vnode)
+        dht.vnodes[ref] = vnode
+        dht.storage.register_vnode(ref)
+
+    if isinstance(dht, LocalDHT):
+        for entry in snapshot["groups"]:
+            group = Group(_group_id_from_string(entry["id"]), entry["splitlevel"])
+            for name in entry["members"]:
+                ref = VnodeRef.parse(name)
+                group.adopt_vnode(dht.get_vnode(ref))
+            dht.groups[group.id] = group
+        dht.group_splits = snapshot.get("group_splits", 0)
+    else:
+        dht.splitlevel = snapshot["splitlevel"]
+        for ref, vnode in dht.vnodes.items():
+            dht.gpdr.add_vnode(ref, vnode.partition_count)
+
+    dht._removals_occurred = snapshot.get("removals_occurred", False)
+    dht._bump_topology()
+
+    for item in snapshot.get("items", []):
+        ref = VnodeRef.parse(item["vnode"])
+        dht.storage.put(ref, item["key"], item["index"], item["value"])
+
+    return dht

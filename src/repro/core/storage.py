@@ -1,0 +1,213 @@
+"""Key/value storage attached to vnodes, with migration on partition moves.
+
+The paper's DHT is ultimately a distributed *data* structure: every key hashes
+to an index of ``R_h``, the index falls in exactly one partition, and the
+vnode owning that partition stores the item.  When the balancing algorithm
+hands a partition over to another vnode, the items stored under that
+partition must migrate with it.
+
+This module provides:
+
+* :class:`StoredItem` — a value together with the hash index it was stored
+  under (so migration does not need to re-hash keys);
+* :class:`VnodeStore` — the per-vnode container;
+* :class:`DHTStorage` — the DHT-wide coordinator that routes puts/gets and
+  performs migrations, keeping counters that the examples and tests use to
+  quantify data movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
+
+from repro.core.errors import StorageError, UnknownVnodeError
+from repro.core.hashspace import HashSpace, Partition
+from repro.core.ids import VnodeRef
+
+
+@dataclass
+class StoredItem:
+    """A stored value plus the hash index its key mapped to."""
+
+    index: int
+    value: Any
+
+
+class VnodeStore:
+    """The key/value items held by one vnode."""
+
+    __slots__ = ("vnode", "_items")
+
+    def __init__(self, vnode: VnodeRef):
+        self.vnode = vnode
+        self._items: Dict[Hashable, StoredItem] = {}
+
+    def put(self, key: Hashable, index: int, value: Any) -> None:
+        """Store (or overwrite) an item."""
+        self._items[key] = StoredItem(index=index, value=value)
+
+    def get(self, key: Hashable) -> StoredItem:
+        """Fetch an item; raises :class:`KeyError` if absent."""
+        return self._items[key]
+
+    def delete(self, key: Hashable) -> StoredItem:
+        """Remove and return an item; raises :class:`KeyError` if absent."""
+        return self._items.pop(key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def items(self) -> Iterator[Tuple[Hashable, StoredItem]]:
+        """Iterate over ``(key, stored_item)`` pairs."""
+        return iter(self._items.items())
+
+    def pop_items_in_range(self, start: int, end: int) -> List[Tuple[Hashable, StoredItem]]:
+        """Remove and return every item whose hash index lies in ``[start, end)``.
+
+        Used during partition migration.  The scan is linear in the number of
+        items held by the vnode, which mirrors the cost a real implementation
+        would pay unless it maintained a per-partition index.
+        """
+        moving = [(k, it) for k, it in self._items.items() if start <= it.index < end]
+        for key, _ in moving:
+            del self._items[key]
+        return moving
+
+
+@dataclass
+class MigrationStats:
+    """Counters describing the data movement caused by rebalancing."""
+
+    partitions_moved: int = 0
+    items_moved: int = 0
+    migrations: int = 0
+
+    def record(self, items: int) -> None:
+        """Account for one partition handover that moved ``items`` items."""
+        self.partitions_moved += 1
+        self.items_moved += items
+        self.migrations += 1
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.partitions_moved = 0
+        self.items_moved = 0
+        self.migrations = 0
+
+
+class DHTStorage:
+    """DHT-wide storage coordinator.
+
+    The DHT classes call :meth:`register_vnode` / :meth:`unregister_vnode` as
+    vnodes come and go, :meth:`migrate_partition` whenever the balancer moves
+    a partition, and :meth:`put` / :meth:`get` / :meth:`delete` for client
+    operations (after routing the key to the owning vnode).
+    """
+
+    def __init__(self, hash_space: HashSpace):
+        self.hash_space = hash_space
+        self._stores: Dict[VnodeRef, VnodeStore] = {}
+        self.stats = MigrationStats()
+
+    # -- vnode lifecycle -------------------------------------------------------
+
+    def register_vnode(self, ref: VnodeRef) -> None:
+        """Create an empty store for a new vnode."""
+        if ref in self._stores:
+            raise StorageError(f"storage for vnode {ref} already exists")
+        self._stores[ref] = VnodeStore(ref)
+
+    def unregister_vnode(self, ref: VnodeRef) -> VnodeStore:
+        """Drop a vnode's store (its items must have been migrated already)."""
+        store = self._store(ref)
+        if len(store) > 0:
+            raise StorageError(
+                f"cannot unregister vnode {ref}: {len(store)} items still stored"
+            )
+        return self._stores.pop(ref)
+
+    def has_vnode(self, ref: VnodeRef) -> bool:
+        """True if a store exists for the vnode."""
+        return ref in self._stores
+
+    def _store(self, ref: VnodeRef) -> VnodeStore:
+        try:
+            return self._stores[ref]
+        except KeyError:
+            raise UnknownVnodeError(f"no storage registered for vnode {ref}") from None
+
+    # -- client operations ---------------------------------------------------------
+
+    def put(self, owner: VnodeRef, key: Hashable, index: int, value: Any) -> None:
+        """Store an item under the vnode that owns hash index ``index``."""
+        if not self.hash_space.contains(index):
+            raise StorageError(f"hash index {index} outside the hash space")
+        self._store(owner).put(key, index, value)
+
+    def get(self, owner: VnodeRef, key: Hashable) -> Any:
+        """Fetch the value stored for ``key`` at vnode ``owner``."""
+        try:
+            return self._store(owner).get(key).value
+        except KeyError:
+            raise KeyError(key) from None
+
+    def delete(self, owner: VnodeRef, key: Hashable) -> Any:
+        """Delete and return the value stored for ``key`` at vnode ``owner``."""
+        try:
+            return self._store(owner).delete(key).value
+        except KeyError:
+            raise KeyError(key) from None
+
+    def contains(self, owner: VnodeRef, key: Hashable) -> bool:
+        """True if ``key`` is stored at vnode ``owner``."""
+        return key in self._store(owner)
+
+    def item_count(self, ref: Optional[VnodeRef] = None) -> int:
+        """Number of items stored at one vnode, or in the whole DHT."""
+        if ref is not None:
+            return len(self._store(ref))
+        return sum(len(s) for s in self._stores.values())
+
+    def items_of(self, ref: VnodeRef) -> List[Tuple[Hashable, Any]]:
+        """All ``(key, value)`` pairs stored at a vnode."""
+        return [(k, it.value) for k, it in self._store(ref).items()]
+
+    # -- migration --------------------------------------------------------------------
+
+    def migrate_partition(
+        self, partition: Partition, source: VnodeRef, target: VnodeRef
+    ) -> int:
+        """Move every item stored under ``partition`` from ``source`` to ``target``.
+
+        Returns the number of items moved.  Called by the DHT right after the
+        entity layer hands the partition over, so routing and storage stay
+        consistent.
+        """
+        start, end = self.hash_space.partition_range(partition)
+        moving = self._store(source).pop_items_in_range(start, end)
+        target_store = self._store(target)
+        for key, item in moving:
+            target_store.put(key, item.index, item.value)
+        self.stats.record(len(moving))
+        return len(moving)
+
+    def migrate_all(self, source: VnodeRef, target: VnodeRef) -> int:
+        """Move every item from ``source`` to ``target`` (vnode removal)."""
+        src = self._store(source)
+        dst = self._store(target)
+        moved = 0
+        for key, item in list(src.items()):
+            src.delete(key)
+            dst.put(key, item.index, item.value)
+            moved += 1
+        if moved:
+            self.stats.record(moved)
+        return moved
+
+    def total_items(self) -> int:
+        """Total number of items stored in the DHT."""
+        return self.item_count()

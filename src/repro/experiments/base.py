@@ -1,0 +1,86 @@
+"""Result containers shared by every experiment definition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Series:
+    """One labelled curve of an experiment (a line of a paper figure)."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x)
+        self.y = np.asarray(self.y)
+        if self.x.shape != self.y.shape:
+            raise ValueError(
+                f"series {self.label!r}: x and y have different shapes "
+                f"{self.x.shape} vs {self.y.shape}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def value_at(self, x: float) -> float:
+        """y value at the sample closest to ``x``."""
+        index = int(np.argmin(np.abs(self.x - x)))
+        return float(self.y[index])
+
+    def final(self) -> float:
+        """The last y value of the series."""
+        return float(self.y[-1])
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (for JSON serialization)."""
+        return {
+            "label": self.label,
+            "x": self.x.tolist(),
+            "y": self.y.tolist(),
+            "meta": dict(self.meta),
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """Everything produced by one experiment run."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    series: List[Series]
+    params: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+    x_label: str = "overall number of vnodes"
+    y_label: str = "quality of the balancement (%)"
+
+    def get(self, label: str) -> Series:
+        """The series with the given label."""
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(f"no series labelled {label!r} in experiment {self.experiment_id}")
+
+    def labels(self) -> List[str]:
+        """Labels of every series."""
+        return [s.label for s in self.series]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (for JSON serialization)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_reference": self.paper_reference,
+            "params": dict(self.params),
+            "notes": self.notes,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [s.to_dict() for s in self.series],
+        }

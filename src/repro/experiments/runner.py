@@ -1,0 +1,109 @@
+"""Run repeated simulations and average them, honouring environment overrides.
+
+The paper averages 100 runs of 1024 vnode creations per configuration.  On a
+developer laptop that is a few minutes of CPU per figure, so the harness
+defaults to a smaller number of runs and lets the environment scale it up:
+
+``REPRO_RUNS``
+    Number of runs to average (default 10; the paper used 100).
+``REPRO_VNODES``
+    Number of vnodes created per run (default 1024, as in the paper).
+``REPRO_NODES``
+    Number of physical nodes for the Consistent Hashing comparison
+    (default 1024, as in the paper).
+
+EXPERIMENTS.md records which values were used for the committed results.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from repro.core.config import DHTConfig
+from repro.sim.ch import ConsistentHashingSimulator
+from repro.sim.global_ import GlobalBalanceSimulator
+from repro.sim.local import LocalBalanceSimulator
+from repro.sim.trace import BalanceTrace, CHTrace
+from repro.utils.rng import derive_seed, spawn_rngs
+
+#: Defaults chosen so the full benchmark suite completes in a few minutes.
+DEFAULT_RUNS = 10
+DEFAULT_N_VNODES = 1024
+DEFAULT_N_NODES = 1024
+
+
+def _env_int(name: str, default: int, minimum: int = 1) -> int:
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"environment variable {name} must be an integer, got {raw!r}") from exc
+    if value < minimum:
+        raise ValueError(f"environment variable {name} must be >= {minimum}, got {value}")
+    return value
+
+
+def default_runs() -> int:
+    """Number of runs to average (``REPRO_RUNS``, default 10; paper used 100)."""
+    return _env_int("REPRO_RUNS", DEFAULT_RUNS)
+
+
+def default_n_vnodes() -> int:
+    """Vnodes created per run (``REPRO_VNODES``, default 1024 as in the paper)."""
+    return _env_int("REPRO_VNODES", DEFAULT_N_VNODES)
+
+
+def default_n_nodes() -> int:
+    """Physical nodes for the CH comparison (``REPRO_NODES``, default 1024)."""
+    return _env_int("REPRO_NODES", DEFAULT_N_NODES)
+
+
+def average_local_runs(
+    config: DHTConfig,
+    n_vnodes: int,
+    runs: int,
+    seed: int = 0,
+    record_group_metrics: bool = True,
+) -> BalanceTrace:
+    """Average ``runs`` runs of the local-approach simulator.
+
+    Every run gets an independent RNG stream derived from ``seed`` and the
+    configuration, so results are reproducible and runs are uncorrelated.
+    """
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    base = derive_seed(seed, "local", config.pmin, config.vmin or 0, n_vnodes)
+    rngs = spawn_rngs(base, runs)
+    traces: List[BalanceTrace] = []
+    for rng in rngs:
+        sim = LocalBalanceSimulator(config, rng=rng)
+        traces.append(sim.run(n_vnodes, record_group_metrics=record_group_metrics))
+    return BalanceTrace.average(traces)
+
+
+def average_global_run(config: DHTConfig, n_vnodes: int) -> BalanceTrace:
+    """Run the global-approach simulator (deterministic, so a single run)."""
+    sim = GlobalBalanceSimulator(config)
+    return sim.run(n_vnodes)
+
+
+def average_ch_runs(
+    partitions_per_node: int,
+    n_nodes: int,
+    runs: int,
+    seed: int = 0,
+    weights: Optional[Sequence[float]] = None,
+) -> CHTrace:
+    """Average ``runs`` runs of the Consistent Hashing simulator."""
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    base = derive_seed(seed, "ch", partitions_per_node, n_nodes)
+    rngs = spawn_rngs(base, runs)
+    traces = [
+        ConsistentHashingSimulator(partitions_per_node, rng=rng, weights=weights).run(n_nodes)
+        for rng in rngs
+    ]
+    return CHTrace.average(traces)

@@ -1,0 +1,47 @@
+"""Balance metrics and aggregation utilities.
+
+Every metric of the paper's evaluation lives here:
+
+* :mod:`repro.metrics.balance` — relative standard deviation of quotas
+  (``sigma-bar(Qv)``, ``sigma-bar(Qn)``, sections 2.3/3.5/4.3);
+* :mod:`repro.metrics.groups` — group-level metrics (``sigma-bar(Qg)``,
+  ``G_ideal`` vs ``G_real``, section 4.2);
+* :mod:`repro.metrics.theta` — the θ parameter-selection metric of
+  section 4.1.2 (figure 5);
+* :mod:`repro.metrics.aggregate` — multi-run averaging and summary
+  statistics used by the experiment harness.
+"""
+
+from repro.metrics.balance import (
+    relative_std,
+    relative_std_percent,
+    sigma_from_counts,
+    sigma_from_quotas,
+    quota_summary,
+)
+from repro.metrics.groups import (
+    group_count_divergence,
+    ideal_group_count,
+    ideal_group_trace,
+    sigma_qg_from_quotas,
+)
+from repro.metrics.theta import best_vmin, theta, theta_scores
+from repro.metrics.aggregate import RunStatistics, average_curves, summarize_runs
+
+__all__ = [
+    "relative_std",
+    "relative_std_percent",
+    "sigma_from_counts",
+    "sigma_from_quotas",
+    "quota_summary",
+    "ideal_group_count",
+    "ideal_group_trace",
+    "group_count_divergence",
+    "sigma_qg_from_quotas",
+    "theta",
+    "theta_scores",
+    "best_vmin",
+    "RunStatistics",
+    "average_curves",
+    "summarize_runs",
+]

@@ -1,0 +1,126 @@
+"""Balance-quality metrics (sections 2.3, 2.4, 3.5 and 4.3 of the paper).
+
+The model's goal is that every vnode be responsible for a similar share of
+the hash space.  The paper quantifies this with the *relative standard
+deviation* of the quotas: the standard deviation of the quota values from
+the ideal average, divided by that average, usually expressed in percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def relative_std(values: ArrayLike, ideal_mean: Optional[float] = None) -> float:
+    """Relative standard deviation of ``values`` (as a fraction, not percent).
+
+    Parameters
+    ----------
+    values:
+        The series (quotas or partition counts).
+    ideal_mean:
+        The reference average to deviate from.  The paper uses the *ideal*
+        average (``1/V`` for vnode quotas, ``1/G`` for group quotas); when
+        quotas sum to 1 this equals the sample mean, so omitting it gives the
+        same result for well-formed inputs.
+
+    Returns
+    -------
+    float
+        ``sqrt(mean((x - mean)^2)) / mean``; 0.0 for empty input or zero mean.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    mean = float(arr.mean()) if ideal_mean is None else float(ideal_mean)
+    if mean == 0:
+        return 0.0
+    return float(np.sqrt(np.mean((arr - mean) ** 2)) / mean)
+
+
+def relative_std_percent(values: ArrayLike, ideal_mean: Optional[float] = None) -> float:
+    """Relative standard deviation expressed in percent (as the paper plots it)."""
+    return 100.0 * relative_std(values, ideal_mean)
+
+
+def sigma_from_quotas(quotas: Union[ArrayLike, Mapping[object, float]]) -> float:
+    """``sigma-bar(Q)`` from a quota vector or a ``entity -> quota`` mapping.
+
+    The ideal mean is ``1 / n``: quotas of a complete DHT always sum to 1.
+    """
+    if isinstance(quotas, Mapping):
+        values = np.asarray(list(quotas.values()), dtype=np.float64)
+    else:
+        values = np.asarray(quotas, dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    return relative_std(values, ideal_mean=1.0 / values.size)
+
+
+def sigma_from_counts(counts: Union[ArrayLike, Mapping[object, int]]) -> float:
+    """``sigma-bar(Pv)`` from partition counts.
+
+    Valid as a quota metric only when every partition has the same size
+    (the global approach, section 2.4); the local approach must use
+    :func:`sigma_from_quotas` instead (section 3.5).
+    """
+    if isinstance(counts, Mapping):
+        values = np.asarray(list(counts.values()), dtype=np.float64)
+    else:
+        values = np.asarray(counts, dtype=np.float64)
+    return relative_std(values)
+
+
+@dataclass(frozen=True)
+class QuotaSummary:
+    """Descriptive statistics of a quota distribution."""
+
+    count: int
+    mean: float
+    std: float
+    relative_std: float
+    minimum: float
+    maximum: float
+    max_over_ideal: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (for reports)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "relative_std": self.relative_std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "max_over_ideal": self.max_over_ideal,
+        }
+
+
+def quota_summary(quotas: Union[ArrayLike, Mapping[object, float]]) -> QuotaSummary:
+    """Summarize a quota distribution (used by examples and reports).
+
+    ``max_over_ideal`` is the load of the most loaded entity relative to the
+    ideal share — a common alternative imbalance measure, included because it
+    is what operators usually care about when sizing nodes.
+    """
+    if isinstance(quotas, Mapping):
+        values = np.asarray(list(quotas.values()), dtype=np.float64)
+    else:
+        values = np.asarray(quotas, dtype=np.float64)
+    if values.size == 0:
+        return QuotaSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    ideal = 1.0 / values.size
+    return QuotaSummary(
+        count=int(values.size),
+        mean=float(values.mean()),
+        std=float(values.std()),
+        relative_std=relative_std(values, ideal_mean=ideal),
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        max_over_ideal=float(values.max() / ideal) if ideal > 0 else 0.0,
+    )

@@ -1,0 +1,72 @@
+"""Group-level metrics of the local approach (section 4.2 of the paper).
+
+Figure 7 compares the *real* number of groups against the *ideal* one (the
+number of groups should double whenever the overall number of vnodes crosses
+a power-of-two boundary); figure 8 tracks ``sigma-bar(Qg)``, the relative
+standard deviation of group quotas, whose spikes correlate with the
+divergence between the two curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Union
+
+import numpy as np
+
+# Re-exported so metric users do not need to know the function lives with the
+# core model (the model itself uses it for its own reporting).
+from repro.core.local_model import ideal_group_count
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def ideal_group_trace(n_vnodes: int, vmin: int) -> np.ndarray:
+    """``G_ideal`` after each of ``n_vnodes`` consecutive creations (fig. 7)."""
+    if n_vnodes < 1:
+        return np.empty(0, dtype=np.int64)
+    return np.asarray(
+        [ideal_group_count(v, vmin) for v in range(1, n_vnodes + 1)], dtype=np.int64
+    )
+
+
+def sigma_qg_from_quotas(group_quotas: Union[ArrayLike, Mapping[object, float]]) -> float:
+    """``sigma-bar(Qg)`` from group quotas, against the ideal average ``1/G``."""
+    if isinstance(group_quotas, Mapping):
+        values = np.asarray(list(group_quotas.values()), dtype=np.float64)
+    else:
+        values = np.asarray(group_quotas, dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    ideal = 1.0 / values.size
+    return float(np.sqrt(np.mean((values - ideal) ** 2)) / ideal)
+
+
+def group_count_divergence(
+    g_real: Union[ArrayLike, np.ndarray], g_ideal: Union[ArrayLike, np.ndarray]
+) -> Dict[str, float]:
+    """Quantify how far the real group count strays from the ideal one.
+
+    Returns the mean and maximum absolute divergence plus the fraction of
+    creation steps where the two differ — the quantities discussed when the
+    paper explains the premature/late creation of groups (section 4.2.1).
+    """
+    real = np.asarray(g_real, dtype=np.float64)
+    ideal = np.asarray(g_ideal, dtype=np.float64)
+    if real.shape != ideal.shape:
+        raise ValueError("g_real and g_ideal must have the same shape")
+    if real.size == 0:
+        return {"mean_abs": 0.0, "max_abs": 0.0, "fraction_diverging": 0.0}
+    diff = np.abs(real - ideal)
+    return {
+        "mean_abs": float(diff.mean()),
+        "max_abs": float(diff.max()),
+        "fraction_diverging": float(np.mean(diff > 0)),
+    }
+
+
+__all__ = [
+    "ideal_group_count",
+    "ideal_group_trace",
+    "sigma_qg_from_quotas",
+    "group_count_divergence",
+]

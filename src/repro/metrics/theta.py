@@ -1,0 +1,77 @@
+"""The θ parameter-selection metric of section 4.1.2 (figure 5).
+
+Choosing ``Vmin`` trades balance quality against resources: larger groups
+(bigger ``Vmin``) balance better but need larger LPDR tables, longer sorts
+and more synchronization.  The paper defines
+
+    θ = α · Vmin / max(Vmin)  +  β · σ̄(Qv) / max(σ̄(Qv)),     α + β = 1
+
+over the candidate ``Vmin`` values (both terms normalized by their maximum
+over the candidates) and picks the ``Vmin`` minimizing θ.  With α = β = 0.5
+and the candidates {8, 16, 32, 64, 128} the paper finds ``Vmin = 32``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def theta(
+    vmin_values: ArrayLike,
+    sigma_values: ArrayLike,
+    alpha: float = 0.5,
+    beta: float = 0.5,
+) -> np.ndarray:
+    """θ score for each candidate ``Vmin`` (lower is better).
+
+    Parameters
+    ----------
+    vmin_values:
+        Candidate ``Vmin`` values.
+    sigma_values:
+        The balance quality ``sigma-bar(Qv)`` measured for each candidate
+        (same order); fractions and percentages both work since the metric
+        is normalized by its maximum.
+    alpha, beta:
+        Complementary weights (must sum to 1).
+    """
+    if not np.isclose(alpha + beta, 1.0):
+        raise ValueError(f"alpha + beta must equal 1, got {alpha} + {beta}")
+    if alpha < 0 or beta < 0:
+        raise ValueError("alpha and beta must be non-negative")
+    vmins = np.asarray(vmin_values, dtype=np.float64)
+    sigmas = np.asarray(sigma_values, dtype=np.float64)
+    if vmins.shape != sigmas.shape:
+        raise ValueError("vmin_values and sigma_values must have the same shape")
+    if vmins.size == 0:
+        return np.empty(0, dtype=np.float64)
+    vmax = vmins.max()
+    smax = sigmas.max()
+    vterm = vmins / vmax if vmax > 0 else np.zeros_like(vmins)
+    sterm = sigmas / smax if smax > 0 else np.zeros_like(sigmas)
+    return alpha * vterm + beta * sterm
+
+
+def theta_scores(
+    sigma_by_vmin: Dict[int, float], alpha: float = 0.5, beta: float = 0.5
+) -> Dict[int, float]:
+    """θ score per candidate ``Vmin``, from a ``Vmin -> sigma`` mapping."""
+    vmins = sorted(sigma_by_vmin)
+    sigmas = [sigma_by_vmin[v] for v in vmins]
+    scores = theta(vmins, sigmas, alpha=alpha, beta=beta)
+    return dict(zip(vmins, scores.tolist()))
+
+
+def best_vmin(
+    sigma_by_vmin: Dict[int, float], alpha: float = 0.5, beta: float = 0.5
+) -> Tuple[int, float]:
+    """The ``Vmin`` minimizing θ and its score (ties go to the smaller ``Vmin``)."""
+    if not sigma_by_vmin:
+        raise ValueError("sigma_by_vmin must not be empty")
+    scores = theta_scores(sigma_by_vmin, alpha=alpha, beta=beta)
+    winner = min(scores, key=lambda v: (scores[v], v))
+    return winner, scores[winner]

@@ -1,0 +1,6 @@
+"""Dependency-free textual reporting: ASCII line charts and fixed-width tables."""
+
+from repro.report.ascii_chart import line_chart
+from repro.report.tables import format_table
+
+__all__ = ["line_chart", "format_table"]

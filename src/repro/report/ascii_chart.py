@@ -1,0 +1,92 @@
+"""ASCII line charts.
+
+The evaluation figures of the paper are simple line charts; this module
+renders them in plain text so the benchmark harness and the examples can show
+curve shapes directly in the terminal (no plotting dependency is available in
+the offline environment).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+SeriesSpec = Tuple[str, ArrayLike, ArrayLike]
+
+#: Markers assigned to successive series.
+MARKERS = "*o+x#@%&$~"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    """Map ``value`` in [low, high] to a cell index in [0, size-1]."""
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return int(round(fraction * (size - 1)))
+
+
+def line_chart(
+    series: Sequence[SeriesSpec],
+    width: int = 78,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    y_min: float = 0.0,
+) -> str:
+    """Render one or more (label, x, y) series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Sequence of ``(label, x_values, y_values)`` triples.
+    width, height:
+        Plot area size in characters (excluding axes and legend).
+    y_min:
+        Lower bound of the y axis (0 by default, like the paper's figures).
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if width < 10 or height < 4:
+        raise ValueError("chart area too small (need width >= 10, height >= 4)")
+
+    parsed = []
+    for label, xs, ys in series:
+        x_arr = np.asarray(xs, dtype=np.float64)
+        y_arr = np.asarray(ys, dtype=np.float64)
+        if x_arr.size == 0 or x_arr.shape != y_arr.shape:
+            raise ValueError(f"series {label!r} has empty or mismatched data")
+        parsed.append((label, x_arr, y_arr))
+
+    x_low = min(float(x.min()) for _, x, _ in parsed)
+    x_high = max(float(x.max()) for _, x, _ in parsed)
+    y_low = min(y_min, min(float(y.min()) for _, _, y in parsed))
+    y_high = max(float(y.max()) for _, _, y in parsed)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, xs, ys) in enumerate(parsed):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in zip(xs, ys):
+            col = _scale(float(x), x_low, x_high, width)
+            row = height - 1 - _scale(float(y), y_low, y_high, height)
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    label_width = 10
+    for row_index, row in enumerate(grid):
+        y_value = y_high - (y_high - y_low) * row_index / (height - 1)
+        prefix = f"{y_value:>{label_width}.2f} |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_low:<12.0f}{x_label:^{max(0, width - 24)}}{x_high:>12.0f}"
+    lines.append(" " * (label_width + 2) + x_axis)
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {label}" for i, (label, _, _) in enumerate(parsed)
+    )
+    lines.append("")
+    lines.append(f"y: {y_label}")
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

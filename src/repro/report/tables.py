@@ -1,0 +1,57 @@
+"""Fixed-width table formatting for terminal reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell, float_digits: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    float_digits: int = 3,
+    column_sep: str = "  ",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Numeric columns are right-aligned, text columns left-aligned; floats are
+    printed with ``float_digits`` decimals.
+    """
+    materialized: List[List[str]] = [[str(h) for h in headers]]
+    numeric: List[bool] = [True] * len(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        formatted: List[str] = []
+        for index, cell in enumerate(row):
+            formatted.append(_format_cell(cell, float_digits))
+            if not isinstance(cell, (int, float)) or isinstance(cell, bool):
+                numeric[index] = False
+        materialized.append(formatted)
+
+    widths = [max(len(r[i]) for r in materialized) for i in range(len(headers))]
+    lines: List[str] = []
+    for row_index, row in enumerate(materialized):
+        cells = []
+        for col, text in enumerate(row):
+            if numeric[col] and row_index > 0:
+                cells.append(text.rjust(widths[col]))
+            elif row_index == 0:
+                cells.append(text.ljust(widths[col]) if not numeric[col] else text.rjust(widths[col]))
+            else:
+                cells.append(text.ljust(widths[col]))
+        lines.append(column_sep.join(cells).rstrip())
+        if row_index == 0:
+            lines.append(column_sep.join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Fast, count-level simulators of the balancing dynamics.
+
+The paper's evaluation (section 4) creates 1024 vnodes consecutively,
+measures the balance metric after every creation and averages 100 runs per
+configuration.  Doing that with the full entity model of :mod:`repro.core`
+(which tracks every partition object, routing table and stored item) is
+possible but needlessly slow; the balance metrics depend only on the
+*partition counts per vnode* and the *splitlevel per group*.
+
+The simulators in this package therefore track exactly that reduced state.
+They implement the same algorithms (victim selection, improvement test,
+split-all cascade, group split with random membership, quota-proportional
+victim-group selection) and are cross-validated against the entity model by
+the test suite, both algebraically (identical greedy-fill outcomes on the
+same count multisets) and statistically (matching metric curves).
+"""
+
+from repro.sim.trace import BalanceTrace, CHTrace
+from repro.sim.local import CreationRecord, LocalBalanceSimulator, greedy_fill
+from repro.sim.global_ import GlobalBalanceSimulator
+from repro.sim.ch import ConsistentHashingSimulator
+
+__all__ = [
+    "BalanceTrace",
+    "CHTrace",
+    "CreationRecord",
+    "greedy_fill",
+    "LocalBalanceSimulator",
+    "GlobalBalanceSimulator",
+    "ConsistentHashingSimulator",
+]

@@ -1,0 +1,128 @@
+"""Incremental simulator of the Consistent Hashing reference model (section 4.3).
+
+In Consistent Hashing [Karger et al. 1997] every physical node places ``k``
+virtual servers at uniformly random positions of the unit ring; a virtual
+server owns the arc between its predecessor point and itself, and the node's
+quota ``Q_n`` is the total length of the arcs owned by its virtual servers.
+
+The paper compares its local approach against CH with 32 and 64 partitions
+per node (the number of partitions per vnode of its own model fluctuates
+between ``Pmin = 32`` and ``Pmax = 64``), measuring ``sigma-bar(Qn)`` after
+every node join from 1 to 1024 homogeneous nodes, averaged over 100 runs.
+
+This simulator is incremental and vectorized: all cut points are drawn up
+front; at every join the new node's points are merged into the sorted ring
+(one :func:`numpy.insert` per join) and the per-node quotas are recomputed
+with a :func:`numpy.bincount` over arc lengths, keeping a full 1024-node run
+well under a second.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.sim.trace import CHTrace
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class ConsistentHashingSimulator:
+    """Simulate node joins under Consistent Hashing and track ``sigma-bar(Qn)``.
+
+    Parameters
+    ----------
+    partitions_per_node:
+        Number of virtual servers (ring points) per physical node, ``k``.
+    rng:
+        Seed or generator for the random ring positions.
+    weights:
+        Optional per-node weights for the heterogeneous variant (CFS-style):
+        node ``i`` receives ``round(k * weights[i])`` virtual servers.  When
+        omitted, all nodes are homogeneous (weight 1).
+
+    Examples
+    --------
+    >>> from repro.sim import ConsistentHashingSimulator
+    >>> sim = ConsistentHashingSimulator(partitions_per_node=32, rng=0)
+    >>> trace = sim.run(64)
+    >>> 0.0 < float(trace.sigma_qn[-1]) < 1.0
+    True
+    """
+
+    def __init__(
+        self,
+        partitions_per_node: int = 32,
+        rng: RngLike = None,
+        weights: Optional[Sequence[float]] = None,
+    ):
+        if partitions_per_node < 1:
+            raise ValueError("partitions_per_node must be >= 1")
+        self.k = int(partitions_per_node)
+        self.rng = ensure_rng(rng)
+        self.weights = None if weights is None else np.asarray(weights, dtype=np.float64)
+        if self.weights is not None and np.any(self.weights <= 0):
+            raise ValueError("weights must be strictly positive")
+        # Ring state: sorted cut points and, aligned with them, the owning node.
+        self._points = np.empty(0, dtype=np.float64)
+        self._owners = np.empty(0, dtype=np.int64)
+        self.n_nodes = 0
+
+    # ------------------------------------------------------------------ state
+
+    def points_for_node(self, node: int) -> int:
+        """Number of virtual servers the given node contributes."""
+        if self.weights is None:
+            return self.k
+        if node >= len(self.weights):
+            raise IndexError(
+                f"node {node} has no weight (only {len(self.weights)} weights given)"
+            )
+        return max(1, int(round(self.k * float(self.weights[node]))))
+
+    def node_quotas(self) -> np.ndarray:
+        """Quota ``Q_n`` of every node currently in the ring."""
+        if self.n_nodes == 0:
+            return np.empty(0, dtype=np.float64)
+        if len(self._points) == 0:
+            return np.zeros(self.n_nodes, dtype=np.float64)
+        # Arc owned by point i spans from point i-1 to point i (the first
+        # point also owns the wrap-around arc from the last point).
+        arcs = np.diff(self._points, prepend=self._points[-1] - 1.0)
+        return np.bincount(self._owners, weights=arcs, minlength=self.n_nodes)
+
+    def sigma_qn(self) -> float:
+        """Relative standard deviation of node quotas (fraction, not %)."""
+        quotas = self.node_quotas()
+        if quotas.size == 0:
+            return 0.0
+        mean = quotas.mean()
+        if mean == 0:
+            return 0.0
+        return float(quotas.std() / mean)
+
+    # ------------------------------------------------------------------ dynamics
+
+    def add_node(self) -> int:
+        """Join one node: place its virtual servers on the ring.  Returns its id."""
+        node = self.n_nodes
+        n_points = self.points_for_node(node)
+        new_points = np.sort(self.rng.random(n_points))
+        positions = np.searchsorted(self._points, new_points)
+        self._points = np.insert(self._points, positions, new_points)
+        self._owners = np.insert(self._owners, positions, np.full(n_points, node))
+        self.n_nodes += 1
+        return node
+
+    def run(self, n_nodes: int) -> CHTrace:
+        """Join ``n_nodes`` nodes, measuring ``sigma-bar(Qn)`` after each join."""
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        sigma = np.empty(n_nodes, dtype=np.float64)
+        for i in range(n_nodes):
+            self.add_node()
+            sigma[i] = self.sigma_qn()
+        return CHTrace(
+            n_nodes=np.arange(1, n_nodes + 1, dtype=np.int64),
+            sigma_qn=sigma,
+        )

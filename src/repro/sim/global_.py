@@ -1,0 +1,121 @@
+"""Count-level simulator of the global approach (section 2).
+
+The global approach is the degenerate case of the local approach with a
+single group that never splits: every partition shares the same splitlevel,
+so the balance quality ``sigma-bar(Qv)`` equals ``sigma-bar(Pv)``
+(section 2.4) and the whole simulation reduces to evolving one vector of
+partition counts with :func:`repro.sim.local.greedy_fill`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import DHTConfig
+from repro.sim.local import CreationRecord, greedy_fill
+from repro.sim.trace import BalanceTrace
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class GlobalBalanceSimulator:
+    """Fast simulator of consecutive vnode creations under the global approach.
+
+    The global approach is fully deterministic (no random victim-group
+    selection), so a single run suffices; the ``rng`` parameter exists only
+    for interface symmetry with :class:`~repro.sim.local.LocalBalanceSimulator`.
+
+    Examples
+    --------
+    >>> from repro.core import DHTConfig
+    >>> from repro.sim import GlobalBalanceSimulator
+    >>> sim = GlobalBalanceSimulator(DHTConfig.for_global(pmin=16))
+    >>> trace = sim.run(64)
+    >>> float(trace.sigma_qv[63])   # V = 64 is a power of two: perfect balance (G5)
+    0.0
+    """
+
+    def __init__(self, config: Optional[DHTConfig] = None, rng: RngLike = None):
+        self.config = config if config is not None else DHTConfig.for_global()
+        self.rng = ensure_rng(rng)
+        self.counts: List[int] = []
+        self.level = self.config.initial_splitlevel
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def n_vnodes(self) -> int:
+        """Current number of vnodes (``V``)."""
+        return len(self.counts)
+
+    @property
+    def total_partitions(self) -> int:
+        """Current number of partitions (``P``)."""
+        return sum(self.counts)
+
+    def vnode_quotas(self) -> np.ndarray:
+        """Quota of every vnode."""
+        scale = 1.0 / (1 << self.level)
+        return np.asarray([c * scale for c in self.counts], dtype=np.float64)
+
+    def sigma_qv(self) -> float:
+        """Relative standard deviation of vnode quotas (== that of counts)."""
+        if not self.counts:
+            return 0.0
+        arr = np.asarray(self.counts, dtype=np.float64)
+        mean = arr.mean()
+        if mean == 0:
+            return 0.0
+        return float(arr.std() / mean)
+
+    def counts_snapshot(self) -> List[int]:
+        """Current partition counts — used by validation tests."""
+        return list(self.counts)
+
+    # ------------------------------------------------------------------ dynamics
+
+    def create_vnode(self) -> CreationRecord:
+        """Create one vnode following the creation algorithm of section 2.5.
+
+        Returns a :class:`~repro.sim.local.CreationRecord` (the whole DHT acts
+        as a single group that never splits).
+        """
+        if not self.counts:
+            self.counts = [self.config.pmin]
+            self.level = self.config.initial_splitlevel
+            return CreationRecord(
+                vnode=0, group_members=[], group_size=1, n_transfers=0,
+                split_all=False, group_split=False,
+            )
+        new_id = len(self.counts)
+        previous_members = list(range(new_id))
+        new_counts, new_count, level_increase = greedy_fill(self.counts, self.config.pmin)
+        self.counts = new_counts + [new_count]
+        self.level += level_increase
+        return CreationRecord(
+            vnode=new_id,
+            group_members=previous_members,
+            group_size=len(self.counts),
+            n_transfers=new_count,
+            split_all=level_increase > 0,
+            group_split=False,
+        )
+
+    def run(self, n_vnodes: int) -> BalanceTrace:
+        """Create ``n_vnodes`` vnodes, measuring ``sigma-bar(Qv)`` after each."""
+        if n_vnodes < 1:
+            raise ValueError("n_vnodes must be >= 1")
+        sigma_qv = np.empty(n_vnodes, dtype=np.float64)
+        for i in range(n_vnodes):
+            self.create_vnode()
+            sigma_qv[i] = self.sigma_qv()
+        ones = np.ones(n_vnodes, dtype=np.int64)
+        return BalanceTrace(
+            n_vnodes=np.arange(1, n_vnodes + 1, dtype=np.int64),
+            sigma_qv=sigma_qv,
+            n_groups=ones,
+            g_ideal=ones,
+            sigma_qg=np.zeros(n_vnodes, dtype=np.float64),
+        )

@@ -1,0 +1,384 @@
+"""Count-level simulator of the local (grouped) approach.
+
+The simulator keeps, per group, the partition count of each member vnode and
+the group's common splitlevel — nothing else.  This is sufficient to
+reproduce every metric of the paper's evaluation:
+
+* the quota of a vnode with ``c`` partitions in a group at splitlevel ``l``
+  is exactly ``c / 2**l``;
+* the quota of a group is ``P_g / 2**l``;
+* the victim group of a new vnode is chosen with probability equal to its
+  quota (section 3.6 selects it by looking up a uniformly random hash
+  index);
+* a full group splits into two random halves (section 3.7), each inheriting
+  half of its quota (exact because a full group is perfectly balanced).
+
+The per-creation balancing uses the same greedy algorithm as
+:func:`repro.core.balancer.plan_vnode_creation` but processes whole "count
+buckets" at a time, so a creation costs ``O(distinct count values)`` instead
+of ``O(partitions transferred)`` — the test suite checks the two produce
+identical count multisets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import DHTConfig
+from repro.core.errors import ConfigError
+from repro.core.local_model import ideal_group_count
+from repro.sim.trace import BalanceTrace
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class _SimGroup:
+    """Reduced state of one group: member partition counts and splitlevel.
+
+    ``members`` holds the global creation index of each member vnode, aligned
+    with ``counts``; the cluster-protocol simulator uses it to know which
+    snodes host vnodes of a group.
+    """
+
+    __slots__ = ("level", "counts", "members", "gid")
+
+    def __init__(
+        self,
+        level: int,
+        counts: List[int],
+        members: Optional[List[int]] = None,
+        gid: int = 0,
+    ):
+        self.level = level
+        self.counts = counts
+        self.members = members if members is not None else list(range(len(counts)))
+        self.gid = gid
+
+    @property
+    def n_vnodes(self) -> int:
+        return len(self.counts)
+
+    @property
+    def total_partitions(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def quota(self) -> float:
+        """Fraction of the hash space held by the group (``P_g / 2**l_g``)."""
+        return self.total_partitions / (1 << self.level)
+
+    def quota_sumsq(self) -> float:
+        """Sum over member vnodes of the squared quota (for sigma updates)."""
+        scale = 1.0 / (1 << self.level)
+        return sum((c * scale) ** 2 for c in self.counts)
+
+
+def greedy_fill(counts: Sequence[int], pmin: int) -> Tuple[List[int], int, int]:
+    """Add a new vnode to a group with the given counts (bucket-level greedy).
+
+    Implements the creation algorithm of section 2.5 on a count multiset:
+    repeatedly hand one partition from the most loaded vnode to the new one
+    while that lowers ``sigma(Pv)`` (i.e. while ``max - new >= 2``), binary
+    splitting every partition of the group first whenever the victim already
+    sits at ``Pmin``.
+
+    Parameters
+    ----------
+    counts:
+        Partition counts of the group's existing vnodes (all ``>= pmin``).
+    pmin:
+        Minimum partitions per vnode.
+
+    Returns
+    -------
+    (new_counts, new_vnode_count, level_increase)
+        ``new_counts`` are the updated counts of the *existing* vnodes (same
+        order as the input, scaled by the split cascade if one occurred),
+        ``new_vnode_count`` is the count assigned to the new vnode and
+        ``level_increase`` is how many split-all cascades fired (0 or 1 in
+        any reachable state).
+    """
+    if pmin < 2:
+        raise ConfigError(f"pmin must be >= 2, got {pmin}")
+    if not counts:
+        return [], pmin, 0
+
+    working = list(counts)
+    level_increase = 0
+
+    # Bucket-level greedy: values -> number of vnodes at that value.
+    hist: Dict[int, int] = {}
+    for c in working:
+        hist[c] = hist.get(c, 0) + 1
+
+    new = 0
+    while hist:
+        m = max(hist)
+        if m - new < 2:
+            break
+        if m <= pmin:
+            # Split-all cascade: the victim already sits at (or, in degenerate
+            # hand-built states, below) Pmin, so handing a partition over
+            # would violate G4'.  Every partition of the group binary-splits:
+            # all counts double, including the new vnode's (section 2.5).
+            hist = {value * 2: count for value, count in hist.items()}
+            new *= 2
+            level_increase += 1
+            continue
+        k = hist[m]
+        allowed = m - 1 - new  # how many single transfers keep the condition true
+        take = min(k, allowed)
+        if take <= 0:
+            break
+        hist[m] -= take
+        if hist[m] == 0:
+            del hist[m]
+        hist[m - 1] = hist.get(m - 1, 0) + take
+        new += take
+        if take < k:
+            break
+
+    # Rebuild per-vnode counts.  The greedy only ever removes partitions from
+    # the currently largest counts, so the final multiset is obtained by
+    # clipping the sorted counts; assign the clipped values back largest-first
+    # so the mapping is deterministic.
+    final_multiset: List[int] = []
+    for value, count in hist.items():
+        final_multiset.extend([value] * count)
+    final_multiset.sort(reverse=True)
+    order = sorted(range(len(working)), key=lambda i: (-working[i], i))
+    new_counts = list(working)
+    for rank, idx in enumerate(order):
+        new_counts[idx] = final_multiset[rank]
+    return new_counts, new, level_increase
+
+
+@dataclass
+class CreationRecord:
+    """What happened during one vnode creation (consumed by the protocol simulator).
+
+    Attributes
+    ----------
+    vnode:
+        Global creation index of the new vnode (0-based).
+    group_members:
+        Creation indices of the vnodes of the group that received the new
+        vnode, *excluding* the new vnode itself.
+    group_size:
+        Number of vnodes in the receiving group after the creation.
+    n_transfers:
+        Partitions handed over to the new vnode.
+    split_all:
+        Whether a split-all cascade fired (every partition of the group split).
+    group_split:
+        Whether the victim group was full and had to split first.
+    """
+
+    vnode: int
+    group_members: List[int]
+    group_size: int
+    n_transfers: int
+    split_all: bool
+    group_split: bool
+    #: Persistent identifier of the group that received the vnode (simulator
+    #: scoped; the two halves of a split get fresh identifiers).
+    group_id: int = 0
+
+
+class LocalBalanceSimulator:
+    """Fast simulator of consecutive vnode creations under the local approach.
+
+    Parameters
+    ----------
+    config:
+        A grouped :class:`~repro.core.config.DHTConfig` (``vmin`` not None).
+        ``bh`` is irrelevant at this level (only quota fractions matter).
+    rng:
+        Seed or generator driving the random victim-group selection and the
+        random half selection after a group split.
+
+    Examples
+    --------
+    >>> from repro.core import DHTConfig
+    >>> from repro.sim import LocalBalanceSimulator
+    >>> sim = LocalBalanceSimulator(DHTConfig.for_local(pmin=8, vmin=8), rng=3)
+    >>> trace = sim.run(256)
+    >>> trace.sigma_qv[7]        # V = 8 <= Vmax: still one group, perfectly balanced
+    0.0
+    >>> sim.n_groups >= 2
+    True
+    """
+
+    def __init__(self, config: Optional[DHTConfig] = None, rng: RngLike = None):
+        config = config if config is not None else DHTConfig.paper_default()
+        if config.vmin is None:
+            raise ConfigError("LocalBalanceSimulator requires a grouped configuration")
+        self.config = config
+        self.rng = ensure_rng(rng)
+        self.groups: List[_SimGroup] = []
+        self.n_vnodes = 0
+        self.group_splits = 0
+        self._next_gid = 0
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def n_groups(self) -> int:
+        """Current number of groups (``G_real``)."""
+        return len(self.groups)
+
+    def vnode_quotas(self) -> np.ndarray:
+        """Quota of every vnode, concatenated across groups."""
+        quotas: List[float] = []
+        for group in self.groups:
+            scale = 1.0 / (1 << group.level)
+            quotas.extend(c * scale for c in group.counts)
+        return np.asarray(quotas, dtype=np.float64)
+
+    def group_quotas(self) -> np.ndarray:
+        """Quota of every group."""
+        return np.asarray([g.quota for g in self.groups], dtype=np.float64)
+
+    def sigma_qv(self) -> float:
+        """Relative standard deviation of vnode quotas (fraction, not %)."""
+        if self.n_vnodes == 0:
+            return 0.0
+        sum_q2 = sum(g.quota_sumsq() for g in self.groups)
+        # Vnode quotas always sum to exactly 1, so the mean is 1/V and
+        # sigma/mean reduces to sqrt(V * sum(q^2) - 1).
+        value = self.n_vnodes * sum_q2 - 1.0
+        return math.sqrt(max(value, 0.0))
+
+    def sigma_qg(self) -> float:
+        """Relative standard deviation of group quotas (fraction, not %)."""
+        if not self.groups:
+            return 0.0
+        sum_q2 = sum(g.quota**2 for g in self.groups)
+        value = len(self.groups) * sum_q2 - 1.0
+        return math.sqrt(max(value, 0.0))
+
+    def ideal_group_count(self) -> int:
+        """``G_ideal`` for the current number of vnodes."""
+        return ideal_group_count(self.n_vnodes, self.config.vmin)
+
+    def counts_snapshot(self) -> List[Tuple[int, List[int]]]:
+        """``(splitlevel, counts)`` of every group — used by validation tests."""
+        return [(g.level, list(g.counts)) for g in self.groups]
+
+    # ------------------------------------------------------------------ dynamics
+
+    def create_vnode(self) -> CreationRecord:
+        """Create one vnode following the local algorithm (section 3.6/3.7).
+
+        Returns a :class:`CreationRecord` describing what the creation did,
+        which the cluster-protocol simulator uses to derive message counts
+        and lock scopes.
+        """
+        cfg = self.config
+        if not self.groups:
+            self.groups.append(
+                _SimGroup(cfg.initial_splitlevel, [cfg.pmin], members=[0], gid=self._new_gid())
+            )
+            self.n_vnodes = 1
+            return CreationRecord(
+                vnode=0,
+                group_members=[],
+                group_size=1,
+                n_transfers=0,
+                split_all=False,
+                group_split=False,
+                group_id=self.groups[0].gid,
+            )
+
+        new_id = self.n_vnodes
+        target = self._select_victim_group()
+
+        group_split = False
+        if target.n_vnodes >= cfg.vmax:
+            target = self._split_group(target)
+            group_split = True
+
+        previous_members = list(target.members)
+        new_counts, new_count, level_increase = greedy_fill(target.counts, cfg.pmin)
+        target.counts = new_counts + [new_count]
+        target.members.append(new_id)
+        target.level += level_increase
+        self.n_vnodes += 1
+        return CreationRecord(
+            vnode=new_id,
+            group_members=previous_members,
+            group_size=target.n_vnodes,
+            n_transfers=new_count,
+            split_all=level_increase > 0,
+            group_split=group_split,
+            group_id=target.gid,
+        )
+
+    def _new_gid(self) -> int:
+        gid = self._next_gid
+        self._next_gid += 1
+        return gid
+
+    def _select_victim_group(self) -> _SimGroup:
+        """Pick the victim group with probability equal to its quota.
+
+        Equivalent to the paper's procedure of looking up a uniformly random
+        hash index: the probability that the index falls inside a group's
+        partitions is exactly the group's quota.
+        """
+        r = float(self.rng.random())
+        cumulative = 0.0
+        for group in self.groups:
+            cumulative += group.quota
+            if r < cumulative:
+                return group
+        return self.groups[-1]  # guard against floating-point round-off
+
+    def _split_group(self, group: _SimGroup) -> _SimGroup:
+        """Split a full group into two halves and return the half that will grow.
+
+        A full group is perfectly balanced (every vnode at ``Pmin``), so the
+        random membership selection of section 3.7 does not influence the
+        count multisets: each half simply gets ``Vmin`` vnodes at ``Pmin``.
+        The random draws are still consumed so runs remain comparable with
+        the entity model's behaviour.
+        """
+        vmin = self.config.vmin
+        permutation = [int(i) for i in self.rng.permutation(group.n_vnodes)]
+        counts = [group.counts[i] for i in permutation]
+        members = [group.members[i] for i in permutation]
+        half_a = _SimGroup(group.level, counts[:vmin], members=members[:vmin], gid=self._new_gid())
+        half_b = _SimGroup(group.level, counts[vmin:], members=members[vmin:], gid=self._new_gid())
+        index = self.groups.index(group)
+        self.groups[index] = half_a
+        self.groups.append(half_b)
+        self.group_splits += 1
+        return half_a if int(self.rng.integers(0, 2)) == 0 else half_b
+
+    # ------------------------------------------------------------------ running
+
+    def run(self, n_vnodes: int, record_group_metrics: bool = True) -> BalanceTrace:
+        """Create ``n_vnodes`` vnodes, measuring the metrics after each creation."""
+        if n_vnodes < 1:
+            raise ValueError("n_vnodes must be >= 1")
+        sigma_qv = np.empty(n_vnodes, dtype=np.float64)
+        n_groups = np.empty(n_vnodes, dtype=np.int64)
+        g_ideal = np.empty(n_vnodes, dtype=np.int64)
+        sigma_qg = np.zeros(n_vnodes, dtype=np.float64)
+        for i in range(n_vnodes):
+            self.create_vnode()
+            sigma_qv[i] = self.sigma_qv()
+            n_groups[i] = self.n_groups
+            g_ideal[i] = self.ideal_group_count()
+            if record_group_metrics:
+                sigma_qg[i] = self.sigma_qg()
+        return BalanceTrace(
+            n_vnodes=np.arange(1, n_vnodes + 1, dtype=np.int64),
+            sigma_qv=sigma_qv,
+            n_groups=n_groups,
+            g_ideal=g_ideal,
+            sigma_qg=sigma_qg,
+        )

@@ -1,0 +1,126 @@
+"""Trace containers produced by the fast simulators.
+
+A *trace* records the value of one or more metrics after every vnode (or
+physical node) creation, exactly like the x-axes of figures 4 and 6-9 of
+the paper.  Traces are plain numpy arrays wrapped in a small dataclass so
+they can be averaged across runs, sliced and serialized without any custom
+logic in the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class BalanceTrace:
+    """Per-creation metrics of one balance-simulation run.
+
+    All arrays share the same length ``N`` (number of vnodes created); entry
+    ``i`` is the value measured right after the creation of vnode ``i + 1``.
+    """
+
+    #: Number of vnodes after each creation: ``1, 2, ..., N``.
+    n_vnodes: np.ndarray
+    #: Relative standard deviation of vnode quotas, as a fraction (fig. 4/6).
+    sigma_qv: np.ndarray
+    #: Number of groups after each creation (``G_real`` of fig. 7).
+    n_groups: np.ndarray
+    #: Ideal number of groups (``G_ideal`` of fig. 7).
+    g_ideal: np.ndarray
+    #: Relative standard deviation of group quotas, as a fraction (fig. 8).
+    sigma_qg: np.ndarray
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.n_vnodes),
+            len(self.sigma_qv),
+            len(self.n_groups),
+            len(self.g_ideal),
+            len(self.sigma_qg),
+        }
+        if len(lengths) != 1:
+            raise ValueError(f"trace arrays have inconsistent lengths: {lengths}")
+
+    def __len__(self) -> int:
+        return len(self.n_vnodes)
+
+    @property
+    def final_sigma_qv(self) -> float:
+        """The balance quality after the last creation."""
+        return float(self.sigma_qv[-1])
+
+    def sigma_qv_percent(self) -> np.ndarray:
+        """``sigma_qv`` expressed in percent, as plotted by the paper."""
+        return self.sigma_qv * 100.0
+
+    def sigma_qg_percent(self) -> np.ndarray:
+        """``sigma_qg`` expressed in percent, as plotted by the paper."""
+        return self.sigma_qg * 100.0
+
+    @staticmethod
+    def average(traces: Sequence["BalanceTrace"]) -> "BalanceTrace":
+        """Element-wise average of several runs (the paper averages 100 runs)."""
+        if not traces:
+            raise ValueError("cannot average an empty list of traces")
+        length = len(traces[0])
+        if any(len(t) != length for t in traces):
+            raise ValueError("all traces must have the same length to be averaged")
+        return BalanceTrace(
+            n_vnodes=traces[0].n_vnodes.copy(),
+            sigma_qv=np.mean([t.sigma_qv for t in traces], axis=0),
+            n_groups=np.mean([t.n_groups for t in traces], axis=0),
+            g_ideal=traces[0].g_ideal.astype(np.float64).copy(),
+            sigma_qg=np.mean([t.sigma_qg for t in traces], axis=0),
+        )
+
+    def to_dict(self) -> Dict[str, List[float]]:
+        """Plain-Python representation (for JSON serialization in reports)."""
+        return {
+            "n_vnodes": self.n_vnodes.tolist(),
+            "sigma_qv": self.sigma_qv.tolist(),
+            "n_groups": self.n_groups.tolist(),
+            "g_ideal": self.g_ideal.tolist(),
+            "sigma_qg": self.sigma_qg.tolist(),
+        }
+
+
+@dataclass
+class CHTrace:
+    """Per-join metrics of one Consistent Hashing simulation run (fig. 9)."""
+
+    #: Number of physical nodes after each join: ``1, 2, ..., N``.
+    n_nodes: np.ndarray
+    #: Relative standard deviation of per-node quotas, as a fraction.
+    sigma_qn: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.n_nodes) != len(self.sigma_qn):
+            raise ValueError("trace arrays have inconsistent lengths")
+
+    def __len__(self) -> int:
+        return len(self.n_nodes)
+
+    def sigma_qn_percent(self) -> np.ndarray:
+        """``sigma_qn`` expressed in percent, as plotted by the paper."""
+        return self.sigma_qn * 100.0
+
+    @staticmethod
+    def average(traces: Sequence["CHTrace"]) -> "CHTrace":
+        """Element-wise average of several runs."""
+        if not traces:
+            raise ValueError("cannot average an empty list of traces")
+        length = len(traces[0])
+        if any(len(t) != length for t in traces):
+            raise ValueError("all traces must have the same length to be averaged")
+        return CHTrace(
+            n_nodes=traces[0].n_nodes.copy(),
+            sigma_qn=np.mean([t.sigma_qn for t in traces], axis=0),
+        )
+
+    def to_dict(self) -> Dict[str, List[float]]:
+        """Plain-Python representation (for JSON serialization in reports)."""
+        return {"n_nodes": self.n_nodes.tolist(), "sigma_qn": self.sigma_qn.tolist()}

@@ -1,0 +1,30 @@
+"""Small shared utilities (RNG handling, validation helpers).
+
+These helpers are deliberately dependency-light so that every other
+subpackage (core model, fast simulators, cluster substrate, experiment
+harness) can rely on them without import cycles.
+"""
+
+from repro.utils.rng import ensure_rng, spawn_rngs, derive_seed
+from repro.utils.validation import (
+    require,
+    is_power_of_two,
+    check_power_of_two,
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "derive_seed",
+    "require",
+    "is_power_of_two",
+    "check_power_of_two",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability",
+]

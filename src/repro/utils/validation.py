@@ -1,0 +1,55 @@
+"""Validation helpers shared by configuration objects and entities."""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+
+def require(condition: bool, message: str, exc: Type[Exception] = ValueError) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise exc(message)
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True if ``n`` is a positive power of two (1, 2, 4, 8, ...)."""
+    return isinstance(n, int) and n > 0 and (n & (n - 1)) == 0
+
+
+def check_power_of_two(n: Any, name: str) -> int:
+    """Validate that ``n`` is a positive power of two and return it as int."""
+    if isinstance(n, bool) or not isinstance(n, int):
+        raise TypeError(f"{name} must be an int, got {type(n).__name__}")
+    if not is_power_of_two(n):
+        raise ValueError(f"{name} must be a positive power of two, got {n}")
+    return n
+
+
+def check_positive(n: Any, name: str) -> int:
+    """Validate that ``n`` is a positive integer and return it."""
+    if isinstance(n, bool) or not isinstance(n, int):
+        raise TypeError(f"{name} must be an int, got {type(n).__name__}")
+    if n <= 0:
+        raise ValueError(f"{name} must be positive, got {n}")
+    return n
+
+
+def check_non_negative(n: Any, name: str) -> int:
+    """Validate that ``n`` is a non-negative integer and return it."""
+    if isinstance(n, bool) or not isinstance(n, int):
+        raise TypeError(f"{name} must be an int, got {type(n).__name__}")
+    if n < 0:
+        raise ValueError(f"{name} must be non-negative, got {n}")
+    return n
+
+
+def check_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Validate ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed unit interval."""
+    return check_in_range(float(value), 0.0, 1.0, name)

@@ -1,0 +1,38 @@
+"""Workload generators: arrival schedules, key workloads and node profiles.
+
+The paper's evaluation only needs the simplest workload (1024 consecutive
+vnode creations on homogeneous nodes with uniform keys), but a usable
+library also needs the workloads the introduction motivates: heterogeneous
+cluster nodes (different hardware generations, specialized nodes), dynamic
+enrollment changes and skewed key popularity.  All of those live here and
+are exercised by the examples and the ablation benchmarks.
+"""
+
+from repro.workloads.arrivals import (
+    ArrivalEvent,
+    ChurnSchedule,
+    ConsecutiveCreations,
+    PoissonArrivals,
+    StaggeredBatches,
+)
+from repro.workloads.keys import KeyWorkload, sequential_keys, uniform_keys, zipf_keys
+from repro.workloads.heterogeneity import (
+    CapacityProfile,
+    NodeSpec,
+    enrollment_from_capacity,
+)
+
+__all__ = [
+    "ArrivalEvent",
+    "ConsecutiveCreations",
+    "StaggeredBatches",
+    "PoissonArrivals",
+    "ChurnSchedule",
+    "KeyWorkload",
+    "uniform_keys",
+    "zipf_keys",
+    "sequential_keys",
+    "NodeSpec",
+    "CapacityProfile",
+    "enrollment_from_capacity",
+]

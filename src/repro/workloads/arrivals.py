@@ -1,0 +1,206 @@
+"""Arrival schedules: when vnodes are created (or removed) and by which snode.
+
+A schedule produces a sequence of :class:`ArrivalEvent` items, each with a
+logical timestamp.  The balance simulators only care about the order; the
+cluster protocol simulator (:mod:`repro.cluster`) also uses the timestamps
+to model concurrency (the whole point of the local approach is that
+creations in different groups can overlap in time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+EventKind = Literal["create", "remove"]
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One workload event: a vnode creation or removal request.
+
+    Attributes
+    ----------
+    time:
+        Logical arrival time (seconds; only relative values matter).
+    snode:
+        Index of the snode issuing the request (round-robin by default).
+    kind:
+        ``"create"`` or ``"remove"``.
+    """
+
+    time: float
+    snode: int
+    kind: EventKind = "create"
+
+
+class ConsecutiveCreations:
+    """The paper's workload: ``n`` creations issued back to back (section 4).
+
+    All events share time 0 spacing (``interval`` seconds apart) and are
+    assigned to snodes round-robin.
+    """
+
+    def __init__(self, n: int, n_snodes: int = 1, interval: float = 0.0):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if n_snodes < 1:
+            raise ValueError("n_snodes must be >= 1")
+        if interval < 0:
+            raise ValueError("interval must be non-negative")
+        self.n = n
+        self.n_snodes = n_snodes
+        self.interval = interval
+
+    def events(self) -> List[ArrivalEvent]:
+        """Materialize the schedule."""
+        return [
+            ArrivalEvent(time=i * self.interval, snode=i % self.n_snodes, kind="create")
+            for i in range(self.n)
+        ]
+
+    def __iter__(self) -> Iterator[ArrivalEvent]:
+        return iter(self.events())
+
+    def __len__(self) -> int:
+        return self.n
+
+
+class StaggeredBatches:
+    """Creations arriving in bursts: ``batch_size`` requests every ``gap`` seconds.
+
+    Models a cluster expansion where several nodes enroll simultaneously —
+    the scenario where the serialization of the global approach hurts most.
+    """
+
+    def __init__(self, n_batches: int, batch_size: int, gap: float, n_snodes: int = 1):
+        if n_batches < 1 or batch_size < 1:
+            raise ValueError("n_batches and batch_size must be >= 1")
+        if gap < 0:
+            raise ValueError("gap must be non-negative")
+        if n_snodes < 1:
+            raise ValueError("n_snodes must be >= 1")
+        self.n_batches = n_batches
+        self.batch_size = batch_size
+        self.gap = gap
+        self.n_snodes = n_snodes
+
+    def events(self) -> List[ArrivalEvent]:
+        """Materialize the schedule."""
+        out: List[ArrivalEvent] = []
+        counter = 0
+        for batch in range(self.n_batches):
+            for _ in range(self.batch_size):
+                out.append(
+                    ArrivalEvent(
+                        time=batch * self.gap,
+                        snode=counter % self.n_snodes,
+                        kind="create",
+                    )
+                )
+                counter += 1
+        return out
+
+    def __iter__(self) -> Iterator[ArrivalEvent]:
+        return iter(self.events())
+
+    def __len__(self) -> int:
+        return self.n_batches * self.batch_size
+
+
+class PoissonArrivals:
+    """Creations arriving as a Poisson process of the given rate (events/second)."""
+
+    def __init__(self, n: int, rate: float, n_snodes: int = 1, rng: RngLike = None):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if rate <= 0:
+            raise ValueError("rate must be strictly positive")
+        if n_snodes < 1:
+            raise ValueError("n_snodes must be >= 1")
+        self.n = n
+        self.rate = rate
+        self.n_snodes = n_snodes
+        self.rng = ensure_rng(rng)
+
+    def events(self) -> List[ArrivalEvent]:
+        """Materialize the schedule (one draw per call, seeded by the rng)."""
+        gaps = self.rng.exponential(1.0 / self.rate, size=self.n)
+        times = np.cumsum(gaps)
+        snodes = self.rng.integers(0, self.n_snodes, size=self.n)
+        return [
+            ArrivalEvent(time=float(t), snode=int(s), kind="create")
+            for t, s in zip(times, snodes)
+        ]
+
+    def __iter__(self) -> Iterator[ArrivalEvent]:
+        return iter(self.events())
+
+    def __len__(self) -> int:
+        return self.n
+
+
+class ChurnSchedule:
+    """A mix of creations and removals (dynamic enrollment, section 2.1.2).
+
+    Starts with ``initial`` creations, then alternates batches of creations
+    and removals so the DHT keeps a roughly constant size while entities come
+    and go — the scenario the model's dynamic balancing exists for.
+    """
+
+    def __init__(
+        self,
+        initial: int,
+        churn_events: int,
+        remove_fraction: float = 0.5,
+        n_snodes: int = 1,
+        rng: RngLike = None,
+    ):
+        if initial < 1:
+            raise ValueError("initial must be >= 1")
+        if churn_events < 0:
+            raise ValueError("churn_events must be non-negative")
+        if not (0.0 <= remove_fraction <= 1.0):
+            raise ValueError("remove_fraction must be in [0, 1]")
+        if n_snodes < 1:
+            raise ValueError("n_snodes must be >= 1")
+        self.initial = initial
+        self.churn_events = churn_events
+        self.remove_fraction = remove_fraction
+        self.n_snodes = n_snodes
+        self.rng = ensure_rng(rng)
+
+    def events(self) -> List[ArrivalEvent]:
+        """Materialize the schedule.
+
+        Removals are never scheduled while the running balance of
+        creations-minus-removals would drop below 2 vnodes, so the schedule
+        is always applicable.
+        """
+        out: List[ArrivalEvent] = []
+        alive = 0
+        for i in range(self.initial):
+            out.append(ArrivalEvent(time=float(i), snode=i % self.n_snodes, kind="create"))
+            alive += 1
+        time = float(self.initial)
+        for _ in range(self.churn_events):
+            remove = self.rng.random() < self.remove_fraction and alive > 2
+            kind: EventKind = "remove" if remove else "create"
+            out.append(
+                ArrivalEvent(
+                    time=time, snode=int(self.rng.integers(0, self.n_snodes)), kind=kind
+                )
+            )
+            alive += -1 if remove else 1
+            time += 1.0
+        return out
+
+    def __iter__(self) -> Iterator[ArrivalEvent]:
+        return iter(self.events())
+
+    def __len__(self) -> int:
+        return self.initial + self.churn_events

@@ -1,0 +1,102 @@
+"""Key workload generators.
+
+The paper assumes uniform data distributions and no hot spots (section 5);
+besides that uniform workload we also provide Zipf-skewed and sequential key
+generators, used by the examples and by the heterogeneity/storage ablations
+to show how the DHT behaves outside the paper's assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def uniform_keys(n: int, rng: RngLike = None, prefix: str = "key") -> List[str]:
+    """``n`` distinct keys whose hashes are effectively uniform over the ring."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    gen = ensure_rng(rng)
+    # Distinct random suffixes; the hash function provides the uniformity.
+    suffixes = gen.integers(0, 2**62, size=n)
+    return [f"{prefix}:{i}:{int(s)}" for i, s in enumerate(suffixes)]
+
+
+def sequential_keys(n: int, prefix: str = "item") -> List[str]:
+    """``n`` sequential keys (``item:0``, ``item:1``, ...).
+
+    Sequential names still hash uniformly, but they are reproducible without
+    an RNG, which some tests and examples prefer.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return [f"{prefix}:{i}" for i in range(n)]
+
+
+def zipf_keys(
+    n: int, n_distinct: int, exponent: float = 1.2, rng: RngLike = None, prefix: str = "obj"
+) -> List[str]:
+    """``n`` key *accesses* over ``n_distinct`` objects with Zipf popularity.
+
+    Returns a list of length ``n`` where popular keys repeat — an access
+    trace rather than a key set.  Used by the storage example to demonstrate
+    hot-spot behaviour (which the paper explicitly leaves to future work).
+    """
+    if n < 0 or n_distinct < 1:
+        raise ValueError("n must be non-negative and n_distinct >= 1")
+    if exponent <= 0:
+        raise ValueError("exponent must be strictly positive")
+    gen = ensure_rng(rng)
+    ranks = np.arange(1, n_distinct + 1, dtype=np.float64)
+    probabilities = ranks**-exponent
+    probabilities /= probabilities.sum()
+    draws = gen.choice(n_distinct, size=n, p=probabilities)
+    return [f"{prefix}:{int(d)}" for d in draws]
+
+
+@dataclass
+class KeyWorkload:
+    """A reusable key workload: a set of keys plus deterministic values.
+
+    Examples
+    --------
+    >>> wl = KeyWorkload.uniform(100, rng=5)
+    >>> len(wl.keys)
+    100
+    >>> wl.value_for(wl.keys[0]).startswith("value-of:")
+    True
+    """
+
+    keys: List[str]
+
+    @classmethod
+    def uniform(cls, n: int, rng: RngLike = None) -> "KeyWorkload":
+        """Uniformly hashed keys (the paper's assumption)."""
+        return cls(uniform_keys(n, rng))
+
+    @classmethod
+    def sequential(cls, n: int) -> "KeyWorkload":
+        """Sequential keys (fully deterministic)."""
+        return cls(sequential_keys(n))
+
+    @classmethod
+    def zipf(cls, n: int, n_distinct: int, exponent: float = 1.2, rng: RngLike = None) -> "KeyWorkload":
+        """Zipf-skewed access trace."""
+        return cls(zipf_keys(n, n_distinct, exponent, rng))
+
+    @staticmethod
+    def value_for(key: str) -> str:
+        """Deterministic value derived from the key (easy to verify after migration)."""
+        return f"value-of:{key}"
+
+    def items(self) -> Iterator[tuple]:
+        """Iterate over ``(key, value)`` pairs."""
+        for key in self.keys:
+            yield key, self.value_for(key)
+
+    def __len__(self) -> int:
+        return len(self.keys)

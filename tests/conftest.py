@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite (small, fast configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DHTConfig, GlobalDHT, LocalDHT
+
+
+@pytest.fixture
+def small_global_config() -> DHTConfig:
+    """A tiny ungrouped configuration (fast tests)."""
+    return DHTConfig.for_global(pmin=4)
+
+
+@pytest.fixture
+def small_local_config() -> DHTConfig:
+    """A tiny grouped configuration (fast tests)."""
+    return DHTConfig.for_local(pmin=4, vmin=4)
+
+
+@pytest.fixture
+def global_dht(small_global_config) -> GlobalDHT:
+    """An empty global-approach DHT with one snode."""
+    dht = GlobalDHT(small_global_config, rng=0)
+    dht.add_snode()
+    return dht
+
+
+@pytest.fixture
+def local_dht(small_local_config) -> LocalDHT:
+    """An empty local-approach DHT with one snode."""
+    dht = LocalDHT(small_local_config, rng=0)
+    dht.add_snode()
+    return dht
+
+
+def grow(dht, n: int, snode=None):
+    """Create ``n`` vnodes on the DHT (helper used across test modules)."""
+    snode = snode if snode is not None else next(iter(dht.snodes.values()))
+    return [dht.create_vnode(snode) for _ in range(n)]

@@ -1,0 +1,58 @@
+"""Tests for the ablation experiment definitions (small parameters)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_ablation_grid,
+    run_ablation_heterogeneous,
+    run_ablation_parallelism,
+)
+
+
+class TestParallelismAblation:
+    def test_local_beats_global_and_scales(self):
+        # Enough creations that several groups exist (the regime the local
+        # approach is designed for; with a single group it degenerates to the
+        # global behaviour plus a lookup round-trip).
+        result = run_ablation_parallelism(
+            n_snodes_values=(8, 32), creations_per_snode=4, pmin=8, vmin=2
+        )
+        global_makespan = result.get("global makespan (s)").y
+        local_makespan = result.get("local makespan (s)").y
+        assert (local_makespan < global_makespan).all()
+        # The global makespan grows with the cluster; the local one barely moves.
+        assert global_makespan[1] > global_makespan[0] * 2
+        assert local_makespan[1] < local_makespan[0] * 2
+
+    def test_latency_series_present(self):
+        result = run_ablation_parallelism(n_snodes_values=(4,), creations_per_snode=2)
+        assert "global mean latency (s)" in result.labels()
+        assert "local mean latency (s)" in result.labels()
+
+
+class TestGridAblation:
+    def test_vmin_dominates(self):
+        result = run_ablation_grid(pmins=(4, 8), vmins=(4, 16), runs=2, n_vnodes=128)
+        small_vmin = result.get("Vmin=4")
+        large_vmin = result.get("Vmin=16")
+        assert large_vmin.y.mean() < small_vmin.y.mean()
+
+    def test_series_shapes(self):
+        result = run_ablation_grid(pmins=(4, 8), vmins=(4,), runs=1, n_vnodes=64)
+        assert len(result.series) == 1
+        assert result.series[0].x.tolist() == [4.0, 8.0]
+
+
+class TestHeterogeneousAblation:
+    def test_outputs_are_sane(self):
+        result = run_ablation_heterogeneous(
+            n_nodes=12, base_vnodes=2, pmin=8, vmin=8, runs=2
+        )
+        local = result.get("local approach (weighted sigma %)").final()
+        ch = result.get("weighted CH (weighted sigma %)").final()
+        assert 0.0 <= local < 100.0
+        assert 0.0 <= ch < 100.0
+        assert result.params["total_vnodes"] >= 12

@@ -1,0 +1,98 @@
+"""Tests for the Consistent Hashing object model (repro.baselines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ConsistentHashRing
+from repro.core.errors import EmptyDHTError, UnknownSnodeError
+
+
+class TestConsistentHashRing:
+    def test_add_nodes_and_quotas_sum_to_one(self):
+        ring = ConsistentHashRing(partitions_per_node=16, rng=0)
+        for name in ("a", "b", "c"):
+            ring.add_node(name)
+        quotas = ring.node_quotas()
+        assert set(quotas) == {"a", "b", "c"}
+        assert sum(quotas.values()) == pytest.approx(1.0, abs=1e-9)
+        assert ring.n_virtual_servers == 48
+
+    def test_duplicate_node_rejected(self):
+        ring = ConsistentHashRing(rng=0)
+        ring.add_node("a")
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+
+    def test_weight_scales_virtual_servers(self):
+        ring = ConsistentHashRing(partitions_per_node=10, rng=0)
+        ring.add_node("small", weight=0.5)
+        ring.add_node("big", weight=2.0)
+        assert ring._nodes["small"] == 5
+        assert ring._nodes["big"] == 20
+        with pytest.raises(ValueError):
+            ring.add_node("zero", weight=0.0)
+
+    def test_lookup_consistency(self):
+        ring = ConsistentHashRing(partitions_per_node=8, rng=1)
+        for name in ("a", "b", "c", "d"):
+            ring.add_node(name)
+        keys = [f"key-{i}" for i in range(200)]
+        owners = {k: ring.lookup(k) for k in keys}
+        # Lookups are deterministic.
+        assert owners == {k: ring.lookup(k) for k in keys}
+        # Every node owns at least one key at this scale.
+        assert set(owners.values()) == {"a", "b", "c", "d"}
+
+    def test_lookup_on_empty_ring(self):
+        with pytest.raises(EmptyDHTError):
+            ConsistentHashRing().lookup("k")
+
+    def test_remove_node_redistributes_to_remaining(self):
+        ring = ConsistentHashRing(partitions_per_node=8, rng=2)
+        for name in ("a", "b", "c"):
+            ring.add_node(name)
+        keys = [f"key-{i}" for i in range(300)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove_node("b")
+        assert "b" not in ring
+        after = {k: ring.lookup(k) for k in keys}
+        # Keys not owned by the removed node keep their owner (the CH property).
+        for key in keys:
+            if before[key] != "b":
+                assert after[key] == before[key]
+            else:
+                assert after[key] in {"a", "c"}
+        assert sum(ring.node_quotas().values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_remove_unknown_node(self):
+        ring = ConsistentHashRing(rng=0)
+        with pytest.raises(UnknownSnodeError):
+            ring.remove_node("ghost")
+
+    def test_sigma_and_describe(self):
+        ring = ConsistentHashRing(partitions_per_node=16, rng=3)
+        assert ring.sigma_qn() == 0.0
+        for i in range(8):
+            ring.add_node(f"n{i}")
+        info = ring.describe()
+        assert info["nodes"] == 8
+        assert info["virtual_servers"] == 128
+        assert 0.0 < info["sigma_qn"] < 1.0
+
+    def test_hash_key_stable_and_in_unit_interval(self):
+        for key in ("a", 7, ("tuple", 1)):
+            position = ConsistentHashRing.hash_key(key)
+            assert 0.0 <= position < 1.0
+            assert position == ConsistentHashRing.hash_key(key)
+
+    def test_wraparound_lookup(self):
+        ring = ConsistentHashRing(partitions_per_node=1, rng=4)
+        ring.add_node("only")
+        # A position beyond the last point wraps to the first one.
+        assert ring.lookup_position(0.999999) == "only"
+        assert ring.lookup_position(1.7) == "only"
+
+    def test_invalid_partitions_per_node(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(partitions_per_node=0)

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import load_result
+
+
+class TestList:
+    def test_lists_every_registered_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9"):
+            assert experiment_id in out
+
+
+class TestRun:
+    def test_run_small_experiment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_VNODES", "64")
+        assert main(["run", "fig4", "--runs", "1", "--no-chart"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "(Pmin,Vmin)=(8,8)" in out
+
+    def test_run_writes_output_file(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_VNODES", "64")
+        output = tmp_path / "fig4.json"
+        assert main(["run", "fig4", "--runs", "1", "--no-chart", "--output", str(output)]) == 0
+        result = load_result(output)
+        assert result.experiment_id == "fig4"
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_experiment_without_runs_kwarg(self, capsys):
+        # ablation_parallelism does not accept 'runs'; the CLI retries without it.
+        assert main(["run", "ablation_parallelism", "--runs", "2", "--no-chart"]) == 0
+        assert "makespan" in capsys.readouterr().out
+
+
+class TestDemo:
+    def test_demo_local(self, capsys):
+        assert main(["demo", "--vnodes", "16", "--snodes", "2", "--pmin", "4",
+                     "--vmin", "4", "--items", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "sigma_qv" in out
+        assert "quota %" in out
+
+    def test_demo_global(self, capsys):
+        assert main(["demo", "--approach", "global", "--vnodes", "8", "--pmin", "4",
+                     "--items", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "global" in out
+
+
+class TestParser:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.approach == "local"
+        assert args.vnodes == 32

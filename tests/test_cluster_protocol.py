@@ -1,0 +1,105 @@
+"""Tests for the vnode-creation protocol simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import CreationProtocolSimulator, NetworkModel, ProtocolCosts
+from repro.core import DHTConfig
+from repro.core.errors import ProtocolError
+from repro.workloads import ArrivalEvent, ConsecutiveCreations, StaggeredBatches
+
+
+def make_sim(approach="local", n_snodes=8, creations=32, vmin=4, **kwargs):
+    config = (
+        DHTConfig.for_global(pmin=8)
+        if approach == "global"
+        else DHTConfig.for_local(pmin=8, vmin=vmin)
+    )
+    schedule = StaggeredBatches(1, creations, gap=0.0, n_snodes=n_snodes)
+    return CreationProtocolSimulator(
+        config, n_snodes=n_snodes, arrivals=schedule, approach=approach, rng=0, **kwargs
+    )
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        config = DHTConfig.for_local(pmin=8, vmin=4)
+        with pytest.raises(ValueError):
+            CreationProtocolSimulator(config, n_snodes=0, arrivals=[0.0])
+        with pytest.raises(ValueError):
+            CreationProtocolSimulator(config, n_snodes=1, arrivals=[0.0], approach="other")
+        with pytest.raises(ValueError):
+            CreationProtocolSimulator(config, n_snodes=1, arrivals=[])
+
+    def test_remove_events_rejected(self):
+        config = DHTConfig.for_local(pmin=8, vmin=4)
+        with pytest.raises(ProtocolError):
+            CreationProtocolSimulator(
+                config, n_snodes=1,
+                arrivals=[ArrivalEvent(0.0, 0, "remove")],
+            )
+
+    def test_plain_times_accepted(self):
+        config = DHTConfig.for_local(pmin=8, vmin=4)
+        sim = CreationProtocolSimulator(config, n_snodes=4, arrivals=[0.0, 0.1, 0.2])
+        stats = sim.run()
+        assert stats.n_creations == 3
+
+    def test_cost_validation(self):
+        with pytest.raises(ValueError):
+            ProtocolCosts(record_entry_processing_s=-1)
+        with pytest.raises(ValueError):
+            ProtocolCosts(partition_payload_bytes=-1)
+
+
+class TestBehaviour:
+    def test_stats_are_populated(self):
+        stats = make_sim("local").run()
+        assert stats.n_creations == 32
+        assert stats.makespan > 0
+        assert stats.mean_latency > 0
+        assert stats.p95_latency >= stats.mean_latency * 0.5
+        assert stats.total_messages > 0
+        assert stats.total_bytes > 0
+        assert stats.throughput > 0
+        assert set(stats.as_dict()) >= {"approach", "makespan_s", "messages"}
+
+    def test_global_serializes_local_overlaps(self):
+        global_stats = make_sim("global").run()
+        local_stats = make_sim("local").run()
+        assert local_stats.makespan < global_stats.makespan
+        assert local_stats.lock_waits < global_stats.lock_waits
+        # In the global approach the burst is fully serialized: every creation
+        # except the first has to wait.
+        assert global_stats.lock_waits == global_stats.n_creations - 1
+
+    def test_advantage_grows_with_cluster_size(self):
+        speedups = []
+        for n_snodes in (8, 32):
+            g = make_sim("global", n_snodes=n_snodes, creations=2 * n_snodes).run()
+            l = make_sim("local", n_snodes=n_snodes, creations=2 * n_snodes).run()
+            speedups.append(g.makespan / l.makespan)
+        assert speedups[1] > speedups[0]
+
+    def test_serial_arrivals_have_low_queueing(self):
+        config = DHTConfig.for_local(pmin=8, vmin=4)
+        # Requests spaced far apart never contend for a lock.
+        schedule = ConsecutiveCreations(16, n_snodes=4, interval=10.0)
+        stats = CreationProtocolSimulator(
+            config, n_snodes=4, arrivals=schedule, approach="local", rng=0
+        ).run()
+        assert stats.lock_waits == 0
+        assert stats.mean_latency < 1.0
+
+    def test_slower_network_increases_latency(self):
+        fast = make_sim("local", costs=ProtocolCosts(network=NetworkModel(latency_s=50e-6))).run()
+        slow = make_sim("local", costs=ProtocolCosts(network=NetworkModel(latency_s=5e-3))).run()
+        assert slow.mean_latency > fast.mean_latency
+
+    def test_deterministic_given_seed(self):
+        a = make_sim("local").run()
+        b = make_sim("local").run()
+        assert np.allclose(a.latencies, b.latencies)
+        assert a.makespan == pytest.approx(b.makespan)

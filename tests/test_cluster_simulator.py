@@ -1,0 +1,119 @@
+"""Tests for the discrete-event engine and FIFO resources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import EventScheduler, FifoResource
+from repro.core.errors import ProtocolError
+
+
+class TestEventScheduler:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule_at(2.0, lambda: order.append("b"))
+        scheduler.schedule_at(1.0, lambda: order.append("a"))
+        scheduler.schedule_at(3.0, lambda: order.append("c"))
+        end = scheduler.run()
+        assert order == ["a", "b", "c"]
+        assert end == 3.0
+        assert scheduler.processed == 3
+
+    def test_ties_break_by_insertion_order(self):
+        scheduler = EventScheduler()
+        order = []
+        for tag in ("first", "second", "third"):
+            scheduler.schedule_at(1.0, lambda t=tag: order.append(t))
+        scheduler.run()
+        assert order == ["first", "second", "third"]
+
+    def test_schedule_after_and_nested_scheduling(self):
+        scheduler = EventScheduler()
+        seen = []
+
+        def outer():
+            seen.append(("outer", scheduler.now))
+            scheduler.schedule_after(0.5, lambda: seen.append(("inner", scheduler.now)))
+
+        scheduler.schedule_at(1.0, outer)
+        scheduler.run()
+        assert seen == [("outer", 1.0), ("inner", 1.5)]
+
+    def test_run_until_stops_early(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_at(1.0, lambda: fired.append(1))
+        scheduler.schedule_at(10.0, lambda: fired.append(10))
+        scheduler.run(until=5.0)
+        assert fired == [1]
+        assert scheduler.pending == 1
+        assert scheduler.now == 5.0
+
+    def test_scheduling_in_the_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(1.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(ProtocolError):
+            scheduler.schedule_at(0.5, lambda: None)
+        with pytest.raises(ProtocolError):
+            scheduler.schedule_after(-1.0, lambda: None)
+
+    def test_event_limit_guard(self):
+        scheduler = EventScheduler()
+
+        def rearm():
+            scheduler.schedule_after(1.0, rearm)
+
+        scheduler.schedule_at(0.0, rearm)
+        with pytest.raises(ProtocolError):
+            scheduler.run(max_events=100)
+
+
+class TestFifoResource:
+    def test_grants_are_fifo(self):
+        scheduler = EventScheduler()
+        resource = FifoResource(scheduler, "lock")
+        grants = []
+
+        def holder(tag, hold_time):
+            def on_grant():
+                grants.append((tag, scheduler.now))
+                scheduler.schedule_after(hold_time, resource.release)
+
+            return on_grant
+
+        scheduler.schedule_at(0.0, lambda: resource.acquire(holder("a", 2.0)))
+        scheduler.schedule_at(0.5, lambda: resource.acquire(holder("b", 1.0)))
+        scheduler.schedule_at(0.6, lambda: resource.acquire(holder("c", 1.0)))
+        scheduler.run()
+        assert [g[0] for g in grants] == ["a", "b", "c"]
+        assert grants[1][1] == pytest.approx(2.0)
+        assert grants[2][1] == pytest.approx(3.0)
+        assert resource.total_waits == 2
+        assert resource.total_grants == 3
+        assert not resource.busy
+
+    def test_release_without_hold_rejected(self):
+        scheduler = EventScheduler()
+        resource = FifoResource(scheduler)
+        with pytest.raises(ProtocolError):
+            resource.release()
+
+    def test_independent_resources_do_not_serialize(self):
+        scheduler = EventScheduler()
+        lock_a = FifoResource(scheduler, "a")
+        lock_b = FifoResource(scheduler, "b")
+        done = {}
+
+        def job(lock, tag):
+            def on_grant():
+                scheduler.schedule_after(1.0, lambda: (done.setdefault(tag, scheduler.now), lock.release()))
+
+            return on_grant
+
+        scheduler.schedule_at(0.0, lambda: lock_a.acquire(job(lock_a, "a")))
+        scheduler.schedule_at(0.0, lambda: lock_b.acquire(job(lock_b, "b")))
+        scheduler.run()
+        assert done["a"] == pytest.approx(1.0)
+        assert done["b"] == pytest.approx(1.0)

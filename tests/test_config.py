@@ -1,0 +1,75 @@
+"""Tests for repro.core.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConfigError, DHTConfig, SimulationConfig
+
+
+class TestDHTConfig:
+    def test_defaults_are_paper_defaults(self):
+        cfg = DHTConfig.paper_default()
+        assert cfg.pmin == 32 and cfg.vmin == 32
+        assert cfg.pmax == 64 and cfg.vmax == 64
+
+    def test_global_constructor_has_no_groups(self):
+        cfg = DHTConfig.for_global(pmin=16)
+        assert cfg.vmin is None and cfg.vmax is None
+        assert not cfg.is_grouped
+
+    def test_local_constructor(self):
+        cfg = DHTConfig.for_local(pmin=8, vmin=4)
+        assert cfg.is_grouped
+        assert (cfg.pmax, cfg.vmax) == (16, 8)
+
+    def test_initial_splitlevel(self):
+        assert DHTConfig.for_global(pmin=32).initial_splitlevel == 5
+        assert DHTConfig.for_global(pmin=2).initial_splitlevel == 1
+
+    def test_hash_space_size(self):
+        assert DHTConfig(bh=16, pmin=4, vmin=4).hash_space_size == 2**16
+
+    def test_with_replaces_fields(self):
+        cfg = DHTConfig.paper_default().with_(pmin=64)
+        assert cfg.pmin == 64 and cfg.vmin == 32
+
+    @pytest.mark.parametrize("pmin", [0, 1, 3, 12, -8])
+    def test_invalid_pmin_rejected(self, pmin):
+        with pytest.raises(ConfigError):
+            DHTConfig(pmin=pmin)
+
+    @pytest.mark.parametrize("vmin", [0, 3, 12, -8])
+    def test_invalid_vmin_rejected(self, vmin):
+        with pytest.raises(ConfigError):
+            DHTConfig(vmin=vmin)
+
+    def test_invalid_bh_rejected(self):
+        with pytest.raises(ConfigError):
+            DHTConfig(bh=0)
+        with pytest.raises(ConfigError):
+            DHTConfig(bh=200)
+        with pytest.raises(ConfigError):
+            DHTConfig(bh=2.5)  # type: ignore[arg-type]
+
+    def test_pmax_must_fit_hash_space(self):
+        with pytest.raises(ConfigError):
+            DHTConfig(bh=2, pmin=8, vmin=None)
+
+    def test_frozen(self):
+        cfg = DHTConfig.paper_default()
+        with pytest.raises(AttributeError):
+            cfg.pmin = 64  # type: ignore[misc]
+
+
+class TestSimulationConfig:
+    def test_defaults_match_paper(self):
+        sim = SimulationConfig()
+        assert sim.n_vnodes == 1024 and sim.runs == 100
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_vnodes": 0}, {"runs": 0}, {"seed": -1},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SimulationConfig(**kwargs)

@@ -1,0 +1,153 @@
+"""Tests for repro.core.entities (Vnode, Snode, Group)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Group, GroupId, Partition, Snode, SnodeId, Vnode, VnodeRef
+from repro.core.errors import InvariantViolation, PartitionError, UnknownVnodeError
+
+
+def vref(s: int, v: int) -> VnodeRef:
+    return VnodeRef(SnodeId(s), v)
+
+
+class TestVnode:
+    def test_partition_ownership(self):
+        vnode = Vnode(vref(0, 0))
+        p = Partition(2, 1)
+        vnode.add_partition(p)
+        assert vnode.owns(p) and vnode.partition_count == 1
+        assert vnode.quota == Fraction(1, 4)
+        vnode.remove_partition(p)
+        assert not vnode.owns(p) and vnode.quota == 0
+
+    def test_double_add_and_missing_remove_rejected(self):
+        vnode = Vnode(vref(0, 0))
+        p = Partition(1, 0)
+        vnode.add_partition(p)
+        with pytest.raises(PartitionError):
+            vnode.add_partition(p)
+        with pytest.raises(PartitionError):
+            vnode.remove_partition(Partition(1, 1))
+
+    def test_split_all_partitions_preserves_quota(self):
+        vnode = Vnode(vref(0, 0))
+        vnode.add_partition(Partition(2, 0))
+        vnode.add_partition(Partition(2, 3))
+        quota = vnode.quota
+        vnode.split_all_partitions()
+        assert vnode.partition_count == 4
+        assert vnode.quota == quota
+        assert vnode.splitlevels() == {3}
+
+    def test_pick_victim_partition_deterministic(self):
+        vnode = Vnode(vref(0, 0))
+        vnode.add_partition(Partition(2, 0))
+        vnode.add_partition(Partition(2, 3))
+        assert vnode.pick_victim_partition() == Partition(2, 3)
+        empty = Vnode(vref(0, 1))
+        with pytest.raises(PartitionError):
+            empty.pick_victim_partition()
+
+    def test_partition_containing(self):
+        vnode = Vnode(vref(0, 0))
+        vnode.add_partition(Partition(2, 1))
+        bh = 8
+        inside = Partition(2, 1).start(bh)
+        assert vnode.partition_containing(inside, bh) == Partition(2, 1)
+        assert vnode.partition_containing(0, bh) is None
+
+
+class TestSnode:
+    def test_vnode_ref_allocation_is_sequential(self):
+        snode = Snode(SnodeId(3))
+        assert snode.new_vnode_ref() == vref(3, 0)
+        assert snode.new_vnode_ref() == vref(3, 1)
+
+    def test_attach_detach(self):
+        snode = Snode(SnodeId(0))
+        vnode = Vnode(snode.new_vnode_ref())
+        snode.attach_vnode(vnode)
+        assert snode.n_vnodes == 1
+        assert snode.detach_vnode(vnode.ref) is vnode
+        with pytest.raises(UnknownVnodeError):
+            snode.detach_vnode(vnode.ref)
+
+    def test_attach_foreign_vnode_rejected(self):
+        snode = Snode(SnodeId(0))
+        other = Vnode(vref(9, 0))
+        with pytest.raises(ValueError):
+            snode.attach_vnode(other)
+
+    def test_quota_aggregates_vnodes(self):
+        snode = Snode(SnodeId(0))
+        a, b = Vnode(snode.new_vnode_ref()), Vnode(snode.new_vnode_ref())
+        a.add_partition(Partition(2, 0))
+        b.add_partition(Partition(2, 1))
+        snode.attach_vnode(a)
+        snode.attach_vnode(b)
+        assert snode.quota == Fraction(1, 2)
+        assert snode.partition_count == 2
+
+
+class TestGroup:
+    def make_group(self):
+        group = Group(GroupId.root(), splitlevel=2)
+        vnode = Vnode(vref(0, 0))
+        for p in (Partition(2, 0), Partition(2, 1)):
+            vnode.add_partition(p)
+        group.add_vnode(vnode, partition_count=2)
+        return group, vnode
+
+    def test_membership_and_quota(self):
+        group, vnode = self.make_group()
+        assert vnode.ref in group
+        assert group.n_vnodes == 1
+        assert group.total_partitions == 2
+        assert group.quota == Fraction(1, 2)
+        assert group.splitlevel == 2
+        assert vnode.group_id == group.id
+
+    def test_full_check(self):
+        group, _ = self.make_group()
+        assert not group.is_full(vmax=2)
+        other = Vnode(vref(0, 1))
+        group.add_vnode(other, 0)
+        assert group.is_full(vmax=2)
+
+    def test_duplicate_add_rejected(self):
+        group, vnode = self.make_group()
+        with pytest.raises(ValueError):
+            group.add_vnode(vnode, 2)
+        with pytest.raises(ValueError):
+            group.attach_entity(vnode)
+
+    def test_remove_vnode(self):
+        group, vnode = self.make_group()
+        returned = group.remove_vnode(vnode.ref)
+        assert returned is vnode and vnode.group_id is None
+        with pytest.raises(UnknownVnodeError):
+            group.remove_vnode(vnode.ref)
+
+    def test_verify_consistent_detects_count_mismatch(self):
+        group, vnode = self.make_group()
+        group.lpdr.set_count(vnode.ref, 5)
+        with pytest.raises(InvariantViolation):
+            group.verify_consistent()
+
+    def test_verify_consistent_detects_splitlevel_mismatch(self):
+        group, vnode = self.make_group()
+        vnode.split_all_partitions()  # entity now at level 3, LPDR says 2
+        group.lpdr.set_count(vnode.ref, vnode.partition_count)
+        with pytest.raises(InvariantViolation):
+            group.verify_consistent()
+
+    def test_adopt_vnode_uses_entity_count(self):
+        group, _ = self.make_group()
+        newcomer = Vnode(vref(0, 5))
+        newcomer.add_partition(Partition(2, 2))
+        group.adopt_vnode(newcomer)
+        assert group.lpdr.count(newcomer.ref) == 1

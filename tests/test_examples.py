@@ -1,0 +1,38 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples double as executable documentation; running them here keeps
+them from rotting as the API evolves.  They are executed in-process (via
+``runpy``) so the suite stays reasonably fast.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "heterogeneous_cluster.py",
+    "elastic_scaling.py",
+    "compare_with_consistent_hashing.py",
+    "parallelism_analysis.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_to_completion(script, capsys):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {script} produced no output"
+
+
+def test_every_example_is_covered():
+    """Any new example added to the directory must be added to this smoke test."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)

@@ -1,0 +1,157 @@
+"""Tests for the experiment harness (runner, figure definitions, registry, report)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DHTConfig
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    Series,
+    average_ch_runs,
+    average_local_runs,
+    checkpoint_table,
+    default_n_vnodes,
+    default_runs,
+    get_experiment,
+    list_experiments,
+    render_result,
+    run_experiment,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    series_table,
+)
+from repro.experiments.figures import run_claim_doubling
+
+SMALL = dict(runs=2, n_vnodes=96)
+
+
+class TestSeriesAndResult:
+    def test_series_validation_and_queries(self):
+        series = Series("s", np.array([1, 2, 3]), np.array([10.0, 20.0, 30.0]))
+        assert series.value_at(2.2) == 20.0
+        assert series.final() == 30.0
+        assert len(series) == 3
+        assert series.to_dict()["label"] == "s"
+        with pytest.raises(ValueError):
+            Series("bad", np.array([1, 2]), np.array([1.0]))
+
+    def test_result_get_and_labels(self):
+        series = Series("only", np.array([1]), np.array([2.0]))
+        result = ExperimentResult("x", "t", "Figure X", [series])
+        assert result.get("only") is series
+        assert result.labels() == ["only"]
+        with pytest.raises(KeyError):
+            result.get("missing")
+        assert result.to_dict()["experiment_id"] == "x"
+
+
+class TestRunnerDefaults:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS", "3")
+        monkeypatch.setenv("REPRO_VNODES", "256")
+        assert default_runs() == 3
+        assert default_n_vnodes() == 256
+
+    def test_env_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS", "zero")
+        with pytest.raises(ValueError):
+            default_runs()
+        monkeypatch.setenv("REPRO_RUNS", "0")
+        with pytest.raises(ValueError):
+            default_runs()
+
+    def test_average_local_runs_reproducible(self):
+        config = DHTConfig.for_local(pmin=4, vmin=4)
+        a = average_local_runs(config, 32, runs=3, seed=1)
+        b = average_local_runs(config, 32, runs=3, seed=1)
+        c = average_local_runs(config, 32, runs=3, seed=2)
+        assert np.array_equal(a.sigma_qv, b.sigma_qv)
+        assert not np.array_equal(a.sigma_qv, c.sigma_qv)
+        with pytest.raises(ValueError):
+            average_local_runs(config, 32, runs=0)
+
+    def test_average_ch_runs(self):
+        trace = average_ch_runs(8, 32, runs=3, seed=0)
+        assert len(trace) == 32
+        assert trace.sigma_qn[0] == pytest.approx(0.0)
+
+
+class TestFigureDefinitions:
+    def test_fig4_series_and_zone1(self):
+        result = run_fig4(runs=2, n_vnodes=64, pairs=(4, 8))
+        assert result.labels() == ["(Pmin,Vmin)=(4,4)", "(Pmin,Vmin)=(8,8)"]
+        # At V = Vmax the single group is perfectly balanced.
+        assert result.get("(Pmin,Vmin)=(8,8)").value_at(16) == pytest.approx(0.0, abs=1e-9)
+        # Larger Pmin=Vmin balances better at the end of the run.
+        assert result.get("(Pmin,Vmin)=(8,8)").final() < result.get("(Pmin,Vmin)=(4,4)").final()
+
+    def test_fig5_reuses_fig4(self):
+        fig4 = run_fig4(runs=2, n_vnodes=64, pairs=(4, 8, 16))
+        fig5 = run_fig5(fig4_result=fig4, vmins=(4, 8, 16))
+        series = fig5.get("theta")
+        assert series.x.tolist() == [4.0, 8.0, 16.0]
+        assert np.all((series.y >= 0) & (series.y <= 1.0 + 1e-9))
+
+    def test_fig6_includes_global_equivalent(self):
+        result = run_fig6(runs=2, n_vnodes=64, pmin=4, vmins=(4, 32))
+        # Vmin=32 -> Vmax=64 >= 64 vnodes: single group, sigma = 0 at V = 64.
+        assert result.get("Vmin=32").final() == pytest.approx(0.0, abs=1e-9)
+        assert result.get("Vmin=4").final() > 0.0
+
+    def test_fig7_and_fig8_consistency(self):
+        fig7 = run_fig7(runs=2, n_vnodes=96, pmin=4, vmin=4)
+        greal, gideal = fig7.get("Greal"), fig7.get("Gideal")
+        assert gideal.value_at(8) == 1.0
+        assert gideal.value_at(96) == 12.0 or gideal.value_at(96) == 16.0
+        assert greal.final() >= 2.0
+        fig8 = run_fig8(runs=2, n_vnodes=96, pmin=4, vmin=4)
+        sigma_qg = fig8.get("sigma(Qg)")
+        assert sigma_qg.value_at(4) == pytest.approx(0.0, abs=1e-12)
+        assert sigma_qg.y.max() > 0.0
+
+    def test_fig9_orderings(self):
+        result = run_fig9(runs=2, n_nodes=96, pmin=8, vmins=(8, 32), ch_partitions=(8, 32))
+        assert result.get("CH, 32 partitions/node").final() < result.get("CH, 8 partitions/node").final()
+        assert result.get("local approach, Vmin=32").final() < result.get("CH, 8 partitions/node").final()
+
+    def test_claim_doubling_structure(self):
+        result = run_claim_doubling(runs=2, n_vnodes=96, pairs=(4, 8, 16))
+        plateaus = result.series[0]
+        drops = result.series[1]
+        assert len(plateaus) == 3 and len(drops) == 2
+        assert (plateaus.y > 0).all()
+
+
+class TestRegistryAndReport:
+    def test_registry_contains_every_figure(self):
+        assert {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"} <= set(EXPERIMENTS)
+        assert list_experiments() == sorted(EXPERIMENTS)
+        assert get_experiment("fig4") is run_fig4
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_run_experiment_by_id(self):
+        result = run_experiment("fig4", runs=1, n_vnodes=32, pairs=(4,))
+        assert result.experiment_id == "fig4"
+
+    def test_render_result_and_tables(self):
+        result = run_fig4(runs=1, n_vnodes=32, pairs=(4,))
+        text = render_result(result, checkpoints=(1, 16, 32))
+        assert "fig4" in text and "Figure 4" in text
+        assert "legend:" in text  # chart present
+        table = checkpoint_table(result, checkpoints=(1, 32))
+        assert "overall number of vnodes" in table
+        summary = series_table(result)
+        assert "(Pmin,Vmin)=(4,4)" in summary
+
+    def test_checkpoint_table_defaults_respect_range(self):
+        result = run_fig4(runs=1, n_vnodes=32, pairs=(4,))
+        table = checkpoint_table(result)
+        assert "1024" not in table

@@ -1,0 +1,99 @@
+"""Tests for repro.core.ids (canonical names and the group identifier scheme)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GroupId, SnodeId, VnodeRef
+
+
+class TestSnodeId:
+    def test_ordering_and_str(self):
+        assert SnodeId(1) < SnodeId(2)
+        assert str(SnodeId(3)) == "s3"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SnodeId(-1)
+
+
+class TestVnodeRef:
+    def test_canonical_name_roundtrip(self):
+        ref = VnodeRef(SnodeId(4), 7)
+        assert ref.canonical_name == "4.7"
+        assert VnodeRef.parse("4.7") == ref
+        assert str(ref) == "4.7"
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("4", "a.b", "4.7.2", ""):
+            with pytest.raises(ValueError):
+                VnodeRef.parse(bad)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            VnodeRef(SnodeId(0), -1)
+
+    def test_ordering_is_total(self):
+        refs = [VnodeRef(SnodeId(1), 2), VnodeRef(SnodeId(0), 5), VnodeRef(SnodeId(1), 0)]
+        ordered = sorted(refs)
+        assert ordered[0].snode == SnodeId(0)
+        assert ordered[1] == VnodeRef(SnodeId(1), 0)
+
+
+class TestGroupId:
+    def test_root(self):
+        root = GroupId.root()
+        assert root.is_root and root.binary_string == "0" and str(root) == "g0"
+
+    def test_figure3_split_scheme(self):
+        """The identifier tree must match figure 3 of the paper exactly."""
+        root = GroupId.root()
+        g0, g1 = root.split()
+        assert (g0.binary_string, g1.binary_string) == ("00", "10")
+        assert (g0.value, g1.value) == (0, 2)
+        g00, g10 = g0.split()
+        g01, g11 = g1.split()
+        # Depth-3 identifiers and their base-10 values, as drawn in figure 3.
+        assert [g.binary_string for g in (g00, g10, g01, g11)] == ["000", "100", "010", "110"]
+        assert [g.value for g in (g00, g10, g01, g11)] == [0, 4, 2, 6]
+
+    def test_split_prefixes_most_significant_bit(self):
+        g = GroupId(2, 1)  # "01"
+        a, b = g.split()
+        assert a.binary_string == "001" and b.binary_string == "101"
+
+    def test_parent_and_sibling(self):
+        g = GroupId(3, 5)  # "101"
+        assert g.parent == GroupId(2, 1)
+        assert g.sibling == GroupId(3, 1)
+        with pytest.raises(ValueError):
+            _ = GroupId.root().parent
+        with pytest.raises(ValueError):
+            _ = GroupId.root().sibling
+
+    def test_descendant_relation(self):
+        root = GroupId.root()
+        child = root.split()[1]
+        grandchild = child.split()[0]
+        assert child.is_descendant_of(root)
+        assert grandchild.is_descendant_of(root)
+        assert grandchild.is_descendant_of(child)
+        assert not root.is_descendant_of(child)
+        assert not child.is_descendant_of(grandchild)
+
+    def test_identifiers_unique_among_live_groups(self):
+        """Splitting never produces two live groups with the same identifier."""
+        live = {GroupId.root()}
+        for _ in range(4):
+            new_live = set()
+            for g in live:
+                new_live.update(g.split())
+            assert len(new_live) == 2 * len(live)
+            live = new_live
+        assert len({g.binary_string for g in live}) == len(live)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            GroupId(0, 0)
+        with pytest.raises(ValueError):
+            GroupId(2, 4)

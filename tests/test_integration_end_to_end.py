@@ -1,0 +1,114 @@
+"""End-to-end integration tests combining the major subsystems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DHTConfig, GlobalDHT, LocalDHT
+from repro.workloads import CapacityProfile, ChurnSchedule, KeyWorkload
+
+
+class TestHeterogeneousClusterScenario:
+    def test_capacity_driven_enrollment_tracks_capacity(self):
+        """The paper's motivating scenario: heterogeneous nodes get shares
+        proportional to the resources they enroll."""
+        profile = CapacityProfile.generations(8, rng=5)
+        weights = profile.relative_weights()
+        enrollments = profile.enrollments(base_vnodes=4)
+
+        dht = LocalDHT(DHTConfig.for_local(pmin=8, vmin=8), rng=5)
+        snode_by_name = {}
+        for spec in profile.nodes:
+            snode = dht.add_snode(cluster_node=spec.name)
+            snode_by_name[spec.name] = snode
+            dht.set_enrollment(snode, enrollments[spec.name])
+        dht.check_invariants()
+
+        quotas = {
+            name: float(snode.quota) for name, snode in snode_by_name.items()
+        }
+        assert sum(quotas.values()) == pytest.approx(1.0, abs=1e-9)
+        # The largest-capacity node must hold more of the DHT than the smallest.
+        biggest = max(weights, key=weights.get)
+        smallest = min(weights, key=weights.get)
+        if weights[biggest] / weights[smallest] > 1.5:
+            assert quotas[biggest] > quotas[smallest]
+
+
+class TestChurnScenario:
+    def test_storage_survives_random_churn(self):
+        dht = LocalDHT(DHTConfig.for_local(pmin=4, vmin=4), rng=17)
+        snodes = dht.add_snodes(4)
+        workload = KeyWorkload.sequential(400)
+
+        # Bootstrap and load data.
+        refs = []
+        for i in range(12):
+            refs.append(dht.create_vnode(snodes[i % 4]))
+        for key, value in workload.items():
+            dht.put(key, value)
+
+        # Apply a churn schedule: creations and removals interleave.
+        schedule = ChurnSchedule(initial=1, churn_events=30, remove_fraction=0.4,
+                                 n_snodes=4, rng=3)
+        for event in schedule.events():
+            if event.kind == "create":
+                refs.append(dht.create_vnode(snodes[event.snode]))
+            else:
+                # Remove the newest removable vnode (skip last-of-group cases).
+                for candidate in reversed(refs):
+                    if candidate not in dht.vnodes:
+                        continue
+                    if dht.group_of(candidate).n_vnodes > 1:
+                        dht.remove_vnode(candidate)
+                        break
+            dht.check_invariants()
+            assert sum(dht.quotas().values()) == pytest.approx(1.0, abs=1e-9)
+
+        assert all(dht.get(k) == v for k, v in workload.items())
+        assert dht.storage.total_items() == len(workload)
+
+
+class TestGlobalVsLocalQuality:
+    def test_global_balances_at_least_as_well_as_local(self):
+        """At matched Pmin, the global approach's balance is never worse than
+        the grouped one (the price of parallelism, section 4.2)."""
+        n = 48
+        global_dht = GlobalDHT(DHTConfig.for_global(pmin=8), rng=0)
+        gs = global_dht.add_snode()
+        sigmas_global = []
+        for _ in range(n):
+            global_dht.create_vnode(gs)
+            sigmas_global.append(global_dht.sigma_qv())
+
+        local_dht = LocalDHT(DHTConfig.for_local(pmin=8, vmin=4), rng=0)
+        ls = local_dht.add_snode()
+        sigmas_local = []
+        for _ in range(n):
+            local_dht.create_vnode(ls)
+            sigmas_local.append(local_dht.sigma_qv())
+
+        # Compare averages over the second half of the run (the stable zone).
+        half = n // 2
+        avg_global = sum(sigmas_global[half:]) / half
+        avg_local = sum(sigmas_local[half:]) / half
+        assert avg_global <= avg_local + 1e-9
+
+    def test_lookup_results_agree_with_quota_ownership(self):
+        dht = LocalDHT(DHTConfig.for_local(pmin=4, vmin=4), rng=9)
+        snode = dht.add_snode()
+        for _ in range(20):
+            dht.create_vnode(snode)
+        # Sample many keys; the empirical share per vnode should roughly match
+        # its quota (loose bound: factor of 3 with 2000 samples).
+        samples = 2000
+        hits = {}
+        for i in range(samples):
+            owner = dht.lookup(f"sample-{i}").vnode
+            hits[owner] = hits.get(owner, 0) + 1
+        quotas = dht.quotas()
+        for ref, quota in quotas.items():
+            expected = quota * samples
+            if expected >= 50:
+                assert hits.get(ref, 0) > expected / 3
+                assert hits.get(ref, 0) < expected * 3

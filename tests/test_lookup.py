@@ -1,0 +1,67 @@
+"""Tests for repro.core.lookup (the partition router)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HashSpace, Partition, PartitionRouter, SnodeId, VnodeRef
+from repro.core.errors import EmptyDHTError, KeyLookupError
+from repro.core.hashspace import iter_level_partitions
+
+
+def vref(v: int) -> VnodeRef:
+    return VnodeRef(SnodeId(0), v)
+
+
+@pytest.fixture
+def router() -> PartitionRouter:
+    hs = HashSpace(12)
+    router = PartitionRouter(hs)
+    ownership = [(p, vref(i % 3)) for i, p in enumerate(iter_level_partitions(3))]
+    router.rebuild(ownership, version=1)
+    return router
+
+
+class TestPartitionRouter:
+    def test_empty_router_raises(self):
+        router = PartitionRouter(HashSpace(8))
+        with pytest.raises(EmptyDHTError):
+            router.locate(0)
+        assert not router.coverage_is_complete()
+
+    def test_locate_every_index_of_every_partition(self, router):
+        hs = HashSpace(12)
+        for i, partition in enumerate(iter_level_partitions(3)):
+            for index in (partition.start(12), partition.end(12) - 1):
+                located, owner = router.locate(index)
+                assert located == partition
+                assert owner == vref(i % 3)
+
+    def test_out_of_range_index_rejected(self, router):
+        with pytest.raises(KeyLookupError):
+            router.locate(2**12)
+        with pytest.raises(KeyLookupError):
+            router.locate(-1)
+
+    def test_coverage_complete(self, router):
+        assert router.coverage_is_complete()
+        assert router.n_partitions == 8
+
+    def test_gap_detected(self):
+        hs = HashSpace(12)
+        router = PartitionRouter(hs)
+        parts = list(iter_level_partitions(2))
+        router.rebuild([(parts[0], vref(0)), (parts[2], vref(0)), (parts[3], vref(0))], version=1)
+        assert not router.coverage_is_complete()
+        with pytest.raises(KeyLookupError):
+            router.locate(parts[1].start(12))
+
+    def test_staleness_tracking(self, router):
+        assert not router.is_stale(1)
+        assert router.is_stale(2)
+        assert router.built_version == 1
+
+    def test_owners_mapping(self, router):
+        owners = router.owners()
+        assert len(owners) == 8
+        assert all(isinstance(p, Partition) for p in owners)

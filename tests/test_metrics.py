@@ -1,0 +1,136 @@
+"""Tests for the metrics package (balance, theta, groups, aggregation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    RunStatistics,
+    average_curves,
+    best_vmin,
+    group_count_divergence,
+    ideal_group_count,
+    ideal_group_trace,
+    quota_summary,
+    relative_std,
+    relative_std_percent,
+    sigma_from_counts,
+    sigma_from_quotas,
+    sigma_qg_from_quotas,
+    summarize_runs,
+    theta,
+    theta_scores,
+)
+from repro.metrics.aggregate import tail_mean, value_at
+
+
+class TestBalanceMetrics:
+    def test_relative_std_basics(self):
+        assert relative_std([1, 1, 1, 1]) == 0.0
+        assert relative_std([]) == 0.0
+        assert relative_std([0, 0]) == 0.0
+        assert relative_std([1, 3]) == pytest.approx(0.5)
+
+    def test_relative_std_with_ideal_mean(self):
+        # Deviating from an ideal mean differs from deviating from the sample mean.
+        values = [0.3, 0.3]
+        assert relative_std(values) == 0.0
+        assert relative_std(values, ideal_mean=0.5) == pytest.approx(0.4)
+
+    def test_percent_wrapper(self):
+        assert relative_std_percent([1, 3]) == pytest.approx(50.0)
+
+    def test_sigma_from_quotas_accepts_mapping_and_array(self):
+        quotas = {"a": 0.5, "b": 0.25, "c": 0.25}
+        assert sigma_from_quotas(quotas) == pytest.approx(
+            sigma_from_quotas([0.5, 0.25, 0.25])
+        )
+        assert sigma_from_quotas({}) == 0.0
+
+    def test_sigma_from_counts(self):
+        assert sigma_from_counts([4, 4, 4]) == 0.0
+        assert sigma_from_counts({"a": 2, "b": 6}) == pytest.approx(0.5)
+
+    def test_quota_summary(self):
+        summary = quota_summary([0.5, 0.25, 0.25])
+        assert summary.count == 3
+        assert summary.maximum == 0.5
+        assert summary.max_over_ideal == pytest.approx(1.5)
+        assert quota_summary([]).count == 0
+
+
+class TestTheta:
+    def test_paper_shape(self):
+        """theta must penalize both extremes and reward the sweet spot."""
+        sigma_by_vmin = {8: 20.0, 16: 14.0, 32: 10.0, 64: 6.0, 128: 3.0}
+        scores = theta_scores(sigma_by_vmin)
+        assert set(scores) == set(sigma_by_vmin)
+        winner, score = best_vmin(sigma_by_vmin)
+        assert winner in (16, 32, 64)
+        assert score == min(scores.values())
+
+    def test_weights_shift_the_optimum(self):
+        sigma_by_vmin = {8: 20.0, 128: 3.0}
+        # All weight on resources -> smallest Vmin wins.
+        assert best_vmin(sigma_by_vmin, alpha=1.0, beta=0.0)[0] == 8
+        # All weight on balance -> largest Vmin wins.
+        assert best_vmin(sigma_by_vmin, alpha=0.0, beta=1.0)[0] == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theta([8], [1.0], alpha=0.7, beta=0.7)
+        with pytest.raises(ValueError):
+            theta([8, 16], [1.0], alpha=0.5, beta=0.5)
+        with pytest.raises(ValueError):
+            best_vmin({})
+        assert theta([], []).size == 0
+
+
+class TestGroupMetrics:
+    def test_ideal_group_count_reexport(self):
+        assert ideal_group_count(1024, 32) == 16
+
+    def test_ideal_group_trace(self):
+        trace = ideal_group_trace(10, vmin=2)
+        assert trace.tolist() == [1, 1, 1, 1, 2, 2, 2, 2, 4, 4]
+        assert ideal_group_trace(0, 2).size == 0
+
+    def test_sigma_qg_from_quotas(self):
+        assert sigma_qg_from_quotas([0.25, 0.25, 0.25, 0.25]) == 0.0
+        assert sigma_qg_from_quotas({"a": 0.75, "b": 0.25}) == pytest.approx(0.5)
+        assert sigma_qg_from_quotas([]) == 0.0
+
+    def test_group_count_divergence(self):
+        stats = group_count_divergence([1, 2, 4, 4], [1, 2, 2, 4])
+        assert stats["max_abs"] == 2.0
+        assert stats["fraction_diverging"] == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            group_count_divergence([1, 2], [1])
+
+
+class TestAggregation:
+    def test_summarize_runs(self):
+        stats = summarize_runs([[1.0, 2.0], [3.0, 4.0]])
+        assert isinstance(stats, RunStatistics)
+        assert stats.mean.tolist() == [2.0, 3.0]
+        assert stats.n_runs == 2
+        assert (stats.confidence_halfwidth() > 0).all()
+        assert summarize_runs([[1.0]]).confidence_halfwidth().tolist() == [0.0]
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+    def test_average_curves(self):
+        assert average_curves([[1, 3], [3, 5]]).tolist() == [2.0, 4.0]
+
+    def test_tail_mean(self):
+        assert tail_mean([1, 1, 1, 10], fraction=0.25) == 10.0
+        assert tail_mean([5.0], fraction=0.5) == 5.0
+        assert tail_mean([], fraction=0.5) == 0.0
+        with pytest.raises(ValueError):
+            tail_mean([1.0], fraction=0.0)
+
+    def test_value_at(self):
+        assert value_at([10, 20, 30], [1, 2, 3], 2.4) == 20
+        with pytest.raises(ValueError):
+            value_at([1], [1, 2], 1.0)

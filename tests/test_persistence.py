@@ -1,0 +1,74 @@
+"""Tests for experiment result persistence (repro.experiments.persistence)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    Series,
+    compare_results,
+    load_result,
+    result_from_json,
+    result_to_json,
+    save_result,
+)
+
+
+def make_result(value=3.0) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="fig_test",
+        title="Testing",
+        paper_reference="Figure T",
+        series=[
+            Series("a", np.array([1.0, 2.0]), np.array([1.0, value]), meta={"k": 1}),
+            Series("b", np.array([1.0, 2.0]), np.array([2.0, 4.0])),
+        ],
+        params={"runs": 2},
+        notes="note",
+        x_label="x",
+        y_label="y",
+    )
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        result = make_result()
+        restored = result_from_json(result_to_json(result))
+        assert restored.experiment_id == result.experiment_id
+        assert restored.title == result.title
+        assert restored.paper_reference == result.paper_reference
+        assert restored.params == result.params
+        assert restored.notes == result.notes
+        assert restored.labels() == result.labels()
+        assert np.allclose(restored.get("a").y, result.get("a").y)
+        assert restored.get("a").meta == {"k": 1}
+
+    def test_unknown_format_version_rejected(self):
+        text = result_to_json(make_result()).replace('"format_version": 1', '"format_version": 42')
+        with pytest.raises(ValueError):
+            result_from_json(text)
+
+    def test_save_and_load_file(self, tmp_path):
+        path = save_result(make_result(), tmp_path / "nested" / "result.json")
+        assert path.exists()
+        loaded = load_result(path)
+        assert loaded.experiment_id == "fig_test"
+
+
+class TestCompareResults:
+    def test_matching_series_compared(self):
+        reference = make_result(value=3.0)
+        candidate = make_result(value=4.0)
+        comparison = compare_results(reference, candidate)
+        assert set(comparison) == {"a", "b"}
+        assert comparison["a"]["abs_diff"] == pytest.approx(1.0)
+        assert comparison["b"]["abs_diff"] == pytest.approx(0.0)
+
+    def test_missing_series_skipped(self):
+        reference = make_result()
+        candidate = make_result()
+        candidate.series = [s for s in candidate.series if s.label == "a"]
+        comparison = compare_results(reference, candidate)
+        assert set(comparison) == {"a"}

@@ -1,0 +1,62 @@
+"""Tests for the textual reporting helpers (tables and ASCII charts)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.report import format_table, line_chart
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        table = format_table(["name", "value"], [["alpha", 1.5], ["b", 20]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.500" in table
+        assert "20" in table
+
+    def test_column_count_enforced(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_digits(self):
+        table = format_table(["x"], [[1.23456]], float_digits=1)
+        assert "1.2" in table and "1.23" not in table
+
+    def test_numeric_columns_right_aligned(self):
+        table = format_table(["n"], [[5], [500]])
+        rows = table.splitlines()[2:]
+        assert rows[0].endswith("  5") or rows[0].strip() == "5"
+        assert rows[1].strip() == "500"
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        x = np.arange(10)
+        chart = line_chart(
+            [("up", x, x.astype(float)), ("down", x, (9 - x).astype(float))],
+            width=40, height=10,
+        )
+        assert "*" in chart and "o" in chart
+        assert "legend: * up   o down" in chart
+
+    def test_axis_labels_present(self):
+        chart = line_chart([("s", [0, 1], [0.0, 1.0])], x_label="vnodes", y_label="sigma")
+        assert "vnodes" in chart
+        assert "y: sigma" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_chart([("flat", [0, 1, 2], [3.0, 3.0, 3.0])])
+        assert "flat" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+        with pytest.raises(ValueError):
+            line_chart([("bad", [1, 2], [1.0])])
+        with pytest.raises(ValueError):
+            line_chart([("s", [1], [1.0])], width=5, height=2)
+        with pytest.raises(ValueError):
+            line_chart([("empty", [], [])])

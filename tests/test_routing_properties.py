@@ -1,0 +1,83 @@
+"""Property-based tests for routing and storage consistency.
+
+These complement the invariant properties: whatever sequence of creations
+(and removals) happens, routing must stay total (every hash index resolves
+to exactly one vnode) and storage must stay consistent with routing (every
+stored item is reachable through a lookup of its key).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import DHTConfig, GlobalDHT, LocalDHT
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SETTINGS
+@given(
+    n_vnodes=st.integers(min_value=1, max_value=24),
+    indices=st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=20),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_every_hash_index_routes_to_exactly_one_vnode(n_vnodes, indices, seed):
+    dht = LocalDHT(DHTConfig.for_local(pmin=4, vmin=2), rng=seed)
+    snode = dht.add_snode()
+    for _ in range(n_vnodes):
+        dht.create_vnode(snode)
+    for index in indices + [0, dht.hash_space.size - 1]:
+        index = index % dht.hash_space.size
+        result = dht.find_owner(index)
+        assert result.partition.contains_index(index, dht.config.bh)
+        assert dht.get_vnode(result.vnode).owns(result.partition)
+        assert result.vnode.snode == result.snode
+
+
+@SETTINGS
+@given(
+    keys=st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=30, unique=True),
+    growth=st.integers(min_value=0, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_stored_items_always_reachable_through_lookup(keys, growth, seed):
+    dht = LocalDHT(DHTConfig.for_local(pmin=4, vmin=2), rng=seed)
+    snode = dht.add_snode()
+    for _ in range(3):
+        dht.create_vnode(snode)
+    for key in keys:
+        dht.put(key, f"value:{key}")
+    for _ in range(growth):
+        dht.create_vnode(snode)
+    for key in keys:
+        assert dht.get(key) == f"value:{key}"
+        owner = dht.lookup(key).vnode
+        assert dht.storage.contains(owner, key)
+    dht.verify_storage_consistency()
+
+
+@SETTINGS
+@given(
+    n_vnodes=st.integers(min_value=2, max_value=20),
+    remove_positions=st.lists(st.integers(min_value=0, max_value=19), max_size=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_global_routing_total_after_removals(n_vnodes, remove_positions, seed):
+    dht = GlobalDHT(DHTConfig.for_global(pmin=4), rng=seed)
+    snode = dht.add_snode()
+    refs = [dht.create_vnode(snode) for _ in range(n_vnodes)]
+    for key_index in range(30):
+        dht.put(f"k{key_index}", key_index)
+    for position in remove_positions:
+        if dht.n_vnodes <= 1:
+            break
+        ref = refs[position % len(refs)]
+        if ref in dht.vnodes:
+            dht.remove_vnode(ref)
+    dht.check_invariants()
+    for key_index in range(30):
+        assert dht.get(f"k{key_index}") == key_index

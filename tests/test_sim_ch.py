@@ -1,0 +1,87 @@
+"""Tests for the Consistent Hashing simulator (repro.sim.ch)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import ConsistentHashingSimulator
+
+
+class TestConsistentHashingSimulator:
+    def test_quotas_sum_to_one(self):
+        sim = ConsistentHashingSimulator(8, rng=0)
+        sim.run(50)
+        assert sim.node_quotas().sum() == pytest.approx(1.0, abs=1e-9)
+        assert len(sim.node_quotas()) == 50
+
+    def test_single_node_owns_everything(self):
+        sim = ConsistentHashingSimulator(4, rng=1)
+        sim.add_node()
+        assert sim.node_quotas().tolist() == pytest.approx([1.0])
+        assert sim.sigma_qn() == 0.0
+
+    def test_incremental_matches_from_scratch(self):
+        """Adding nodes one by one must equal regenerating the ring at once."""
+        rng_seed = 7
+        sim = ConsistentHashingSimulator(4, rng=rng_seed)
+        sim.run(20)
+        incremental = sim.node_quotas()
+
+        # Recompute from the raw ring state directly.
+        points, owners = sim._points, sim._owners
+        arcs = np.diff(points, prepend=points[-1] - 1.0)
+        scratch = np.bincount(owners, weights=arcs, minlength=sim.n_nodes)
+        assert np.allclose(incremental, scratch)
+
+    def test_more_partitions_balance_better(self):
+        """The classic CH result: imbalance shrinks as k grows."""
+        def final_sigma(k):
+            values = [
+                ConsistentHashingSimulator(k, rng=seed).run(128).sigma_qn[-1]
+                for seed in range(5)
+            ]
+            return float(np.mean(values))
+
+        assert final_sigma(64) < final_sigma(8)
+
+    def test_trace_shape_and_percent(self):
+        trace = ConsistentHashingSimulator(4, rng=3).run(10)
+        assert len(trace) == 10
+        assert trace.n_nodes[-1] == 10
+        assert np.allclose(trace.sigma_qn_percent(), trace.sigma_qn * 100.0)
+
+    def test_weighted_nodes_get_proportional_quota(self):
+        weights = [1.0, 3.0]
+        sims = []
+        for seed in range(20):
+            sim = ConsistentHashingSimulator(32, rng=seed, weights=weights)
+            sim.run(2)
+            sims.append(sim.node_quotas())
+        mean_quotas = np.mean(sims, axis=0)
+        # The weight-3 node should own roughly 3x the quota of the weight-1 node.
+        assert 2.0 < mean_quotas[1] / mean_quotas[0] < 4.5
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            ConsistentHashingSimulator(4, weights=[1.0, 0.0])
+        with pytest.raises(ValueError):
+            ConsistentHashingSimulator(0)
+        sim = ConsistentHashingSimulator(4, weights=[1.0])
+        sim.add_node()
+        with pytest.raises(IndexError):
+            sim.add_node()  # no weight configured for node 1
+
+    def test_run_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ConsistentHashingSimulator(4).run(0)
+
+    def test_deterministic_given_seed(self):
+        a = ConsistentHashingSimulator(8, rng=5).run(30)
+        b = ConsistentHashingSimulator(8, rng=5).run(30)
+        assert np.array_equal(a.sigma_qn, b.sigma_qn)
+
+    def test_empty_state(self):
+        sim = ConsistentHashingSimulator(4)
+        assert sim.sigma_qn() == 0.0
+        assert sim.node_quotas().size == 0

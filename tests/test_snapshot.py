@@ -1,0 +1,93 @@
+"""Tests for DHT snapshot/restore (repro.core.snapshot)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import DHTConfig, GlobalDHT, LocalDHT, ReproError, restore_dht, snapshot_dht
+from tests.conftest import grow
+
+
+def build_local(n_vnodes=20, items=100, seed=3) -> LocalDHT:
+    dht = LocalDHT(DHTConfig.for_local(pmin=4, vmin=4), rng=seed)
+    snodes = dht.add_snodes(3, cluster_nodes=["a", "b", "c"])
+    for i in range(n_vnodes):
+        dht.create_vnode(snodes[i % 3])
+    for i in range(items):
+        dht.put(f"key-{i}", {"payload": i})
+    return dht
+
+
+class TestRoundTrip:
+    def test_local_round_trip_preserves_structure_and_data(self):
+        original = build_local()
+        snapshot = snapshot_dht(original)
+        # The snapshot must be JSON-serializable.
+        encoded = json.dumps(snapshot)
+        restored = restore_dht(json.loads(encoded))
+
+        assert isinstance(restored, LocalDHT)
+        assert restored.n_snodes == original.n_snodes
+        assert restored.n_vnodes == original.n_vnodes
+        assert restored.n_groups == original.n_groups
+        assert restored.quotas() == original.quotas()
+        assert restored.group_quotas() == original.group_quotas()
+        assert restored.sigma_qv() == pytest.approx(original.sigma_qv())
+        assert restored.storage.total_items() == original.storage.total_items()
+        for i in range(100):
+            assert restored.get(f"key-{i}") == {"payload": i}
+        restored.check_invariants()
+
+    def test_global_round_trip(self, global_dht):
+        grow(global_dht, 13)
+        global_dht.put("x", 1)
+        restored = restore_dht(snapshot_dht(global_dht))
+        assert isinstance(restored, GlobalDHT)
+        assert restored.splitlevel == global_dht.splitlevel
+        assert restored.partition_counts() == global_dht.partition_counts()
+        assert restored.get("x") == 1
+        restored.check_invariants()
+
+    def test_restored_dht_keeps_evolving_correctly(self):
+        original = build_local(n_vnodes=12, items=50)
+        restored = restore_dht(snapshot_dht(original), rng=7)
+        snode = next(iter(restored.snodes.values()))
+        for _ in range(20):
+            restored.create_vnode(snode)
+            restored.check_invariants()
+        assert all(restored.get(f"key-{i}") == {"payload": i} for i in range(50))
+
+    def test_vnode_name_counters_preserved(self):
+        original = build_local(n_vnodes=9, items=0)
+        restored = restore_dht(snapshot_dht(original))
+        snode = next(iter(restored.snodes.values()))
+        existing_names = {entry["ref"] for entry in snapshot_dht(original)["vnodes"]}
+        new_ref = restored.create_vnode(snode)
+        # The restored name counters prevent canonical-name collisions.
+        assert new_ref.canonical_name not in existing_names
+        assert new_ref in restored.vnodes
+        assert len(restored.vnodes) == 10
+
+    def test_without_data(self):
+        original = build_local(items=40)
+        snapshot = snapshot_dht(original, include_data=False)
+        assert "items" not in snapshot
+        restored = restore_dht(snapshot)
+        assert restored.storage.total_items() == 0
+        assert restored.n_vnodes == original.n_vnodes
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self):
+        snapshot = snapshot_dht(build_local(n_vnodes=5, items=0))
+        snapshot["version"] = 99
+        with pytest.raises(ReproError):
+            restore_dht(snapshot)
+
+    def test_unknown_approach_rejected(self):
+        snapshot = snapshot_dht(build_local(n_vnodes=5, items=0))
+        snapshot["approach"] = "hybrid"
+        with pytest.raises(ReproError):
+            restore_dht(snapshot)

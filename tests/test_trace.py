@@ -1,0 +1,72 @@
+"""Tests for the trace containers (repro.sim.trace)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import BalanceTrace, CHTrace
+
+
+def make_trace(n=4, sigma=None):
+    return BalanceTrace(
+        n_vnodes=np.arange(1, n + 1),
+        sigma_qv=np.asarray(sigma if sigma is not None else [0.0] * n, dtype=float),
+        n_groups=np.ones(n, dtype=np.int64),
+        g_ideal=np.ones(n, dtype=np.int64),
+        sigma_qg=np.zeros(n),
+    )
+
+
+class TestBalanceTrace:
+    def test_length_and_final(self):
+        trace = make_trace(4, sigma=[0.0, 0.1, 0.2, 0.3])
+        assert len(trace) == 4
+        assert trace.final_sigma_qv == pytest.approx(0.3)
+        assert trace.sigma_qv_percent()[-1] == pytest.approx(30.0)
+        assert trace.sigma_qg_percent().tolist() == [0.0] * 4
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            BalanceTrace(
+                n_vnodes=np.arange(1, 4),
+                sigma_qv=np.zeros(3),
+                n_groups=np.ones(3),
+                g_ideal=np.ones(2),
+                sigma_qg=np.zeros(3),
+            )
+
+    def test_average(self):
+        a = make_trace(3, sigma=[0.0, 0.2, 0.4])
+        b = make_trace(3, sigma=[0.2, 0.4, 0.6])
+        avg = BalanceTrace.average([a, b])
+        assert avg.sigma_qv.tolist() == pytest.approx([0.1, 0.3, 0.5])
+        with pytest.raises(ValueError):
+            BalanceTrace.average([])
+        with pytest.raises(ValueError):
+            BalanceTrace.average([a, make_trace(4)])
+
+    def test_to_dict_roundtrips_lists(self):
+        data = make_trace(2).to_dict()
+        assert set(data) == {"n_vnodes", "sigma_qv", "n_groups", "g_ideal", "sigma_qg"}
+        assert data["n_vnodes"] == [1, 2]
+
+
+class TestCHTrace:
+    def test_basics(self):
+        trace = CHTrace(n_nodes=np.arange(1, 4), sigma_qn=np.array([0.0, 0.1, 0.2]))
+        assert len(trace) == 3
+        assert trace.sigma_qn_percent().tolist() == pytest.approx([0.0, 10.0, 20.0])
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CHTrace(n_nodes=np.arange(1, 4), sigma_qn=np.zeros(2))
+
+    def test_average(self):
+        a = CHTrace(n_nodes=np.arange(1, 3), sigma_qn=np.array([0.2, 0.4]))
+        b = CHTrace(n_nodes=np.arange(1, 3), sigma_qn=np.array([0.0, 0.2]))
+        avg = CHTrace.average([a, b])
+        assert avg.sigma_qn.tolist() == pytest.approx([0.1, 0.3])
+        with pytest.raises(ValueError):
+            CHTrace.average([])
+        assert set(a.to_dict()) == {"n_nodes", "sigma_qn"}

@@ -1,0 +1,90 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, iter_chunks, random_indices, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_from_int_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_existing_generator_returned_unchanged(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_from_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        gen = ensure_rng(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")  # type: ignore[arg-type]
+
+
+class TestSpawnRngs:
+    def test_children_are_independent_and_deterministic(self):
+        first = [g.integers(0, 10**6) for g in spawn_rngs(5, 4)]
+        second = [g.integers(0, 10**6) for g in spawn_rngs(5, 4)]
+        assert first == second
+        assert len(set(first)) > 1  # streams differ from each other
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_from_generator_is_deterministic_given_state(self):
+        a = spawn_rngs(np.random.default_rng(3), 2)
+        b = spawn_rngs(np.random.default_rng(3), 2)
+        assert [g.integers(0, 10**6) for g in a] == [g.integers(0, 10**6) for g in b]
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(1, "fig4", 32) == derive_seed(1, "fig4", 32)
+
+    def test_different_components_differ(self):
+        assert derive_seed(1, "fig4", 32) != derive_seed(1, "fig4", 64)
+        assert derive_seed(1, "fig4") != derive_seed(2, "fig4")
+
+    def test_negative_master_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(-1)
+
+    def test_bad_component_type_rejected(self):
+        with pytest.raises(TypeError):
+            derive_seed(1, 3.5)  # type: ignore[arg-type]
+
+
+class TestHelpers:
+    def test_random_indices_range(self):
+        values = random_indices(0, 100, 17)
+        assert values.shape == (100,)
+        assert values.min() >= 0 and values.max() < 17
+
+    def test_random_indices_bad_upper(self):
+        with pytest.raises(ValueError):
+            random_indices(0, 10, 0)
+
+    def test_iter_chunks(self):
+        assert [list(c) for c in iter_chunks(list(range(7)), 3)] == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_iter_chunks_bad_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks([1, 2], 0))

@@ -1,0 +1,61 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+    is_power_of_two,
+    require,
+)
+
+
+def test_require_passes_and_raises():
+    require(True, "never raised")
+    with pytest.raises(ValueError, match="boom"):
+        require(False, "boom")
+    with pytest.raises(KeyError):
+        require(False, "boom", exc=KeyError)
+
+
+@pytest.mark.parametrize("value,expected", [
+    (1, True), (2, True), (4, True), (1024, True),
+    (0, False), (3, False), (6, False), (-4, False), (1.0, False),
+])
+def test_is_power_of_two(value, expected):
+    assert is_power_of_two(value) is expected
+
+
+def test_check_power_of_two():
+    assert check_power_of_two(8, "x") == 8
+    with pytest.raises(ValueError):
+        check_power_of_two(12, "x")
+    with pytest.raises(TypeError):
+        check_power_of_two(8.0, "x")
+    with pytest.raises(TypeError):
+        check_power_of_two(True, "x")
+
+
+def test_check_positive_and_non_negative():
+    assert check_positive(3, "x") == 3
+    with pytest.raises(ValueError):
+        check_positive(0, "x")
+    assert check_non_negative(0, "x") == 0
+    with pytest.raises(ValueError):
+        check_non_negative(-1, "x")
+    with pytest.raises(TypeError):
+        check_positive("3", "x")
+
+
+def test_check_in_range_and_probability():
+    assert check_in_range(0.5, 0.0, 1.0, "x") == 0.5
+    with pytest.raises(ValueError):
+        check_in_range(2.0, 0.0, 1.0, "x")
+    assert check_probability(1.0, "p") == 1.0
+    with pytest.raises(ValueError):
+        check_probability(1.5, "p")

@@ -1,0 +1,152 @@
+"""Tests for the workloads package (arrivals, keys, heterogeneity)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ArrivalEvent,
+    CapacityProfile,
+    ChurnSchedule,
+    ConsecutiveCreations,
+    KeyWorkload,
+    NodeSpec,
+    PoissonArrivals,
+    StaggeredBatches,
+    enrollment_from_capacity,
+    sequential_keys,
+    uniform_keys,
+    zipf_keys,
+)
+
+
+class TestArrivals:
+    def test_consecutive_creations(self):
+        schedule = ConsecutiveCreations(6, n_snodes=3, interval=2.0)
+        events = schedule.events()
+        assert len(events) == len(schedule) == 6
+        assert [e.snode for e in events] == [0, 1, 2, 0, 1, 2]
+        assert events[3].time == 6.0
+        assert all(e.kind == "create" for e in events)
+
+    def test_consecutive_validation(self):
+        with pytest.raises(ValueError):
+            ConsecutiveCreations(0)
+        with pytest.raises(ValueError):
+            ConsecutiveCreations(3, n_snodes=0)
+        with pytest.raises(ValueError):
+            ConsecutiveCreations(3, interval=-1)
+
+    def test_staggered_batches(self):
+        schedule = StaggeredBatches(n_batches=2, batch_size=3, gap=5.0, n_snodes=2)
+        events = schedule.events()
+        assert len(events) == len(schedule) == 6
+        assert [e.time for e in events] == [0.0, 0.0, 0.0, 5.0, 5.0, 5.0]
+
+    def test_poisson_arrivals(self):
+        schedule = PoissonArrivals(50, rate=10.0, n_snodes=4, rng=0)
+        events = schedule.events()
+        times = [e.time for e in events]
+        assert len(events) == 50
+        assert times == sorted(times)
+        assert all(0 <= e.snode < 4 for e in events)
+        # Mean inter-arrival should be about 1/rate.
+        assert 0.03 < times[-1] / 50 < 0.3
+
+    def test_churn_schedule_keeps_dht_non_empty(self):
+        schedule = ChurnSchedule(initial=5, churn_events=40, remove_fraction=0.7, rng=1)
+        alive = 0
+        for event in schedule.events():
+            alive += 1 if event.kind == "create" else -1
+            assert alive >= 2 or event.kind == "create" or alive >= 1
+        assert len(schedule) == 45
+
+    def test_churn_validation(self):
+        with pytest.raises(ValueError):
+            ChurnSchedule(initial=0, churn_events=1)
+        with pytest.raises(ValueError):
+            ChurnSchedule(initial=1, churn_events=1, remove_fraction=2.0)
+
+
+class TestKeys:
+    def test_uniform_keys_distinct_and_deterministic(self):
+        a = uniform_keys(100, rng=3)
+        b = uniform_keys(100, rng=3)
+        assert a == b
+        assert len(set(a)) == 100
+
+    def test_sequential_keys(self):
+        assert sequential_keys(3) == ["item:0", "item:1", "item:2"]
+        assert sequential_keys(0) == []
+
+    def test_zipf_keys_skewed(self):
+        keys = zipf_keys(2000, n_distinct=50, exponent=1.3, rng=0)
+        assert len(keys) == 2000
+        counts = {}
+        for key in keys:
+            counts[key] = counts.get(key, 0) + 1
+        top = max(counts.values())
+        assert top > 2000 / 50  # the most popular key is well above uniform share
+
+    def test_key_workload(self):
+        wl = KeyWorkload.sequential(10)
+        assert len(wl) == 10
+        pairs = list(wl.items())
+        assert pairs[0] == ("item:0", "value-of:item:0")
+        assert KeyWorkload.uniform(5, rng=1).keys != KeyWorkload.uniform(5, rng=2).keys
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_keys(-1)
+        with pytest.raises(ValueError):
+            zipf_keys(10, 0)
+        with pytest.raises(ValueError):
+            zipf_keys(10, 5, exponent=0.0)
+
+
+class TestHeterogeneity:
+    def test_node_spec_capacity_monotone_in_resources(self):
+        small = NodeSpec("s", cpu_cores=2, memory_gb=4, storage_gb=100)
+        big = NodeSpec("b", cpu_cores=8, memory_gb=32, storage_gb=800)
+        assert big.capacity_score() > small.capacity_score()
+        boosted = NodeSpec("x", cpu_cores=2, memory_gb=4, storage_gb=100,
+                           relative_performance=2.0)
+        assert boosted.capacity_score() == pytest.approx(2 * small.capacity_score())
+
+    def test_node_spec_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec("bad", cpu_cores=0)
+        with pytest.raises(ValueError):
+            NodeSpec("bad", memory_gb=0)
+        with pytest.raises(ValueError):
+            NodeSpec("bad", relative_performance=0)
+
+    def test_homogeneous_profile(self):
+        profile = CapacityProfile.homogeneous(5)
+        assert len(profile) == 5
+        weights = profile.relative_weights()
+        assert all(w == pytest.approx(1.0) for w in weights.values())
+        assert profile.enrollments(base_vnodes=4) == {n: 4 for n in profile.names()}
+
+    def test_generations_profile(self):
+        profile = CapacityProfile.generations(30, rng=0)
+        weights = profile.relative_weights()
+        assert len(weights) == 30
+        assert max(weights.values()) > min(weights.values())
+        assert np.isclose(np.mean(list(weights.values())), 1.0)
+
+    def test_enrollment_from_capacity(self):
+        assert enrollment_from_capacity(1.0, base_vnodes=4) == 4
+        assert enrollment_from_capacity(2.5, base_vnodes=4) == 10
+        assert enrollment_from_capacity(0.01, base_vnodes=4) == 1  # floor of one vnode
+        with pytest.raises(ValueError):
+            enrollment_from_capacity(0.0)
+        with pytest.raises(ValueError):
+            enrollment_from_capacity(1.0, base_vnodes=0)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            CapacityProfile.homogeneous(0)
+        with pytest.raises(ValueError):
+            CapacityProfile.generations(0)
