@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Bulk throughput: the vectorized batch engine vs the per-key path.
+
+Builds two identical DHTs and pushes the same workload through both:
+
+* **scalar** — one ``dht.put(key, value)`` per key, then one
+  ``dht.lookup(key)`` per key (the paper-faithful per-key pipeline);
+* **batch** — one ``dht.bulk_load(keys, values)``, then one
+  ``dht.lookup_many(keys)`` (vectorized hashing, ``np.searchsorted``
+  routing, columnar storage segments).
+
+Both sides produce identical placements (same hash function, same routing
+table); the comparison is purely about per-key interpreter overhead vs
+amortized array work.  With the default integer-id workload at 10^6 keys
+the batch pipeline is >= 10x faster end to end; string keys gain less
+(BLAKE2b digests still happen per key) but still severalfold.
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_bulk_throughput.py --keys 1000000
+    PYTHONPATH=src python benchmarks/bench_bulk_throughput.py --keys 10000 --key-kind str
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.core import DHTConfig, LocalDHT
+from repro.core.base import BaseDHT
+from repro.report import format_table
+from repro.workloads import id_keys, uniform_keys
+
+
+def build_dht(args: argparse.Namespace) -> BaseDHT:
+    """One DHT per side, built identically so placements match."""
+    dht = LocalDHT(DHTConfig.for_local(pmin=args.pmin, vmin=args.vmin), rng=args.seed)
+    snodes = dht.add_snodes(args.snodes)
+    for i in range(args.vnodes):
+        dht.create_vnode(snodes[i % len(snodes)])
+    return dht
+
+
+def make_workload(args: argparse.Namespace):
+    """Keys (int ids or uniform strings) plus one value object per key."""
+    if args.key_kind == "int":
+        keys: Union[np.ndarray, List[str]] = id_keys(args.keys, rng=args.seed)
+        scalar_keys: Sequence = keys.tolist()
+    else:
+        keys = uniform_keys(args.keys, rng=args.seed)
+        scalar_keys = keys
+    values = np.asarray([f"value-{i}" for i in range(args.keys)], dtype=object)
+    return keys, scalar_keys, values
+
+
+def run_scalar(dht: BaseDHT, keys: Sequence, values: np.ndarray) -> tuple:
+    t0 = time.perf_counter()
+    for key, value in zip(keys, values.tolist()):
+        dht.put(key, value)
+    t_put = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for key in keys:
+        dht.lookup(key)
+    t_lookup = time.perf_counter() - t0
+    return t_put, t_lookup
+
+
+def run_batch(dht: BaseDHT, keys, values: np.ndarray) -> tuple:
+    t0 = time.perf_counter()
+    dht.bulk_load(keys, values)
+    t_put = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    dht.lookup_many(keys)
+    t_lookup = time.perf_counter() - t0
+    return t_put, t_lookup
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keys", type=int, default=1_000_000, help="number of keys")
+    parser.add_argument("--key-kind", choices=("int", "str"), default="int",
+                        help="integer ids (vectorized SplitMix64) or uniform strings (BLAKE2b)")
+    parser.add_argument("--snodes", type=int, default=4)
+    parser.add_argument("--vnodes", type=int, default=32, help="total vnodes")
+    parser.add_argument("--pmin", type=int, default=8)
+    parser.add_argument("--vmin", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="exit non-zero if the end-to-end speedup falls below this")
+    args = parser.parse_args(argv)
+
+    keys, scalar_keys, values = make_workload(args)
+    n = args.keys
+
+    # Batch runs first, on the cold heap/caches; the scalar loop then runs
+    # with only the batch side's (columnar, container-light) data resident.
+    # The opposite order would make the batch phase pay GC/allocator tax for
+    # the millions of per-key objects the scalar loop leaves behind.
+    batch_dht = build_dht(args)
+    b_put, b_lookup = run_batch(batch_dht, keys, values)
+
+    scalar_dht = build_dht(args)
+    s_put, s_lookup = run_scalar(scalar_dht, scalar_keys, values)
+
+    # Both pipelines must have produced the same placement.
+    sample = range(0, n, max(1, n // 64))
+    for i in sample:
+        assert batch_dht.lookup(scalar_keys[i]) == scalar_dht.lookup(scalar_keys[i])
+    assert batch_dht.storage.total_items() == scalar_dht.storage.total_items() == n
+
+    def rate(seconds: float) -> str:
+        return f"{n / seconds:,.0f}" if seconds > 0 else "inf"
+
+    rows = [
+        ["put / bulk_load", f"{s_put:.3f}", f"{b_put:.3f}", rate(s_put), rate(b_put),
+         f"{s_put / b_put:.1f}x"],
+        ["lookup / lookup_many", f"{s_lookup:.3f}", f"{b_lookup:.3f}",
+         rate(s_lookup), rate(b_lookup), f"{s_lookup / b_lookup:.1f}x"],
+        ["end to end", f"{s_put + s_lookup:.3f}", f"{b_put + b_lookup:.3f}",
+         rate(s_put + s_lookup), rate(b_put + b_lookup),
+         f"{(s_put + s_lookup) / (b_put + b_lookup):.1f}x"],
+    ]
+    print(f"bulk throughput @ {n:,} {args.key_kind} keys "
+          f"({batch_dht.n_vnodes} vnodes on {batch_dht.n_snodes} snodes)\n")
+    print(format_table(
+        ["stage", "scalar s", "batch s", "scalar keys/s", "batch keys/s", "speedup"], rows
+    ))
+
+    speedup = (s_put + s_lookup) / (b_put + b_lookup)
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"\nFAIL: end-to-end speedup {speedup:.1f}x < required {args.min_speedup:.1f}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

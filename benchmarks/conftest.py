@@ -1,7 +1,7 @@
 """Shared helpers for the benchmark harness.
 
 Every file in this directory regenerates one figure/claim/ablation of
-DESIGN.md's experiment index.  Runs are averaged over ``REPRO_RUNS``
+docs/paper-mapping.md's experiment index.  Runs are averaged over ``REPRO_RUNS``
 repetitions (default 10; the paper used 100) of ``REPRO_VNODES`` creations
 (default 1024, as in the paper) — export those variables to change the
 fidelity/runtime tradeoff.

@@ -28,9 +28,15 @@ Quickstart
 LookupResult(...)
 >>> dht.get("user:42")
 {'name': 'Ada'}
+
+For million-key workloads use the batch API — ``dht.bulk_load(keys,
+values)``, ``dht.lookup_many(keys)``, ``dht.get_many(keys)`` — which
+vectorizes hashing, routing and storage end to end (see README.md and
+docs/architecture.md).
 """
 
 from repro.core import (
+    BatchLookupResult,
     DHTConfig,
     GlobalDHT,
     GroupId,
@@ -59,6 +65,7 @@ __all__ = [
     "VnodeRef",
     "GroupId",
     "LookupResult",
+    "BatchLookupResult",
     "ReproError",
     "InvariantViolation",
 ]

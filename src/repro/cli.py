@@ -1,14 +1,17 @@
 """Command-line interface for the reproduction.
 
-Provides three subcommands::
+Provides four subcommands::
 
     python -m repro list                         # registered experiments
     python -m repro run fig4 [--runs N] [...]    # run one experiment
     python -m repro demo [--vnodes N] [...]      # build a small DHT and report it
+    python -m repro bulk-bench [--keys N] [...]  # replay bulk workload scenarios
 
 ``run`` prints the same checkpoint table / ASCII chart the benchmarks print
 and can persist the result to JSON (``--output``) for later comparison with
-``repro.experiments.persistence``.
+``repro.experiments.persistence``.  ``bulk-bench`` replays the scenario
+suite of :mod:`repro.workloads.driver` through the batch API and prints
+throughput plus balance metrics per scenario.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from repro.experiments import (
 from repro.experiments.persistence import save_result
 from repro.report import format_table
 from repro.workloads import KeyWorkload
+from repro.workloads.driver import ScenarioDriver, ScenarioReport, builtin_scenarios
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +57,19 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--vmin", type=int, default=8)
     demo.add_argument("--items", type=int, default=200, help="items to store")
     demo.add_argument("--seed", type=int, default=0)
+
+    bulk = sub.add_parser(
+        "bulk-bench", help="replay bulk workload scenarios through the batch API"
+    )
+    bulk.add_argument("--keys", type=int, default=1_000_000, help="distinct keys per scenario")
+    bulk.add_argument(
+        "--scenario",
+        choices=("all", "ids", "uniform", "zipf", "heterogeneous"),
+        default="all",
+        help="which scenario(s) to replay",
+    )
+    bulk.add_argument("--approach", choices=("local", "global"), default="local")
+    bulk.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -99,8 +116,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     for i in range(args.vnodes):
         dht.create_vnode(snodes[i % len(snodes)])
     workload = KeyWorkload.uniform(args.items, rng=args.seed)
-    for key, value in workload.items():
-        dht.put(key, value)
+    dht.bulk_load(workload.keys, [workload.value_for(k) for k in workload.keys])
     dht.check_invariants()
 
     info = dht.describe()
@@ -114,6 +130,22 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bulk_bench(args: argparse.Namespace) -> int:
+    try:
+        specs = builtin_scenarios(n_keys=args.keys, seed=args.seed, approach=args.approach)
+    except ValueError as exc:
+        print(f"bulk-bench: {exc}", file=sys.stderr)
+        return 2
+    if args.scenario != "all":
+        specs = [s for s in specs if s.name == args.scenario]
+    rows = []
+    for spec in specs:
+        report = ScenarioDriver(spec).run()
+        rows.append(report.as_row())
+    print(format_table(ScenarioReport.ROW_HEADER, rows))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -123,6 +155,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "demo":
         return _cmd_demo(args)
+    if args.command == "bulk-bench":
+        return _cmd_bulk_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -47,7 +47,7 @@ from repro.core.hashspace import (
 )
 from repro.core.ids import GroupId, SnodeId, VnodeRef
 from repro.core.local_model import LocalDHT, ideal_group_count
-from repro.core.lookup import LookupResult, PartitionRouter
+from repro.core.lookup import BatchLookupResult, LookupResult, PartitionRouter
 from repro.core.records import GPDR, LPDR, PartitionDistributionRecord
 from repro.core.snapshot import restore_dht, snapshot_dht
 from repro.core.storage import DHTStorage, MigrationStats, StoredItem, VnodeStore
@@ -82,6 +82,7 @@ __all__ = [
     "ideal_group_count",
     "snapshot_dht",
     "restore_dht",
+    "BatchLookupResult",
     "LookupResult",
     "PartitionRouter",
     "DHTStorage",

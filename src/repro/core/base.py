@@ -36,11 +36,33 @@ from repro.core.errors import (
 )
 from repro.core.hashspace import HashSpace, Partition
 from repro.core.ids import SnodeId, VnodeRef
-from repro.core.lookup import LookupResult, PartitionRouter
+from repro.core.lookup import BatchLookupResult, LookupResult, PartitionRouter
 from repro.core.storage import DHTStorage
+from repro.utils.arrays import as_object_column
+from repro.utils.gcscope import deferred_gc
 from repro.utils.rng import RngLike, ensure_rng
 
 SnodeLike = Union[Snode, SnodeId, int]
+
+
+def _position_runs(positions: np.ndarray) -> Tuple[np.ndarray, List[Tuple[int, int, int]]]:
+    """Group a batch by routing-table position into contiguous runs.
+
+    Returns ``(order, runs)``: a stable argsort of ``positions`` (each
+    position's items form one contiguous run while keeping input order
+    inside the run, so duplicate keys stay last-write-wins) and, per
+    position present in the batch, a ``(position, lo, hi)`` slice of that
+    sorted order.  Shared by :meth:`BaseDHT.bulk_load` and
+    :meth:`BaseDHT.get_many`.
+    """
+    order = np.argsort(positions, kind="stable")
+    counts = np.bincount(positions)
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    runs = [
+        (pos, int(bounds[pos]), int(bounds[pos + 1]))
+        for pos in np.flatnonzero(counts).tolist()
+    ]
+    return order, runs
 
 
 class BaseDHT(ABC):
@@ -203,7 +225,7 @@ class BaseDHT(ABC):
         if not recipients:
             raise EmptyDHTError("cannot drain a vnode without any recipient vnodes")
         vnode = self.get_vnode(ref)
-        for partition in sorted(vnode.partitions, key=lambda p: p.start_fraction):
+        for partition in sorted(vnode.partitions, key=Partition.ring_sort_key):
             target_ref = min(
                 recipients, key=lambda r: (self.get_vnode(r).partition_count, r)
             )
@@ -245,6 +267,32 @@ class BaseDHT(ABC):
         """Route an application key to its owner (hashing it first)."""
         return self.find_owner(self.hash_space.hash_key(key))
 
+    def lookup_many(self, keys: Union[Sequence[Hashable], np.ndarray]) -> BatchLookupResult:
+        """Route a batch of keys in one vectorized pass.
+
+        Equivalent to ``[self.lookup(k) for k in keys]`` — for every ``i``,
+        ``lookup_many(keys)[i] == lookup(keys[i])`` — but hashing and routing
+        run over whole arrays (:meth:`HashSpace.hash_keys`,
+        :meth:`PartitionRouter.locate_batch`) and per-key
+        :class:`LookupResult` objects are only materialized on access.
+
+        An empty batch returns an empty result without touching the router,
+        so it is valid even on an empty DHT.
+        """
+        if len(keys) == 0:
+            return BatchLookupResult(
+                indices=np.empty(0, dtype=np.uint64),
+                positions=np.empty(0, dtype=np.int64),
+            )
+        indices = self.hash_space.hash_keys(keys)
+        router = self._ensure_router()
+        positions = router.locate_batch(indices)
+        route_table = {}
+        for pos in np.unique(positions).tolist():
+            partition, ref = router.entry_at(pos)
+            route_table[pos] = (partition, ref, ref.snode, self.get_vnode(ref).group_id)
+        return BatchLookupResult(indices=indices, positions=positions, route_table=route_table)
+
     # ---------------------------------------------------------------- key/value API
 
     def put(self, key: Hashable, value: Any) -> LookupResult:
@@ -270,6 +318,74 @@ class BaseDHT(ABC):
         except EmptyDHTError:
             return False
         return self.storage.contains(result.vnode, key)
+
+    # ------------------------------------------------------------------- bulk API
+
+    def bulk_load(
+        self,
+        keys: Union[Sequence[Hashable], np.ndarray],
+        values: Optional[Union[Sequence[Any], np.ndarray]] = None,
+    ) -> int:
+        """Store a whole batch of items in one vectorized pass.
+
+        Equivalent to ``for k, v in zip(keys, values): self.put(k, v)`` —
+        same owners, same stored indices, later duplicates win — but the
+        pipeline is batch-first and columnar end to end: one
+        :meth:`HashSpace.hash_keys` call, one
+        :meth:`PartitionRouter.locate_batch` call, one stable counting sort
+        grouping the items by owning vnode, and one
+        :meth:`DHTStorage.put_batch` per touched vnode handing over array
+        slices (the storage engine merges them into its hash tier lazily;
+        see :mod:`repro.core.storage`).
+
+        ``values`` may be omitted to store ``None`` for every key (routing /
+        placement studies that don't care about payloads).  Returns the
+        number of items ingested.
+        """
+        n = len(keys)
+        if values is not None and len(values) != n:
+            raise ValueError(f"bulk_load: {n} keys but {len(values)} values")
+        if n == 0:
+            return 0
+        with deferred_gc():
+            indices = self.hash_space.hash_keys(keys)
+            router = self._ensure_router()
+            positions = router.locate_batch(indices)
+            order, runs = _position_runs(positions)
+            keys_sorted = as_object_column(keys)[order]
+            indices_sorted = indices[order]
+            values_sorted = None if values is None else as_object_column(values)[order]
+
+            stored = 0
+            for pos, lo, hi in runs:
+                owner = router.entry_at(pos)[1]
+                stored += self.storage.put_batch(
+                    owner,
+                    keys_sorted[lo:hi],
+                    indices_sorted[lo:hi],
+                    None if values_sorted is None else values_sorted[lo:hi],
+                )
+            return stored
+
+    def get_many(self, keys: Union[Sequence[Hashable], np.ndarray]) -> List[Any]:
+        """Fetch the values for a batch of keys, in input order.
+
+        Equivalent to ``[self.get(k) for k in keys]`` (including raising
+        :class:`KeyError` for absent keys) but routed in one vectorized pass
+        with one :meth:`DHTStorage.get_batch` per owning vnode.
+        """
+        n = len(keys)
+        if n == 0:
+            return []
+        batch = self.lookup_many(keys)
+        with deferred_gc():
+            order, runs = _position_runs(batch.positions)
+            keys_sorted = as_object_column(keys)[order]
+            out = np.empty(n, dtype=object)
+            for pos, lo, hi in runs:
+                owner = batch.route_table[pos][1]
+                out[order[lo:hi]] = self.storage.get_batch(owner, keys_sorted[lo:hi].tolist())
+            return out.tolist()
 
     def __contains__(self, key: Hashable) -> bool:
         return self.contains(key)

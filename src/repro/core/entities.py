@@ -82,7 +82,7 @@ class Vnode:
         """
         if not self._partitions:
             raise PartitionError(f"{self.ref} owns no partitions to hand over")
-        return max(self._partitions, key=lambda p: (p.start_fraction, p.level))
+        return max(self._partitions, key=Partition.ring_sort_key)
 
     def split_all_partitions(self) -> None:
         """Binary-split every owned partition (splitlevel + 1, count doubles)."""

@@ -19,10 +19,38 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Iterator, List, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.core.errors import PartitionError
 from repro.utils.rng import RngLike, ensure_rng
 
 KeyLike = Union[bytes, str, int]
+
+#: SplitMix64 constants (Steele, Lea & Flood 2014) — the finalizer used to
+#: hash integer keys into the ring.  The same arithmetic runs scalar (python
+#: ints) and vectorized (numpy uint64), so batch and per-key hashing agree
+#: bit for bit.
+_SM64_GAMMA = 0x9E3779B97F4A7C15
+_SM64_MIX1 = 0xBF58476D1CE4E5B9
+_SM64_MIX2 = 0x94D049BB133111EB
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(v: int) -> int:
+    """The SplitMix64 finalizer over one 64-bit value (scalar reference)."""
+    v = (v + _SM64_GAMMA) & _MASK64
+    v = ((v ^ (v >> 30)) * _SM64_MIX1) & _MASK64
+    v = ((v ^ (v >> 27)) * _SM64_MIX2) & _MASK64
+    return (v ^ (v >> 31)) & _MASK64
+
+
+def _splitmix64_vec(values: np.ndarray) -> np.ndarray:
+    """SplitMix64 over a uint64 array — identical output to :func:`_splitmix64`."""
+    with np.errstate(over="ignore"):
+        v = values.astype(np.uint64, copy=False) + np.uint64(_SM64_GAMMA)
+        v = (v ^ (v >> np.uint64(30))) * np.uint64(_SM64_MIX1)
+        v = (v ^ (v >> np.uint64(27))) * np.uint64(_SM64_MIX2)
+        return v ^ (v >> np.uint64(31))
 
 
 @dataclass(frozen=True, order=True)
@@ -39,11 +67,13 @@ class Partition:
         ``[index * 2**(Bh-level), (index+1) * 2**(Bh-level))``).
     """
 
-    # NOTE: field order matters for the total order: partitions are ordered
-    # primarily by their start fraction and secondarily by size (see __lt__
-    # emulation through (start_fraction, level)); we keep the dataclass
-    # order (level, index) but provide explicit comparison helpers below and
-    # rely on sort keys in call sites that need ring order.
+    # NOTE: ``order=True`` compares by field order, i.e. ``(level, index)``:
+    # partitions sort by splitlevel first (coarse before fine) and only then
+    # by ring position.  That total order is what keeps partitions usable in
+    # sorted containers, but it is NOT ring order — two partitions of
+    # different levels compare by level, not by position.  Call sites that
+    # need ring order (routing tables, drains, coverage checks) must sort
+    # with :meth:`ring_sort_key` instead of the default comparison.
     level: int
     index: int
 
@@ -71,6 +101,16 @@ class Partition:
     def end_fraction(self) -> Fraction:
         """Exclusive end of the partition as a fraction of the hash space."""
         return Fraction(self.index + 1, 1 << self.level)
+
+    def ring_sort_key(self) -> Tuple[Fraction, int]:
+        """Sort key placing partitions in ring order (by start, then size).
+
+        The dataclass' own ordering compares ``(level, index)`` — useful as a
+        stable total order, wrong for walking the ring.  Sorting a disjoint
+        set of partitions with this key yields them in increasing hash-index
+        order regardless of their splitlevels.
+        """
+        return (self.start_fraction, self.level)
 
     def size(self, bh: int) -> int:
         """Absolute size in hash indices for a ``bh``-bit hash space."""
@@ -169,10 +209,22 @@ class HashSpace:
     def hash_key(self, key: KeyLike) -> int:
         """Hash an application key into a hash index in ``R_h``.
 
-        Keys may be ``bytes``, ``str`` (UTF-8 encoded) or ``int`` (hashed by
-        its two's-complement byte representation), mirroring what a real DHT
-        front end would do.  BLAKE2b is used for speed and stable output
-        across processes (unlike the builtin :func:`hash`).
+        Keys may be ``bytes``, ``str`` (UTF-8 encoded) or ``int``, mirroring
+        what a real DHT front end would do.  Two hash functions are used:
+
+        * ``str`` / ``bytes`` keys go through BLAKE2b — fast, stable across
+          processes (unlike the builtin :func:`hash`) and uniform for
+          arbitrary byte strings;
+        * ``int`` keys (the id-style keys bulk workloads use) go through the
+          SplitMix64 finalizer of their value mod ``2**64`` — an avalanche
+          mixer that is an order of magnitude cheaper than a cryptographic
+          hash and, crucially, vectorizes exactly in :meth:`hash_keys`.
+
+        For hash spaces wider than 64 bits every key type falls back to
+        BLAKE2b (SplitMix64 only yields 64 bits of output).
+
+        Scalar and batch hashing are guaranteed to agree: for any key,
+        ``hash_keys([key])[0] == hash_key(key)``.
         """
         if isinstance(key, str):
             data = key.encode("utf-8")
@@ -181,11 +233,66 @@ class HashSpace:
         elif isinstance(key, bool):
             raise TypeError("bool keys are ambiguous; use int, str or bytes")
         elif isinstance(key, int):
+            if self.bh <= 64:
+                return _splitmix64(key & _MASK64) & (self.size - 1)
             data = key.to_bytes((key.bit_length() + 8) // 8 or 1, "little", signed=True)
         else:
             raise TypeError(f"unsupported key type {type(key).__name__}")
         digest = hashlib.blake2b(data, digest_size=16).digest()
         return int.from_bytes(digest, "big") % self.size
+
+    def hash_keys(self, keys: Union[Sequence[KeyLike], np.ndarray]) -> np.ndarray:
+        """Hash a batch of keys into an array of hash indices.
+
+        The batch counterpart of :meth:`hash_key` — same hash functions, same
+        results, but amortized over the whole batch:
+
+        * a numpy integer array is hashed entirely in numpy (vectorized
+          SplitMix64, ~20 ns/key);
+        * a sequence of ``str``/``bytes`` keys runs one tight BLAKE2b loop
+          that accumulates digests into a single buffer and converts them to
+          indices with one :func:`numpy.frombuffer` pass;
+        * anything else (mixed types, python ints, wide hash spaces) falls
+          back to per-key :meth:`hash_key` calls.
+
+        Returns a ``uint64`` array for ``bh <= 64`` and an object array of
+        python ints otherwise.
+        """
+        n = len(keys)
+        if self.bh > 64:
+            return np.array([self.hash_key(k) for k in keys], dtype=object)
+        mask = np.uint64(self.size - 1)
+        if isinstance(keys, np.ndarray):
+            if keys.dtype.kind == "b":
+                raise TypeError("bool keys are ambiguous; use int, str or bytes")
+            if keys.dtype.kind == "u":
+                return _splitmix64_vec(keys.astype(np.uint64, copy=False)) & mask
+            if keys.dtype.kind == "i":
+                # Two's-complement view == value mod 2**64, matching hash_key.
+                return _splitmix64_vec(keys.astype(np.int64, copy=False).view(np.uint64)) & mask
+            keys = keys.tolist()
+        if n == 0:
+            return np.empty(0, dtype=np.uint64)
+        first = keys[0]
+        if isinstance(first, (str, bytes)) and not isinstance(first, bool):
+            # Fast path: accumulate all 16-byte digests, then take the low
+            # 64 bits of each (digest % 2**bh only depends on those for
+            # bh <= 64, since big-endian int.from_bytes puts them last).
+            blake2b = hashlib.blake2b
+            buf = bytearray()
+            extend = buf.extend
+            for key in keys:
+                if isinstance(key, str):
+                    data = key.encode("utf-8")
+                elif isinstance(key, bytes):
+                    data = key
+                else:
+                    break  # mixed batch: fall through to the generic loop
+                extend(blake2b(data, digest_size=16).digest())
+            else:
+                low64 = np.frombuffer(bytes(buf), dtype=">u8")[1::2]
+                return low64.astype(np.uint64) & mask
+        return np.fromiter((self.hash_key(k) for k in keys), dtype=np.uint64, count=n)
 
     def random_index(self, rng: RngLike = None) -> int:
         """Draw a uniformly random hash index from ``R_h``.
@@ -236,7 +343,7 @@ class HashSpace:
 
 def partitions_are_disjoint(partitions: Iterable[Partition]) -> bool:
     """True if no two partitions in the collection overlap (invariant G1)."""
-    parts = sorted(partitions, key=lambda p: (p.start_fraction, p.level))
+    parts = sorted(partitions, key=Partition.ring_sort_key)
     for a, b in zip(parts, parts[1:]):
         if a.overlaps(b):
             return False

@@ -205,7 +205,7 @@ class LocalDHT(BaseDHT):
         Library extension (the paper does not define removal).  The vnode's
         partitions are handed one by one to the least-loaded vnodes of the
         same group, which preserves L1, G1'-G4'; G5' and the lower bound of
-        L2 may no longer hold afterwards (see DESIGN.md).
+        L2 may no longer hold afterwards (see docs/paper-mapping.md).
         """
         group = self.group_of(ref)
         others = [r for r in group.vnodes if r != ref]

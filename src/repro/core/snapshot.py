@@ -21,7 +21,7 @@ capture *state*, not the random stream.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.config import DHTConfig
 from repro.core.entities import Group, Vnode
@@ -95,13 +95,13 @@ def snapshot_dht(dht: AnyDHT, include_data: bool = True) -> Dict[str, Any]:
     if include_data:
         items: List[Dict[str, Any]] = []
         for ref in dht.vnodes:
-            for key, value in dht.storage.items_of(ref):
+            for key, item in dht.storage._store(ref).items():
                 items.append(
                     {
                         "vnode": ref.canonical_name,
                         "key": key,
-                        "index": dht.storage._store(ref).get(key).index,
-                        "value": value,
+                        "index": item.index,
+                        "value": item.value,
                     }
                 )
         snapshot["items"] = items
@@ -171,8 +171,16 @@ def restore_dht(snapshot: Dict[str, Any], rng: RngLike = None) -> AnyDHT:
     dht._removals_occurred = snapshot.get("removals_occurred", False)
     dht._bump_topology()
 
+    # Group the snapshotted items by owning vnode and restore each group with
+    # one bulk put_batch (the storage engine's columnar ingest path).
+    by_vnode: Dict[str, List[Tuple[Any, int, Any]]] = {}
     for item in snapshot.get("items", []):
-        ref = VnodeRef.parse(item["vnode"])
-        dht.storage.put(ref, item["key"], item["index"], item["value"])
+        by_vnode.setdefault(item["vnode"], []).append(
+            (item["key"], item["index"], item["value"])
+        )
+    for name, triples in by_vnode.items():
+        ref = VnodeRef.parse(name)
+        keys, indexes, values = zip(*triples)
+        dht.storage.put_batch(ref, list(keys), list(indexes), list(values))
 
     return dht

@@ -14,20 +14,43 @@ This module provides:
 * :class:`DHTStorage` — the DHT-wide coordinator that routes puts/gets and
   performs migrations, keeping counters that the examples and tests use to
   quantify data movement.
+
+The engine is a two-tier design borrowed from bulk-load paths of real
+storage systems:
+
+* the *hash tier* — one dict of ``key -> (index, value)`` tuples per vnode,
+  serving point reads/writes in O(1);
+* the *segment tier* — columnar batches (numpy key/index/value arrays)
+  appended by :meth:`VnodeStore.put_many` in O(1) per batch, without
+  materializing a single per-key python object.
+
+Segments are merged into the hash tier lazily, the first time a point
+operation (get, delete, scan, count, migration) needs it; merge order
+preserves write order, so later writes win exactly as they would with
+per-key puts.  This is what lets :meth:`DHTStorage.put_batch` ingest
+millions of keys at array speed while keeping the per-key API semantics
+bit-for-bit identical.  :class:`StoredItem` views are materialized on
+demand by the point accessors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.errors import StorageError, UnknownVnodeError
 from repro.core.hashspace import HashSpace, Partition
 from repro.core.ids import VnodeRef
+from repro.utils.arrays import as_object_column
+from repro.utils.gcscope import deferred_gc
+
+#: One pending columnar batch: (keys, indexes, values-or-None).
+_Segment = Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]
 
 
-@dataclass
-class StoredItem:
+class StoredItem(NamedTuple):
     """A stored value plus the hash index its key mapped to."""
 
     index: int
@@ -35,35 +58,102 @@ class StoredItem:
 
 
 class VnodeStore:
-    """The key/value items held by one vnode."""
+    """The key/value items held by one vnode.
 
-    __slots__ = ("vnode", "_items")
+    Point operations work against the hash tier (``_items``); bulk batches
+    land in the segment tier (``_segments``) and are merged in on the first
+    point access (see the module docstring for the two-tier design).
+    """
+
+    __slots__ = ("vnode", "_items", "_segments")
 
     def __init__(self, vnode: VnodeRef):
         self.vnode = vnode
-        self._items: Dict[Hashable, StoredItem] = {}
+        self._items: Dict[Hashable, Tuple[int, Any]] = {}
+        self._segments: List[_Segment] = []
+
+    # -- segment tier ----------------------------------------------------------
+
+    def put_many(
+        self,
+        keys: np.ndarray,
+        indexes: np.ndarray,
+        values: Optional[np.ndarray],
+    ) -> None:
+        """Bulk store a columnar batch: O(1) — the arrays are adopted as a
+        pending segment and merged into the hash tier lazily.
+
+        ``values`` may be ``None`` to store ``None`` for every key.  Later
+        duplicates win, exactly as repeated :meth:`put` calls would (segments
+        merge in arrival order, after anything already in the hash tier).
+        """
+        if len(keys):
+            self._segments.append((keys, indexes, values))
+
+    def _merge_segments(self) -> None:
+        """Merge every pending segment into the hash tier, in write order.
+
+        This is where the per-key python objects are finally materialized —
+        one ``dict.update`` over zipped columns per segment, with automatic
+        garbage collection paused for the duration.
+        """
+        segments, self._segments = self._segments, []
+        with deferred_gc():
+            for keys, indexes, values in segments:
+                if values is None:
+                    pairs = zip(indexes.tolist(), (None,) * len(keys))
+                else:
+                    pairs = zip(indexes.tolist(), values.tolist())
+                self._items.update(zip(keys.tolist(), pairs))
+
+    # -- hash tier -------------------------------------------------------------
 
     def put(self, key: Hashable, index: int, value: Any) -> None:
         """Store (or overwrite) an item."""
-        self._items[key] = StoredItem(index=index, value=value)
+        if self._segments:
+            self._merge_segments()
+        self._items[key] = (index, value)
 
     def get(self, key: Hashable) -> StoredItem:
         """Fetch an item; raises :class:`KeyError` if absent."""
-        return self._items[key]
+        if self._segments:
+            self._merge_segments()
+        return StoredItem(*self._items[key])
+
+    def get_value(self, key: Hashable) -> Any:
+        """Fetch just the stored value (no :class:`StoredItem` wrapper)."""
+        if self._segments:
+            self._merge_segments()
+        return self._items[key][1]
 
     def delete(self, key: Hashable) -> StoredItem:
         """Remove and return an item; raises :class:`KeyError` if absent."""
-        return self._items.pop(key)
+        if self._segments:
+            self._merge_segments()
+        return StoredItem(*self._items.pop(key))
 
     def __contains__(self, key: Hashable) -> bool:
+        if self._segments:
+            self._merge_segments()
         return key in self._items
 
     def __len__(self) -> int:
+        if self._segments:
+            self._merge_segments()
         return len(self._items)
 
     def items(self) -> Iterator[Tuple[Hashable, StoredItem]]:
         """Iterate over ``(key, stored_item)`` pairs."""
-        return iter(self._items.items())
+        if self._segments:
+            self._merge_segments()
+        for key, item in self._items.items():
+            yield key, StoredItem(*item)
+
+    def raw_dict(self) -> Dict[Hashable, Tuple[int, Any]]:
+        """The merged ``key -> (index, value)`` dict (internal fast path)."""
+        if self._segments:
+            self._merge_segments()
+        return self._items
 
     def pop_items_in_range(self, start: int, end: int) -> List[Tuple[Hashable, StoredItem]]:
         """Remove and return every item whose hash index lies in ``[start, end)``.
@@ -72,10 +162,24 @@ class VnodeStore:
         items held by the vnode, which mirrors the cost a real implementation
         would pay unless it maintained a per-partition index.
         """
-        moving = [(k, it) for k, it in self._items.items() if start <= it.index < end]
+        moving = self._pop_range_raw(start, end)
+        return [(key, StoredItem(*item)) for key, item in moving]
+
+    def _pop_range_raw(self, start: int, end: int) -> List[Tuple[Hashable, Tuple[int, Any]]]:
+        """Like :meth:`pop_items_in_range` but returns raw ``(index, value)``
+        tuples — the zero-copy path used by :meth:`DHTStorage.migrate_partition`."""
+        if self._segments:
+            self._merge_segments()
+        moving = [(k, item) for k, item in self._items.items() if start <= item[0] < end]
         for key, _ in moving:
             del self._items[key]
         return moving
+
+    def _adopt_raw(self, pairs: Iterable[Tuple[Hashable, Tuple[int, Any]]]) -> None:
+        """Bulk-ingest raw pairs produced by another store's ``_pop_range_raw``."""
+        if self._segments:
+            self._merge_segments()
+        self._items.update(pairs)
 
 
 @dataclass
@@ -105,7 +209,11 @@ class DHTStorage:
     The DHT classes call :meth:`register_vnode` / :meth:`unregister_vnode` as
     vnodes come and go, :meth:`migrate_partition` whenever the balancer moves
     a partition, and :meth:`put` / :meth:`get` / :meth:`delete` for client
-    operations (after routing the key to the owning vnode).
+    operations (after routing the key to the owning vnode).  The batch
+    entry points — :meth:`put_batch` / :meth:`get_batch` — ingest or serve a
+    whole per-vnode group of items in one call; grouping keys by owning
+    vnode is the router's job (see :meth:`repro.core.base.BaseDHT.bulk_load`),
+    so the per-vnode stores are each touched exactly once per batch.
     """
 
     def __init__(self, hash_space: HashSpace):
@@ -148,12 +256,59 @@ class DHTStorage:
             raise StorageError(f"hash index {index} outside the hash space")
         self._store(owner).put(key, index, value)
 
+    def put_batch(
+        self,
+        owner: VnodeRef,
+        keys: Union[Sequence[Hashable], np.ndarray],
+        indexes: Union[Sequence[int], np.ndarray],
+        values: Optional[Union[Sequence[Any], np.ndarray]] = None,
+    ) -> int:
+        """Bulk-store a group of items that all route to the same vnode.
+
+        Validates the whole index column at once (min/max) instead of per
+        item, then hands the columns to :meth:`VnodeStore.put_many` as one
+        columnar segment.  The columns are copied on the way in (a shallow,
+        references-only copy for object arrays), so callers remain free to
+        mutate their arrays after the call.  ``values=None`` stores ``None``
+        for every key.  Returns the number of items ingested.
+        """
+        n = len(keys)
+        if len(indexes) != n or (values is not None and len(values) != n):
+            raise StorageError(
+                f"put_batch columns disagree: {n} keys, {len(indexes)} indexes, "
+                f"{'none' if values is None else len(values)} values"
+            )
+        if n == 0:
+            return 0
+        index_arr = np.array(indexes)  # always a fresh copy
+        if index_arr.dtype == object:
+            lo, hi = min(indexes), max(indexes)
+        else:
+            lo, hi = int(index_arr.min()), int(index_arr.max())
+        if not self.hash_space.contains(lo) or not self.hash_space.contains(hi):
+            raise StorageError("put_batch: hash index outside the hash space")
+        key_arr = np.array(as_object_column(keys))
+        value_arr = None if values is None else np.array(as_object_column(values))
+        self._store(owner).put_many(key_arr, index_arr, value_arr)
+        return n
+
     def get(self, owner: VnodeRef, key: Hashable) -> Any:
         """Fetch the value stored for ``key`` at vnode ``owner``."""
         try:
-            return self._store(owner).get(key).value
+            return self._store(owner).get_value(key)
         except KeyError:
             raise KeyError(key) from None
+
+    def get_batch(self, owner: VnodeRef, keys: Sequence[Hashable]) -> List[Any]:
+        """Fetch the values for a group of keys stored at one vnode.
+
+        Raises :class:`KeyError` for the first absent key, like :meth:`get`.
+        """
+        items = self._store(owner).raw_dict()
+        try:
+            return [items[k][1] for k in keys]
+        except KeyError as exc:
+            raise KeyError(exc.args[0]) from None
 
     def delete(self, owner: VnodeRef, key: Hashable) -> Any:
         """Delete and return the value stored for ``key`` at vnode ``owner``."""
@@ -174,7 +329,7 @@ class DHTStorage:
 
     def items_of(self, ref: VnodeRef) -> List[Tuple[Hashable, Any]]:
         """All ``(key, value)`` pairs stored at a vnode."""
-        return [(k, it.value) for k, it in self._store(ref).items()]
+        return [(k, item[1]) for k, item in self._store(ref).raw_dict().items()]
 
     # -- migration --------------------------------------------------------------------
 
@@ -185,26 +340,22 @@ class DHTStorage:
 
         Returns the number of items moved.  Called by the DHT right after the
         entity layer hands the partition over, so routing and storage stay
-        consistent.
+        consistent.  The move is a raw bulk transfer: tuples popped from the
+        source store are adopted by the target in one ``dict.update``.
         """
         start, end = self.hash_space.partition_range(partition)
-        moving = self._store(source).pop_items_in_range(start, end)
-        target_store = self._store(target)
-        for key, item in moving:
-            target_store.put(key, item.index, item.value)
+        moving = self._store(source)._pop_range_raw(start, end)
+        self._store(target)._adopt_raw(moving)
         self.stats.record(len(moving))
         return len(moving)
 
     def migrate_all(self, source: VnodeRef, target: VnodeRef) -> int:
         """Move every item from ``source`` to ``target`` (vnode removal)."""
-        src = self._store(source)
-        dst = self._store(target)
-        moved = 0
-        for key, item in list(src.items()):
-            src.delete(key)
-            dst.put(key, item.index, item.value)
-            moved += 1
+        src = self._store(source).raw_dict()
+        moved = len(src)
         if moved:
+            self._store(target)._adopt_raw(src.items())
+            src.clear()
             self.stats.record(moved)
         return moved
 

@@ -1,6 +1,6 @@
 """Registry mapping experiment identifiers to their runner functions.
 
-The identifiers match the experiment index of DESIGN.md and the benchmark
+The identifiers match the experiment index of docs/paper-mapping.md and the benchmark
 file names, so ``run_experiment("fig4")`` regenerates exactly what
 ``pytest benchmarks/bench_fig4.py`` prints.
 """

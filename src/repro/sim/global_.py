@@ -56,9 +56,9 @@ class GlobalBalanceSimulator:
         return sum(self.counts)
 
     def vnode_quotas(self) -> np.ndarray:
-        """Quota of every vnode."""
+        """Quota of every vnode (vectorized: one scaled array pass)."""
         scale = 1.0 / (1 << self.level)
-        return np.asarray([c * scale for c in self.counts], dtype=np.float64)
+        return np.asarray(self.counts, dtype=np.float64) * scale
 
     def sigma_qv(self) -> float:
         """Relative standard deviation of vnode quotas (== that of counts)."""

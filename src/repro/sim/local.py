@@ -231,12 +231,15 @@ class LocalBalanceSimulator:
         return len(self.groups)
 
     def vnode_quotas(self) -> np.ndarray:
-        """Quota of every vnode, concatenated across groups."""
-        quotas: List[float] = []
-        for group in self.groups:
-            scale = 1.0 / (1 << group.level)
-            quotas.extend(c * scale for c in group.counts)
-        return np.asarray(quotas, dtype=np.float64)
+        """Quota of every vnode, concatenated across groups (vectorized)."""
+        if not self.groups:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate(
+            [
+                np.asarray(group.counts, dtype=np.float64) * (1.0 / (1 << group.level))
+                for group in self.groups
+            ]
+        )
 
     def group_quotas(self) -> np.ndarray:
         """Quota of every group."""

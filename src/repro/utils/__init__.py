@@ -5,6 +5,8 @@ subpackage (core model, fast simulators, cluster substrate, experiment
 harness) can rely on them without import cycles.
 """
 
+from repro.utils.arrays import as_object_column
+from repro.utils.gcscope import deferred_gc
 from repro.utils.rng import ensure_rng, spawn_rngs, derive_seed
 from repro.utils.validation import (
     require,
@@ -17,6 +19,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "as_object_column",
+    "deferred_gc",
     "ensure_rng",
     "spawn_rngs",
     "derive_seed",

@@ -1,0 +1,25 @@
+"""Small numpy helpers shared by the batch paths."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+
+def as_object_column(seq: Union[Sequence, np.ndarray]) -> np.ndarray:
+    """A 1-D object array holding exactly the elements of ``seq``.
+
+    ``np.asarray(seq, dtype=object)`` is NOT safe here: when every element
+    is a sequence of equal length (tuples, lists, arrays) numpy builds a
+    2-D array, and the elements later come back as nested lists instead of
+    the original objects.  Pre-allocating a 1-D object array and assigning
+    into it preserves each element untouched.
+    """
+    if isinstance(seq, np.ndarray):
+        if seq.ndim != 1:
+            raise ValueError(f"expected a 1-D column, got shape {seq.shape}")
+        return seq
+    arr = np.empty(len(seq), dtype=object)
+    arr[:] = seq
+    return arr

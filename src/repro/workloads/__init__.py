@@ -15,11 +15,18 @@ from repro.workloads.arrivals import (
     PoissonArrivals,
     StaggeredBatches,
 )
-from repro.workloads.keys import KeyWorkload, sequential_keys, uniform_keys, zipf_keys
+from repro.workloads.keys import KeyWorkload, id_keys, sequential_keys, uniform_keys, zipf_keys
 from repro.workloads.heterogeneity import (
     CapacityProfile,
     NodeSpec,
     enrollment_from_capacity,
+)
+from repro.workloads.driver import (
+    ScenarioDriver,
+    ScenarioReport,
+    ScenarioSpec,
+    builtin_scenarios,
+    run_scenarios,
 )
 
 __all__ = [
@@ -32,6 +39,12 @@ __all__ = [
     "uniform_keys",
     "zipf_keys",
     "sequential_keys",
+    "id_keys",
+    "ScenarioSpec",
+    "ScenarioReport",
+    "ScenarioDriver",
+    "builtin_scenarios",
+    "run_scenarios",
     "NodeSpec",
     "CapacityProfile",
     "enrollment_from_capacity",

@@ -26,6 +26,31 @@ def uniform_keys(n: int, rng: RngLike = None, prefix: str = "key") -> List[str]:
     return [f"{prefix}:{i}:{int(s)}" for i, s in enumerate(suffixes)]
 
 
+def id_keys(n: int, rng: RngLike = None) -> np.ndarray:
+    """``n`` distinct 64-bit integer ids as a ``uint64`` array.
+
+    The id-style workload of the bulk API: integer keys stay in numpy end to
+    end (vectorized SplitMix64 hashing, columnar storage segments), which is
+    what makes million-key :meth:`~repro.core.base.BaseDHT.bulk_load` runs
+    hash-bound rather than interpreter-bound.  Ids are drawn without
+    replacement from ``[0, 2**63)``.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    gen = ensure_rng(rng)
+    # Distinctness: random high 32 bits + sequential low bits would skew the
+    # space; instead draw 63-bit values and resolve the (rare) collisions.
+    ids = gen.integers(0, 2**63, size=n, dtype=np.int64).astype(np.uint64)
+    if n:
+        uniq = np.unique(ids)
+        while uniq.size < n:
+            extra = gen.integers(0, 2**63, size=n - uniq.size, dtype=np.int64).astype(np.uint64)
+            uniq = np.unique(np.concatenate([uniq, extra]))
+        ids = uniq
+        gen.shuffle(ids)
+    return ids
+
+
 def sequential_keys(n: int, prefix: str = "item") -> List[str]:
     """``n`` sequential keys (``item:0``, ``item:1``, ...).
 

@@ -58,6 +58,20 @@ class TestDemo:
         assert "global" in out
 
 
+class TestBulkBench:
+    def test_single_scenario_small(self, capsys):
+        assert main(["bulk-bench", "--keys", "2000", "--scenario", "ids"]) == 0
+        out = capsys.readouterr().out
+        assert "ids" in out
+        assert "load keys/s" in out
+
+    def test_all_scenarios_small(self, capsys):
+        assert main(["bulk-bench", "--keys", "1000", "--approach", "global"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ids", "uniform", "zipf", "heterogeneous"):
+            assert name in out
+
+
 class TestParser:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
