@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Migration throughput under churn: vectorized range-pop vs per-item scan.
+
+Builds two identical DHTs, bulk-loads the same key population into both (so
+the data sits in pending columnar segments), then applies the same fixed
+churn burst — one snode join, one snode leave (draining all its vnodes),
+one enrollment grow and one shrink — with the two migration paths:
+
+* **vectorized** (`DHTStorage.vectorized_migration = True`, the default) —
+  partition moves filter pending segments with numpy masks and adopt them
+  on the target still columnar; vnode drains bucket the whole store in one
+  ``searchsorted`` pass (`DHTStorage.migrate_partitions`);
+* **per-item scan** (`vectorized_migration = False`) — the legacy path:
+  the first migration merges every segment into the hash tier, then every
+  partition move scans all stored items, so a drain costs
+  O(items × partitions).
+
+Both runs use the same seed and the same operation sequence, so they make
+identical balancing decisions; the script verifies the final placement
+matches (same vnodes, same per-vnode item counts, same migration stats)
+before reporting the speedup.
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_churn.py --keys 1000000
+    PYTHONPATH=src python benchmarks/bench_churn.py --keys 100000 --min-speedup 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, Tuple
+
+from repro.core.base import BaseDHT
+from repro.core.ids import SnodeId
+from repro.report import format_table
+from repro.workloads.driver import build_cluster
+from repro.workloads.keys import id_keys
+
+
+def build_loaded(args: argparse.Namespace, vectorized: bool) -> BaseDHT:
+    """One freshly loaded DHT per side, built identically."""
+    dht = build_cluster(
+        "local",
+        args.snodes,
+        args.vnodes_per_snode,
+        pmin=args.pmin,
+        vmin=args.vmin,
+        seed=args.seed,
+    )
+    dht.bulk_load(id_keys(args.keys, rng=args.seed))
+    dht.storage.vectorized_migration = vectorized
+    return dht
+
+
+def churn_burst(dht: BaseDHT, args: argparse.Namespace) -> float:
+    """Apply the fixed churn burst; return the elapsed seconds."""
+    t0 = time.perf_counter()
+    joined = dht.add_snode()
+    dht.set_enrollment(joined, args.vnodes_per_snode)
+    dht.remove_snode(SnodeId(0))
+    dht.set_enrollment(SnodeId(1), args.vnodes_per_snode + 4)
+    dht.set_enrollment(SnodeId(1), max(1, args.vnodes_per_snode - 2))
+    return time.perf_counter() - t0
+
+
+def placement(dht: BaseDHT) -> Tuple[Dict, Dict]:
+    """Final per-vnode item counts and migration stats (for the equality check)."""
+    counts = {ref: dht.storage.item_count(ref) for ref in sorted(dht.vnodes)}
+    stats = dht.storage.stats
+    return counts, {
+        "partitions_moved": stats.partitions_moved,
+        "items_moved": stats.items_moved,
+        "migrations": stats.migrations,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keys", type=int, default=1_000_000, help="keys to bulk-load")
+    parser.add_argument("--snodes", type=int, default=4, help="initial snodes")
+    parser.add_argument("--vnodes-per-snode", type=int, default=8)
+    parser.add_argument("--pmin", type=int, default=8)
+    parser.add_argument("--vmin", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="exit non-zero if the speedup falls below this")
+    args = parser.parse_args(argv)
+
+    # Vectorized first, on the cold heap; the legacy run then starts from an
+    # identical state (its own fresh DHT) and pays its own merge costs.
+    vec_dht = build_loaded(args, vectorized=True)
+    vec_seconds = churn_burst(vec_dht, args)
+
+    legacy_dht = build_loaded(args, vectorized=False)
+    legacy_seconds = churn_burst(legacy_dht, args)
+
+    vec_counts, vec_stats = placement(vec_dht)
+    legacy_counts, legacy_stats = placement(legacy_dht)
+    assert vec_counts == legacy_counts, "placements diverged between migration paths"
+    assert vec_stats == legacy_stats, "migration stats diverged between paths"
+    assert vec_dht.storage.total_items() == legacy_dht.storage.total_items() == args.keys
+    vec_dht.check_invariants()
+    legacy_dht.check_invariants()
+
+    moved = vec_stats["items_moved"]
+    speedup = legacy_seconds / vec_seconds if vec_seconds > 0 else float("inf")
+
+    def rate(seconds: float) -> str:
+        return f"{moved / seconds:,.0f}" if seconds > 0 else "inf"
+
+    print(f"churn burst @ {args.keys:,} live keys "
+          f"({moved:,} items over {vec_stats['partitions_moved']:,} partition handovers)\n")
+    print(format_table(
+        ["migration path", "seconds", "moved items/s", "speedup"],
+        [
+            ["per-item scan", f"{legacy_seconds:.3f}", rate(legacy_seconds), "1.0x"],
+            ["vectorized", f"{vec_seconds:.3f}", rate(vec_seconds), f"{speedup:.1f}x"],
+        ],
+    ))
+
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"\nFAIL: speedup {speedup:.1f}x < required {args.min_speedup:.1f}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,26 +1,32 @@
 """Command-line interface for the reproduction.
 
-Provides four subcommands::
+Provides five subcommands::
 
     python -m repro list                         # registered experiments
     python -m repro run fig4 [--runs N] [...]    # run one experiment
     python -m repro demo [--vnodes N] [...]      # build a small DHT and report it
     python -m repro bulk-bench [--keys N] [...]  # replay bulk workload scenarios
+    python -m repro churn-bench [--events N] [...]  # replay a topology churn trace
 
 ``run`` prints the same checkpoint table / ASCII chart the benchmarks print
 and can persist the result to JSON (``--output``) for later comparison with
 ``repro.experiments.persistence``.  ``bulk-bench`` replays the scenario
 suite of :mod:`repro.workloads.driver` through the batch API and prints
-throughput plus balance metrics per scenario.
+throughput plus balance metrics per scenario.  ``churn-bench`` replays a
+join/leave/enrollment churn trace (:mod:`repro.workloads.churn`) against
+live data, verifying item conservation after every topology event, and can
+write the report JSON (the CI ``BENCH_churn.json`` artifact).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
 from repro.core import DHTConfig, GlobalDHT, LocalDHT
+from repro.core.errors import ReproError
 from repro.experiments import (
     get_experiment,
     list_experiments,
@@ -29,6 +35,7 @@ from repro.experiments import (
 from repro.experiments.persistence import save_result
 from repro.report import format_table
 from repro.workloads import KeyWorkload
+from repro.workloads.churn import ChurnEngine, ChurnSpec
 from repro.workloads.driver import ScenarioDriver, ScenarioReport, builtin_scenarios
 
 
@@ -70,6 +77,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bulk.add_argument("--approach", choices=("local", "global"), default="local")
     bulk.add_argument("--seed", type=int, default=0)
+
+    churn = sub.add_parser(
+        "churn-bench",
+        help="replay a join/leave/enrollment churn trace against live data",
+    )
+    churn.add_argument("--keys", type=int, default=100_000, help="distinct keys to load")
+    churn.add_argument("--events", type=int, default=64, help="topology events in the trace")
+    churn.add_argument("--approach", choices=("local", "global"), default="local")
+    churn.add_argument("--workload", choices=("ids", "uniform"), default="ids")
+    churn.add_argument("--snodes", type=int, default=8, help="initial snodes")
+    churn.add_argument("--vnodes-per-snode", type=int, default=4)
+    churn.add_argument("--pmin", type=int, default=8)
+    churn.add_argument("--vmin", type=int, default=8)
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("--output", default=None, help="write the churn report to this JSON file")
     return parser
 
 
@@ -146,6 +168,36 @@ def _cmd_bulk_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_churn_bench(args: argparse.Namespace) -> int:
+    try:
+        spec = ChurnSpec(
+            name=f"churn-{args.workload}",
+            workload=args.workload,
+            n_keys=args.keys,
+            n_events=args.events,
+            approach=args.approach,
+            n_snodes=args.snodes,
+            vnodes_per_snode=args.vnodes_per_snode,
+            pmin=args.pmin,
+            vmin=args.vmin,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"churn-bench: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = ChurnEngine(spec).run()
+    except ReproError as exc:
+        print(f"churn-bench FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(format_table(["property", "value"], report.as_rows()))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(include_events=True), fh, indent=2)
+        print(f"\nreport written to {args.output}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -157,6 +209,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_demo(args)
     if args.command == "bulk-bench":
         return _cmd_bulk_bench(args)
+    if args.command == "churn-bench":
+        return _cmd_churn_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

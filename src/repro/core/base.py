@@ -225,6 +225,7 @@ class BaseDHT(ABC):
         if not recipients:
             raise EmptyDHTError("cannot drain a vnode without any recipient vnodes")
         vnode = self.get_vnode(ref)
+        moves: List[Tuple[Partition, VnodeRef]] = []
         for partition in sorted(vnode.partitions, key=Partition.ring_sort_key):
             target_ref = min(
                 recipients, key=lambda r: (self.get_vnode(r).partition_count, r)
@@ -232,7 +233,10 @@ class BaseDHT(ABC):
             target = self.get_vnode(target_ref)
             vnode.remove_partition(partition)
             target.add_partition(partition)
-            self.storage.migrate_partition(partition, ref, target_ref)
+            moves.append((partition, target_ref))
+        # One storage pass for the whole drain: the hash tier is bucketed
+        # once across all ranges instead of rescanned per partition.
+        self.storage.migrate_partitions(ref, moves)
         self._bump_topology()
 
     # ------------------------------------------------------------------ routing

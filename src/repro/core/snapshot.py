@@ -12,7 +12,17 @@ items.  This module provides that capability for both approaches:
 Round-tripping preserves: the configuration, snodes (including their
 canonical-name counters, so future vnode names do not collide), vnodes and
 their partitions, groups/LPDRs (local approach), the global splitlevel
-(global approach) and, when ``include_data=True``, every stored item.
+(global approach), the cumulative :class:`~repro.core.storage.MigrationStats`
+(so churn experiments survive persistence) and, when ``include_data=True``,
+every stored item.
+
+:func:`restore_dht` *validates* the snapshot structurally instead of
+trusting it: the partitions must tile the hash space exactly (no overlaps,
+no gaps), every vnode must be hosted by a snode the snapshot declares,
+every group member must exist, and every item must be stored at the vnode
+that actually owns its hash index.  A corrupt snapshot raises
+:class:`~repro.core.errors.ReproError` with a message naming the offending
+entity rather than producing a silently inconsistent DHT.
 
 The restored DHT is structurally identical (same quotas, same invariants,
 same routing), but it gets a fresh RNG unless a seed is supplied — snapshots
@@ -23,11 +33,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.core.config import DHTConfig
-from repro.core.entities import Group, Vnode
-from repro.core.errors import ReproError
+from repro.core.entities import Group, Snode, Vnode
+from repro.core.errors import KeyLookupError, ReproError
 from repro.core.global_model import GlobalDHT
-from repro.core.hashspace import Partition
+from repro.core.hashspace import Partition, total_fraction
 from repro.core.ids import GroupId, SnodeId, VnodeRef
 from repro.core.local_model import LocalDHT
 from repro.utils.rng import RngLike
@@ -77,6 +89,11 @@ def snapshot_dht(dht: AnyDHT, include_data: bool = True) -> Dict[str, Any]:
         "removals_occurred": dht._removals_occurred,
         "snodes": snodes,
         "vnodes": vnodes,
+        "migration_stats": {
+            "partitions_moved": dht.storage.stats.partitions_moved,
+            "items_moved": dht.storage.stats.items_moved,
+            "migrations": dht.storage.stats.migrations,
+        },
     }
 
     if isinstance(dht, LocalDHT):
@@ -112,6 +129,69 @@ def _group_id_from_string(binary: str) -> GroupId:
     return GroupId(depth=len(binary), value=int(binary, 2))
 
 
+def _verify_partition_tiling(dht: AnyDHT) -> None:
+    """Raise :class:`ReproError` unless the vnodes' partitions tile ``R_h``.
+
+    Gives precise messages: an overlap names the two offending partitions,
+    a gap/excess reports the exact covered fraction.
+    """
+    partitions = [
+        (partition, ref)
+        for ref, vnode in dht.vnodes.items()
+        for partition in vnode.partitions
+    ]
+    ordered = sorted(partitions, key=lambda po: Partition.ring_sort_key(po[0]))
+    for (a, ref_a), (b, ref_b) in zip(ordered, ordered[1:]):
+        if a.overlaps(b):
+            raise ReproError(
+                f"snapshot corrupt: partitions {a} (vnode {ref_a}) and {b} "
+                f"(vnode {ref_b}) overlap"
+            )
+    covered = total_fraction(p for p, _ in partitions)
+    if covered != 1:
+        raise ReproError(
+            f"snapshot corrupt: partitions cover {covered} of the hash space "
+            f"instead of tiling it exactly (invariant G1)"
+        )
+
+
+def _verify_item_ownership(dht: AnyDHT, ref: VnodeRef, triples: List[Tuple[Any, int, Any]]) -> None:
+    """Raise :class:`ReproError` unless every item's index belongs to ``ref``.
+
+    Vectorized: one :meth:`~repro.core.lookup.PartitionRouter.locate_batch`
+    pass over the vnode's whole item column, then an owner comparison per
+    distinct routing-table position.
+    """
+    for key, index, _ in triples:
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise ReproError(
+                f"snapshot corrupt: item {key!r} at vnode {ref} has a "
+                f"non-integer hash index {index!r}"
+            )
+    router = dht._ensure_router()
+    try:
+        if dht.hash_space.bh <= 64:
+            indexes = np.array([t[1] for t in triples], dtype=np.uint64)
+        else:
+            indexes = np.empty(len(triples), dtype=object)
+            indexes[:] = [t[1] for t in triples]
+        positions = router.locate_batch(indexes)
+    except (KeyLookupError, OverflowError, TypeError) as exc:
+        raise ReproError(
+            f"snapshot corrupt: item stored at vnode {ref} has an unroutable "
+            f"hash index ({exc})"
+        ) from exc
+    for pos in np.unique(positions).tolist():
+        owner = router.entry_at(int(pos))[1]
+        if owner != ref:
+            offender = int(np.flatnonzero(positions == pos)[0])
+            key, index, _ = triples[offender]
+            raise ReproError(
+                f"snapshot corrupt: item {key!r} (hash index {index}) is stored "
+                f"at vnode {ref} but its index is owned by vnode {owner}"
+            )
+
+
 def restore_dht(snapshot: Dict[str, Any], rng: RngLike = None) -> AnyDHT:
     """Rebuild a DHT from a snapshot produced by :func:`snapshot_dht`."""
     version = snapshot.get("version")
@@ -132,21 +212,39 @@ def restore_dht(snapshot: Dict[str, Any], rng: RngLike = None) -> AnyDHT:
     else:
         raise ReproError(f"unknown approach {approach!r} in snapshot")
 
-    # Snodes (preserving ids and name counters).
+    # Snodes, constructed with their recorded ids (the id sequence may have
+    # gaps if snodes were removed before the snapshot).
     for entry in snapshot["snodes"]:
-        snode = dht.add_snode(cluster_node=entry["cluster_node"])
-        if snode.id.value != entry["id"]:
-            # Ids are allocated sequentially; a gap means snodes were removed
-            # before the snapshot.  Fix up the registry to match.
-            del dht.snodes[snode.id]
-            snode.id = SnodeId(entry["id"])  # type: ignore[misc]
-            dht.snodes[snode.id] = snode
+        snode = Snode(SnodeId(entry["id"]), cluster_node=entry["cluster_node"])
+        if snode.id in dht.snodes:
+            raise ReproError(f"snapshot corrupt: duplicate snode id {entry['id']}")
+        dht.snodes[snode.id] = snode
         snode._next_vnode_index = entry["next_vnode_index"]
-    dht._next_snode_id = snapshot["next_snode_id"]
+    next_snode_id = snapshot["next_snode_id"]
+    if dht.snodes and next_snode_id <= max(sid.value for sid in dht.snodes):
+        raise ReproError(
+            f"snapshot corrupt: next_snode_id {next_snode_id} collides with an "
+            f"existing snode id (future enrollments would reuse it)"
+        )
+    dht._next_snode_id = next_snode_id
 
-    # Vnodes and their partitions.
+    # Vnodes and their partitions (hosts and refs validated as we go).
     for entry in snapshot["vnodes"]:
         ref = VnodeRef.parse(entry["ref"])
+        if ref.snode not in dht.snodes:
+            raise ReproError(
+                f"snapshot corrupt: vnode {entry['ref']!r} is hosted by snode "
+                f"{ref.snode}, which the snapshot does not declare"
+            )
+        if ref in dht.vnodes:
+            raise ReproError(f"snapshot corrupt: duplicate vnode {entry['ref']!r}")
+        host = dht.snodes[ref.snode]
+        if ref.vnode_index >= host._next_vnode_index:
+            raise ReproError(
+                f"snapshot corrupt: vnode {entry['ref']!r} outruns snode "
+                f"{ref.snode}'s name counter ({host._next_vnode_index}); future "
+                f"vnode names would collide"
+            )
         vnode = Vnode(ref)
         for level, index in entry["partitions"]:
             vnode.add_partition(Partition(level, index))
@@ -155,11 +253,19 @@ def restore_dht(snapshot: Dict[str, Any], rng: RngLike = None) -> AnyDHT:
         dht.vnodes[ref] = vnode
         dht.storage.register_vnode(ref)
 
+    if dht.vnodes:
+        _verify_partition_tiling(dht)
+
     if isinstance(dht, LocalDHT):
         for entry in snapshot["groups"]:
             group = Group(_group_id_from_string(entry["id"]), entry["splitlevel"])
             for name in entry["members"]:
                 ref = VnodeRef.parse(name)
+                if ref not in dht.vnodes:
+                    raise ReproError(
+                        f"snapshot corrupt: group {entry['id']} lists member "
+                        f"{name!r}, which is not a vnode of the snapshot"
+                    )
                 group.adopt_vnode(dht.get_vnode(ref))
             dht.groups[group.id] = group
         dht.group_splits = snapshot.get("group_splits", 0)
@@ -170,9 +276,12 @@ def restore_dht(snapshot: Dict[str, Any], rng: RngLike = None) -> AnyDHT:
 
     dht._removals_occurred = snapshot.get("removals_occurred", False)
     dht._bump_topology()
+    if dht.vnodes:
+        dht.verify_coverage()
 
-    # Group the snapshotted items by owning vnode and restore each group with
-    # one bulk put_batch (the storage engine's columnar ingest path).
+    # Group the snapshotted items by owning vnode, check that each group is
+    # stored where routing says it belongs, and restore it with one bulk
+    # put_batch (the storage engine's columnar ingest path).
     by_vnode: Dict[str, List[Tuple[Any, int, Any]]] = {}
     for item in snapshot.get("items", []):
         by_vnode.setdefault(item["vnode"], []).append(
@@ -180,7 +289,19 @@ def restore_dht(snapshot: Dict[str, Any], rng: RngLike = None) -> AnyDHT:
         )
     for name, triples in by_vnode.items():
         ref = VnodeRef.parse(name)
+        if ref not in dht.vnodes:
+            raise ReproError(
+                f"snapshot corrupt: {len(triples)} item(s) stored at vnode "
+                f"{name!r}, which is not a vnode of the snapshot"
+            )
+        _verify_item_ownership(dht, ref, triples)
         keys, indexes, values = zip(*triples)
         dht.storage.put_batch(ref, list(keys), list(indexes), list(values))
+
+    stats = snapshot.get("migration_stats")
+    if stats is not None:
+        dht.storage.stats.partitions_moved = int(stats.get("partitions_moved", 0))
+        dht.storage.stats.items_moved = int(stats.get("items_moved", 0))
+        dht.storage.stats.migrations = int(stats.get("migrations", 0))
 
     return dht

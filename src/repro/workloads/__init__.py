@@ -25,8 +25,17 @@ from repro.workloads.driver import (
     ScenarioDriver,
     ScenarioReport,
     ScenarioSpec,
+    build_cluster,
     builtin_scenarios,
     run_scenarios,
+)
+from repro.workloads.churn import (
+    ChurnEngine,
+    ChurnEvent,
+    ChurnReport,
+    ChurnSpec,
+    make_churn_trace,
+    run_churn,
 )
 
 __all__ = [
@@ -43,8 +52,15 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioReport",
     "ScenarioDriver",
+    "build_cluster",
     "builtin_scenarios",
     "run_scenarios",
+    "ChurnSpec",
+    "ChurnEvent",
+    "ChurnEngine",
+    "ChurnReport",
+    "make_churn_trace",
+    "run_churn",
     "NodeSpec",
     "CapacityProfile",
     "enrollment_from_capacity",

@@ -1,0 +1,522 @@
+"""Churn engine: replay timed topology-event traces against a live DHT.
+
+The paper's elastic DHT is defined by partitions changing hands as vnodes
+come and go, but the bulk scenario driver (:mod:`repro.workloads.driver`)
+only exercises *growth* against a static topology.  This module closes the
+gap: a churn trace interleaves **topology events** — ``snode_join``,
+``snode_leave``, ``enrollment_change`` — with bulk ``load``/``lookup``
+chunks, and :class:`ChurnEngine` replays the trace against a live
+:class:`~repro.core.global_model.GlobalDHT` or
+:class:`~repro.core.local_model.LocalDHT` with an **item-conservation
+check** after every topology event (rebalancing must never create or
+destroy data).
+
+The trace is generated up front by :func:`make_churn_trace` from a
+declarative :class:`ChurnSpec`, fully deterministic for a given seed: the
+generator simulates the DHT's sequential snode-id allocation so every event
+names its concrete target snode, and the engine asserts the ids line up at
+replay time.  Events the model cannot serve — e.g. removing the last vnode
+of a group while other groups exist, which the local approach's removal
+extension rejects — are recorded as *skipped* rather than aborting the run;
+conservation is checked either way.
+
+Replay produces a :class:`ChurnReport`: migration volume (items/partitions
+moved, via :class:`~repro.core.storage.MigrationStats` deltas per event),
+load/lookup throughput *under churn*, time spent in topology events, and
+the post-churn balance metrics ``sigma_qv``/``sigma_qn``.  The
+``repro churn-bench`` CLI subcommand is a thin wrapper that prints the
+report and can persist it as JSON.
+
+Conservation checks use :meth:`~repro.core.storage.DHTStorage.fast_item_count`
+— counting without merging pending segments — so the check itself does not
+destroy the columnar segments that make vectorized migration fast; the
+final deep verification recounts through the merged path and runs the full
+invariant suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.base import BaseDHT
+from repro.core.errors import ReproError
+from repro.core.ids import SnodeId
+from repro.workloads.driver import APPROACHES, build_cluster
+from repro.workloads.keys import id_keys, uniform_keys
+
+#: Trace families the churn engine can replay.
+CHURN_WORKLOADS = ("ids", "uniform")
+#: Event kinds that mutate the topology (and trigger conservation checks).
+TOPOLOGY_KINDS = ("snode_join", "snode_leave", "enrollment_change")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One step of a churn trace.
+
+    ``kind`` is one of :data:`TOPOLOGY_KINDS` plus the data-plane kinds
+    ``"load"`` (bulk-load the key slice ``[lo, hi)``) and ``"lookup"``
+    (issue ``n_reads`` batch lookups over the first ``hi`` loaded keys).
+    Topology events name their concrete target snode id; joins and
+    enrollment changes carry the target enrollment in ``vnodes``.
+    """
+
+    kind: str
+    snode: int = -1
+    vnodes: int = 0
+    lo: int = 0
+    hi: int = 0
+    n_reads: int = 0
+
+    def describe(self) -> str:
+        """Short human-readable form (used in outcome rows)."""
+        if self.kind == "load":
+            return f"load keys[{self.lo}:{self.hi}]"
+        if self.kind == "lookup":
+            return f"lookup {self.n_reads} of first {self.hi}"
+        if self.kind == "snode_join":
+            return f"join s{self.snode} ({self.vnodes} vnodes)"
+        if self.kind == "snode_leave":
+            return f"leave s{self.snode}"
+        return f"enroll s{self.snode} -> {self.vnodes} vnodes"
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Declarative description of one churn scenario."""
+
+    #: Scenario name (shown in reports).
+    name: str = "churn"
+    #: Trace family: ``"ids"`` (uint64 ids, fully vectorized) or ``"uniform"``.
+    workload: str = "ids"
+    #: Number of distinct keys loaded over the course of the trace.
+    n_keys: int = 100_000
+    #: Number of topology events (joins/leaves/enrollment changes).
+    n_events: int = 64
+    #: DHT approach: ``"local"`` (grouped) or ``"global"``.
+    approach: str = "local"
+    #: Snodes enrolled before the trace starts.
+    n_snodes: int = 8
+    #: Vnodes per snode (initial enrollment and default join enrollment).
+    vnodes_per_snode: int = 4
+    #: The trace never shrinks the cluster below this many snodes.
+    min_snodes: int = 2
+    #: The trace never grows the cluster beyond this many snodes.
+    max_snodes: int = 24
+    #: The key population is loaded in this many chunks spread over the trace.
+    load_chunks: int = 8
+    #: Lookups issued per loaded key of each chunk (read trace volume).
+    read_multiplier: float = 0.5
+    #: Relative odds of each topology event kind.
+    join_weight: float = 0.4
+    leave_weight: float = 0.3
+    enroll_weight: float = 0.3
+    #: Model parameters (small defaults keep 64-event traces fast).
+    pmin: int = 8
+    vmin: int = 8
+    #: Master seed (trace generation, cluster build and read picks).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workload not in CHURN_WORKLOADS:
+            raise ValueError(
+                f"workload must be one of {CHURN_WORKLOADS}, got {self.workload!r}"
+            )
+        if self.approach not in APPROACHES:
+            raise ValueError(f"approach must be one of {APPROACHES}, got {self.approach!r}")
+        if self.n_keys < 1:
+            raise ValueError("n_keys must be >= 1")
+        if self.n_events < 0:
+            raise ValueError("n_events must be non-negative")
+        if self.n_snodes < 1 or self.vnodes_per_snode < 1:
+            raise ValueError("n_snodes and vnodes_per_snode must be >= 1")
+        if not (1 <= self.min_snodes <= self.n_snodes <= self.max_snodes):
+            raise ValueError("need 1 <= min_snodes <= n_snodes <= max_snodes")
+        if self.load_chunks < 1:
+            raise ValueError("load_chunks must be >= 1")
+        if self.read_multiplier < 0:
+            raise ValueError("read_multiplier must be non-negative")
+        weights = (self.join_weight, self.leave_weight, self.enroll_weight)
+        if min(weights) < 0 or sum(weights) <= 0:
+            raise ValueError("event weights must be non-negative and not all zero")
+
+
+def make_churn_trace(spec: ChurnSpec) -> List[ChurnEvent]:
+    """Generate the deterministic event trace described by ``spec``.
+
+    Topology events are drawn with the spec's weights under the cluster-size
+    bounds (a leave at ``min_snodes`` falls back to a join; a join at
+    ``max_snodes`` falls back to an enrollment change), tracking the DHT's
+    sequential snode-id allocation so every event names a concrete snode.
+    The key population is split into ``load_chunks`` slices interleaved
+    evenly with the topology events, each followed by a batch-lookup event
+    over the keys loaded so far.
+    """
+    rng = np.random.default_rng(spec.seed)
+    alive = list(range(spec.n_snodes))
+    next_id = spec.n_snodes
+    weights = np.array(
+        [spec.join_weight, spec.leave_weight, spec.enroll_weight], dtype=np.float64
+    )
+    weights /= weights.sum()
+
+    topology: List[ChurnEvent] = []
+    for _ in range(spec.n_events):
+        kind = TOPOLOGY_KINDS[int(rng.choice(3, p=weights))]
+        if kind == "snode_leave" and len(alive) <= spec.min_snodes:
+            kind = "snode_join"
+        if kind == "snode_join" and len(alive) >= spec.max_snodes:
+            kind = "enrollment_change"
+        if kind == "snode_join":
+            topology.append(
+                ChurnEvent("snode_join", snode=next_id, vnodes=spec.vnodes_per_snode)
+            )
+            alive.append(next_id)
+            next_id += 1
+        elif kind == "snode_leave":
+            pick = alive.pop(int(rng.integers(0, len(alive))))
+            topology.append(ChurnEvent("snode_leave", snode=pick))
+        else:
+            pick = alive[int(rng.integers(0, len(alive)))]
+            target = 1 + int(rng.integers(0, 2 * spec.vnodes_per_snode))
+            topology.append(ChurnEvent("enrollment_change", snode=pick, vnodes=target))
+
+    bounds = np.linspace(0, spec.n_keys, spec.load_chunks + 1).astype(int)
+    trace: List[ChurnEvent] = []
+    taken = 0
+    for chunk in range(spec.load_chunks):
+        lo, hi = int(bounds[chunk]), int(bounds[chunk + 1])
+        if hi > lo:
+            trace.append(ChurnEvent("load", lo=lo, hi=hi))
+            n_reads = int(round((hi - lo) * spec.read_multiplier))
+            if n_reads:
+                trace.append(ChurnEvent("lookup", hi=hi, n_reads=n_reads))
+        upto = (chunk + 1) * spec.n_events // spec.load_chunks
+        trace.extend(topology[taken:upto])
+        taken = upto
+    trace.extend(topology[taken:])
+    return trace
+
+
+@dataclass
+class EventOutcome:
+    """What one replayed event did (timing, migration volume, skip note)."""
+
+    kind: str
+    detail: str
+    seconds: float
+    items_moved: int = 0
+    partitions_moved: int = 0
+    applied: bool = True
+    note: str = ""
+
+
+@dataclass
+class ChurnReport:
+    """Outcome of one churn run: volume, throughput and balance."""
+
+    name: str
+    approach: str
+    n_events: int
+    events_applied: int
+    events_skipped: int
+    joins: int
+    leaves: int
+    enrollment_changes: int
+    keys_loaded: int
+    load_seconds: float
+    lookups_issued: int
+    lookup_seconds: float
+    topology_seconds: float
+    items_moved: int
+    partitions_moved: int
+    migrations: int
+    max_event_items_moved: int
+    conservation_checks: int
+    final_items: int
+    n_snodes: int
+    n_vnodes: int
+    n_partitions: int
+    sigma_qv: float
+    sigma_qn: float
+    outcomes: List[EventOutcome] = field(default_factory=list, repr=False)
+
+    @property
+    def load_keys_per_second(self) -> float:
+        """Bulk-load throughput while the topology was churning."""
+        return self.keys_loaded / self.load_seconds if self.load_seconds > 0 else 0.0
+
+    @property
+    def lookup_keys_per_second(self) -> float:
+        """Batch-lookup throughput while the topology was churning."""
+        return self.lookups_issued / self.lookup_seconds if self.lookup_seconds > 0 else 0.0
+
+    @property
+    def migration_items_per_second(self) -> float:
+        """Items migrated per second of topology-event time."""
+        return self.items_moved / self.topology_seconds if self.topology_seconds > 0 else 0.0
+
+    @property
+    def mean_event_items_moved(self) -> float:
+        """Average number of items moved per applied topology event."""
+        return self.items_moved / self.events_applied if self.events_applied else 0.0
+
+    def as_dict(self, include_events: bool = False) -> Dict[str, Any]:
+        """JSON-serializable form (the ``BENCH_churn.json`` artifact)."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "approach": self.approach,
+            "n_events": self.n_events,
+            "events_applied": self.events_applied,
+            "events_skipped": self.events_skipped,
+            "joins": self.joins,
+            "leaves": self.leaves,
+            "enrollment_changes": self.enrollment_changes,
+            "keys_loaded": self.keys_loaded,
+            "load_seconds": self.load_seconds,
+            "load_keys_per_second": self.load_keys_per_second,
+            "lookups_issued": self.lookups_issued,
+            "lookup_seconds": self.lookup_seconds,
+            "lookup_keys_per_second": self.lookup_keys_per_second,
+            "topology_seconds": self.topology_seconds,
+            "items_moved": self.items_moved,
+            "partitions_moved": self.partitions_moved,
+            "migrations": self.migrations,
+            "migration_items_per_second": self.migration_items_per_second,
+            "max_event_items_moved": self.max_event_items_moved,
+            "mean_event_items_moved": self.mean_event_items_moved,
+            "conservation_checks": self.conservation_checks,
+            "final_items": self.final_items,
+            "n_snodes": self.n_snodes,
+            "n_vnodes": self.n_vnodes,
+            "n_partitions": self.n_partitions,
+            "sigma_qv": self.sigma_qv,
+            "sigma_qn": self.sigma_qn,
+        }
+        if include_events:
+            out["events"] = [
+                {
+                    "kind": o.kind,
+                    "detail": o.detail,
+                    "seconds": o.seconds,
+                    "items_moved": o.items_moved,
+                    "partitions_moved": o.partitions_moved,
+                    "applied": o.applied,
+                    "note": o.note,
+                }
+                for o in self.outcomes
+            ]
+        return out
+
+    def as_rows(self) -> List[List[str]]:
+        """Property/value rows for :func:`repro.report.format_table`."""
+        return [
+            ["scenario", self.name],
+            ["approach", self.approach],
+            ["topology events", f"{self.n_events} ({self.events_applied} applied, "
+                                f"{self.events_skipped} skipped)"],
+            ["event mix", f"{self.joins} joins / {self.leaves} leaves / "
+                          f"{self.enrollment_changes} enrollment changes"],
+            ["keys loaded", f"{self.keys_loaded:,}"],
+            ["load keys/s", f"{self.load_keys_per_second:,.0f}"],
+            ["lookups issued", f"{self.lookups_issued:,}"],
+            ["lookup keys/s", f"{self.lookup_keys_per_second:,.0f}"],
+            ["items moved", f"{self.items_moved:,} over {self.partitions_moved:,} "
+                            f"partition handovers"],
+            ["migration items/s", f"{self.migration_items_per_second:,.0f}"],
+            ["max/mean items per event", f"{self.max_event_items_moved:,} / "
+                                         f"{self.mean_event_items_moved:,.0f}"],
+            ["conservation checks", f"{self.conservation_checks} passed"],
+            ["final items", f"{self.final_items:,}"],
+            ["final topology", f"{self.n_snodes} snodes, {self.n_vnodes} vnodes, "
+                               f"{self.n_partitions} partitions"],
+            ["sigma(Qv)", f"{self.sigma_qv * 100:.2f}%"],
+            ["sigma(Qn)", f"{self.sigma_qn * 100:.2f}%"],
+        ]
+
+
+class ChurnEngine:
+    """Replay a churn trace against a live DHT, checking conservation."""
+
+    def __init__(self, spec: ChurnSpec, trace: Optional[Sequence[ChurnEvent]] = None):
+        self.spec = spec
+        self.trace: List[ChurnEvent] = (
+            list(trace) if trace is not None else make_churn_trace(spec)
+        )
+
+    # -- construction ---------------------------------------------------------
+
+    def build_dht(self) -> BaseDHT:
+        """Enroll the initial cluster described by the spec."""
+        spec = self.spec
+        return build_cluster(
+            spec.approach,
+            spec.n_snodes,
+            spec.vnodes_per_snode,
+            pmin=spec.pmin,
+            vmin=spec.vmin,
+            seed=spec.seed,
+        )
+
+    def make_keys(self) -> Union[np.ndarray, List[str]]:
+        """The distinct key population loaded over the trace."""
+        spec = self.spec
+        if spec.workload == "ids":
+            return id_keys(spec.n_keys, rng=spec.seed)
+        return uniform_keys(spec.n_keys, rng=spec.seed)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, dht: Optional[BaseDHT] = None, deep_verify: bool = True) -> ChurnReport:
+        """Replay the trace; raise :class:`ReproError` if items are not conserved.
+
+        ``deep_verify`` additionally runs the DHT's full invariant suite and
+        an exact (merged-path) recount at the end of the run.
+        """
+        spec = self.spec
+        if dht is None:
+            dht = self.build_dht()
+        # Caller-supplied DHTs may already hold data; conservation is judged
+        # against this baseline (merged count, so the final recount compares
+        # like with like).
+        initial_items = dht.storage.total_items()
+        keys = self.make_keys()
+        key_column = keys if isinstance(keys, np.ndarray) else np.asarray(keys, dtype=object)
+        read_rng = np.random.default_rng(spec.seed + 1)
+
+        outcomes: List[EventOutcome] = []
+        loaded = 0
+        load_seconds = 0.0
+        lookups = 0
+        lookup_seconds = 0.0
+        topology_seconds = 0.0
+        conservation_checks = 0
+        applied = skipped = joins = leaves = enrollment_changes = 0
+        max_event_items = 0
+        stats = dht.storage.stats
+        base_items, base_partitions, base_migrations = (
+            stats.items_moved, stats.partitions_moved, stats.migrations,
+        )
+
+        for event in self.trace:
+            if event.kind == "load":
+                chunk = keys[event.lo : event.hi]
+                t0 = time.perf_counter()
+                loaded += dht.bulk_load(chunk)
+                dt = time.perf_counter() - t0
+                load_seconds += dt
+                outcomes.append(EventOutcome("load", event.describe(), dt))
+            elif event.kind == "lookup":
+                picks = read_rng.integers(0, event.hi, size=event.n_reads)
+                chunk = key_column[picks]
+                t0 = time.perf_counter()
+                batch = dht.lookup_many(chunk)
+                dt = time.perf_counter() - t0
+                lookup_seconds += dt
+                lookups += len(batch)
+                outcomes.append(EventOutcome("lookup", event.describe(), dt))
+            else:
+                before = dht.storage.fast_item_count()
+                items_before = stats.items_moved
+                partitions_before = stats.partitions_moved
+                note = ""
+                event_applied = True
+                t0 = time.perf_counter()
+                try:
+                    self._apply_topology(dht, event)
+                except ReproError as exc:
+                    event_applied = False
+                    note = str(exc)
+                dt = time.perf_counter() - t0
+                topology_seconds += dt
+                after = dht.storage.fast_item_count()
+                conservation_checks += 1
+                if after != before:
+                    raise ReproError(
+                        f"churn event '{event.describe()}' broke item conservation: "
+                        f"{before} items before, {after} after"
+                    )
+                moved = stats.items_moved - items_before
+                max_event_items = max(max_event_items, moved)
+                if event_applied:
+                    applied += 1
+                    joins += event.kind == "snode_join"
+                    leaves += event.kind == "snode_leave"
+                    enrollment_changes += event.kind == "enrollment_change"
+                else:
+                    skipped += 1
+                outcomes.append(
+                    EventOutcome(
+                        event.kind,
+                        event.describe(),
+                        dt,
+                        items_moved=moved,
+                        partitions_moved=stats.partitions_moved - partitions_before,
+                        applied=event_applied,
+                        note=note,
+                    )
+                )
+
+        if deep_verify:
+            dht.check_invariants()
+            final_items = dht.storage.total_items()
+            if final_items != initial_items + loaded:
+                raise ReproError(
+                    f"churn run lost data: {initial_items} items before the trace "
+                    f"plus {loaded} loaded distinct keys, but {final_items} remain"
+                )
+        else:
+            final_items = dht.storage.fast_item_count()
+
+        return ChurnReport(
+            name=spec.name,
+            approach=spec.approach,
+            n_events=applied + skipped,
+            events_applied=applied,
+            events_skipped=skipped,
+            joins=joins,
+            leaves=leaves,
+            enrollment_changes=enrollment_changes,
+            keys_loaded=loaded,
+            load_seconds=load_seconds,
+            lookups_issued=lookups,
+            lookup_seconds=lookup_seconds,
+            topology_seconds=topology_seconds,
+            items_moved=stats.items_moved - base_items,
+            partitions_moved=stats.partitions_moved - base_partitions,
+            migrations=stats.migrations - base_migrations,
+            max_event_items_moved=max_event_items,
+            conservation_checks=conservation_checks,
+            final_items=final_items,
+            n_snodes=dht.n_snodes,
+            n_vnodes=dht.n_vnodes,
+            n_partitions=dht.total_partitions,
+            sigma_qv=dht.sigma_qv(),
+            sigma_qn=dht.sigma_qn(),
+            outcomes=outcomes,
+        )
+
+    def _apply_topology(self, dht: BaseDHT, event: ChurnEvent) -> None:
+        """Apply one topology event to the live DHT."""
+        if event.kind == "snode_join":
+            snode = dht.add_snode()
+            if snode.id.value != event.snode:  # pragma: no cover - defensive
+                raise AssertionError(
+                    f"trace expected join of snode {event.snode}, DHT allocated {snode.id}"
+                )
+            dht.set_enrollment(snode, event.vnodes)
+        elif event.kind == "snode_leave":
+            dht.remove_snode(SnodeId(event.snode))
+        elif event.kind == "enrollment_change":
+            dht.set_enrollment(SnodeId(event.snode), event.vnodes)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown topology event kind {event.kind!r}")
+
+
+def run_churn(spec: ChurnSpec) -> ChurnReport:
+    """Convenience: build the engine for ``spec`` and run it."""
+    return ChurnEngine(spec).run()

@@ -37,6 +37,43 @@ WORKLOADS = ("ids", "uniform", "zipf")
 APPROACHES = ("local", "global")
 
 
+def build_cluster(
+    approach: str,
+    n_snodes: int,
+    vnodes_per_snode: int,
+    capacities: Optional[Sequence[float]] = None,
+    pmin: int = 32,
+    vmin: int = 32,
+    seed: int = 0,
+) -> BaseDHT:
+    """Enroll a cluster (homogeneous or capacity-weighted) for a scenario.
+
+    Shared by the bulk scenario driver and the churn engine
+    (:mod:`repro.workloads.churn`): builds the DHT for the requested
+    approach, enrolls ``n_snodes`` snodes and grows each to its target
+    enrollment (``vnodes_per_snode``, optionally scaled by the snode's
+    relative capacity via :func:`~repro.workloads.heterogeneity.enrollment_from_capacity`).
+    """
+    if approach == "local":
+        config = DHTConfig.for_local(pmin=pmin, vmin=vmin)
+        dht: BaseDHT = LocalDHT(config, rng=seed)
+    elif approach == "global":
+        config = DHTConfig.for_global(pmin=pmin)
+        dht = GlobalDHT(config, rng=seed)
+    else:
+        raise ValueError(f"approach must be one of {APPROACHES}, got {approach!r}")
+    snodes = dht.add_snodes(n_snodes)
+    for i, snode in enumerate(snodes):
+        if capacities is None:
+            target = vnodes_per_snode
+        else:
+            target = enrollment_from_capacity(
+                float(capacities[i]), base_vnodes=vnodes_per_snode
+            )
+        dht.set_enrollment(snode, target)
+    return dht
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """Declarative description of one bulk workload scenario."""
@@ -155,22 +192,15 @@ class ScenarioDriver:
     def build_dht(self) -> BaseDHT:
         """Enroll the scenario's cluster (homogeneous or capacity-weighted)."""
         spec = self.spec
-        if spec.approach == "local":
-            config = DHTConfig.for_local(pmin=spec.pmin, vmin=spec.vmin)
-            dht: BaseDHT = LocalDHT(config, rng=spec.seed)
-        else:
-            config = DHTConfig.for_global(pmin=spec.pmin)
-            dht = GlobalDHT(config, rng=spec.seed)
-        snodes = dht.add_snodes(spec.n_snodes)
-        for i, snode in enumerate(snodes):
-            if spec.capacities is None:
-                target = spec.vnodes_per_snode
-            else:
-                target = enrollment_from_capacity(
-                    float(spec.capacities[i]), base_vnodes=spec.vnodes_per_snode
-                )
-            dht.set_enrollment(snode, target)
-        return dht
+        return build_cluster(
+            spec.approach,
+            spec.n_snodes,
+            spec.vnodes_per_snode,
+            capacities=spec.capacities,
+            pmin=spec.pmin,
+            vmin=spec.vmin,
+            seed=spec.seed,
+        )
 
     def make_keys(self) -> Union[np.ndarray, List[str]]:
         """The distinct keys to load, per the spec's trace family."""

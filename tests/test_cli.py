@@ -72,6 +72,37 @@ class TestBulkBench:
             assert name in out
 
 
+class TestChurnBench:
+    def test_small_run_reports_conservation(self, capsys):
+        assert main(["churn-bench", "--keys", "3000", "--events", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "conservation checks" in out
+        assert "10 passed" in out
+        assert "3,000" in out
+
+    def test_writes_json_report(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_churn.json"
+        assert main(
+            ["churn-bench", "--keys", "2000", "--events", "8", "--approach", "global",
+             "--output", str(path)]
+        ) == 0
+        report = json.loads(path.read_text())
+        assert report["final_items"] == 2000
+        assert report["keys_loaded"] == 2000
+        assert report["conservation_checks"] == 8
+        assert report["approach"] == "global"
+        assert len(report["events"]) >= 8
+
+    def test_invalid_spec_fails_cleanly(self, capsys):
+        assert main(["churn-bench", "--keys", "0"]) == 2
+        assert "churn-bench" in capsys.readouterr().err
+
+    def test_parser_defaults_meet_acceptance_scale(self):
+        args = build_parser().parse_args(["churn-bench"])
+        assert args.keys >= 100_000
+        assert args.events >= 64
+
+
 class TestParser:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):

@@ -91,3 +91,123 @@ class TestValidation:
         snapshot["approach"] = "hybrid"
         with pytest.raises(ReproError):
             restore_dht(snapshot)
+
+
+class TestStructuralValidation:
+    """Corrupt snapshots must be rejected with precise errors, not restored."""
+
+    def test_overlapping_partitions_rejected(self):
+        snapshot = snapshot_dht(build_local(n_vnodes=6, items=0))
+        # Duplicate one vnode's first partition onto another vnode.
+        snapshot["vnodes"][1]["partitions"].append(
+            snapshot["vnodes"][0]["partitions"][0]
+        )
+        with pytest.raises(ReproError, match="overlap"):
+            restore_dht(snapshot)
+
+    def test_gapped_partitions_rejected(self):
+        snapshot = snapshot_dht(build_local(n_vnodes=6, items=0))
+        snapshot["vnodes"][0]["partitions"].pop()
+        with pytest.raises(ReproError, match="cover"):
+            restore_dht(snapshot)
+
+    def test_vnode_with_unknown_snode_rejected(self):
+        snapshot = snapshot_dht(build_local(n_vnodes=6, items=0))
+        entry = snapshot["vnodes"][0]
+        entry["ref"] = "99." + entry["ref"].split(".")[1]
+        with pytest.raises(ReproError, match="snode"):
+            restore_dht(snapshot)
+
+    def test_duplicate_vnode_rejected(self):
+        snapshot = snapshot_dht(build_local(n_vnodes=6, items=0))
+        snapshot["vnodes"][1]["ref"] = snapshot["vnodes"][0]["ref"]
+        with pytest.raises(ReproError, match="duplicate|overlap"):
+            restore_dht(snapshot)
+
+    def test_group_with_unknown_member_rejected(self):
+        snapshot = snapshot_dht(build_local(n_vnodes=6, items=0))
+        snapshot["groups"][0]["members"][0] = "7.7"
+        with pytest.raises(ReproError, match="group"):
+            restore_dht(snapshot)
+
+    def test_item_at_unknown_vnode_rejected(self):
+        snapshot = snapshot_dht(build_local(n_vnodes=6, items=5))
+        snapshot["items"][0]["vnode"] = "7.7"
+        with pytest.raises(ReproError, match="not a vnode"):
+            restore_dht(snapshot)
+
+    def test_item_at_wrong_owner_rejected(self):
+        original = build_local(n_vnodes=6, items=5)
+        snapshot = snapshot_dht(original)
+        item = snapshot["items"][0]
+        owner = item["vnode"]
+        other = next(
+            entry["ref"] for entry in snapshot["vnodes"] if entry["ref"] != owner
+        )
+        item["vnode"] = other
+        with pytest.raises(ReproError, match="owned by"):
+            restore_dht(snapshot)
+
+    def test_item_with_unroutable_index_rejected(self):
+        snapshot = snapshot_dht(build_local(n_vnodes=6, items=5))
+        snapshot["items"][0]["index"] = 2**128  # outside any bh<=128 space
+        with pytest.raises(ReproError, match="unroutable"):
+            restore_dht(snapshot)
+
+    def test_item_with_non_integer_index_rejected(self):
+        snapshot = snapshot_dht(build_local(n_vnodes=6, items=5))
+        snapshot["items"][0]["index"] = str(snapshot["items"][0]["index"])
+        with pytest.raises(ReproError, match="non-integer"):
+            restore_dht(snapshot)
+
+    def test_vnode_outrunning_name_counter_rejected(self):
+        snapshot = snapshot_dht(build_local(n_vnodes=6, items=0))
+        snapshot["snodes"][0]["next_vnode_index"] = 0  # but vnode 0.0 exists
+        with pytest.raises(ReproError, match="name counter"):
+            restore_dht(snapshot)
+
+
+class TestChurnedRoundTrip:
+    def test_round_trip_after_snode_removal_preserves_gapped_ids(self):
+        # Regression: restore used to re-allocate snode ids sequentially and
+        # "fix up" mismatches, which silently dropped a snode whenever the id
+        # sequence had a gap (i.e. after any snode leave).
+        dht = build_local(n_vnodes=12, items=60)
+        victim = next(iter(dht.snodes.values()))
+        dht.remove_snode(victim)
+        assert victim.id not in dht.snodes
+        restored = restore_dht(snapshot_dht(dht))
+        assert set(restored.snodes) == set(dht.snodes)
+        assert restored.n_vnodes == dht.n_vnodes
+        assert restored.storage.total_items() == 60
+        restored.check_invariants()
+        # Future enrollments must not reuse a withdrawn id.
+        new_snode = restored.add_snode()
+        assert new_snode.id.value >= victim.id.value
+
+    def test_next_snode_id_collision_rejected(self):
+        snapshot = snapshot_dht(build_local(n_vnodes=5, items=0))
+        snapshot["next_snode_id"] = 0
+        with pytest.raises(ReproError, match="next_snode_id"):
+            restore_dht(snapshot)
+
+
+class TestMigrationStatsRoundTrip:
+    def test_stats_survive_snapshot_restore(self):
+        dht = build_local(n_vnodes=10, items=80)
+        # Churn a little so the stats are non-trivial.
+        victim = next(iter(dht.vnodes))
+        dht.remove_vnode(victim)
+        stats = dht.storage.stats
+        assert stats.partitions_moved > 0
+        restored = restore_dht(snapshot_dht(dht))
+        assert restored.storage.stats.partitions_moved == stats.partitions_moved
+        assert restored.storage.stats.items_moved == stats.items_moved
+        assert restored.storage.stats.migrations == stats.migrations
+
+    def test_old_snapshot_without_stats_defaults_to_zero(self):
+        snapshot = snapshot_dht(build_local(n_vnodes=5, items=10))
+        del snapshot["migration_stats"]
+        restored = restore_dht(snapshot)
+        assert restored.storage.stats.partitions_moved == 0
+        assert restored.storage.stats.migrations == 0

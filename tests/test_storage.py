@@ -101,3 +101,40 @@ class TestMigration:
         assert storage.stats.items_moved == 0
         assert storage.stats.partitions_moved == 0
         assert storage.stats.migrations == 0
+
+
+class TestSelfMigration:
+    """Regressions: self-migration used to destroy data / fake stats."""
+
+    def test_migrate_all_to_self_is_a_noop(self, storage):
+        # Regression: the items were re-inserted into the same dict and then
+        # the dict was cleared, wiping the vnode's whole data set.
+        storage.put(vref(0), "a", 1, "va")
+        storage.put(vref(0), "b", 2, "vb")
+        storage.put_batch(vref(0), ["c"], [3], ["vc"])
+        moved = storage.migrate_all(vref(0), vref(0))
+        assert moved == 0
+        assert storage.item_count(vref(0)) == 3
+        assert storage.get(vref(0), "a") == "va"
+        assert storage.get(vref(0), "c") == "vc"
+        assert storage.stats.partitions_moved == 0
+        assert storage.stats.items_moved == 0
+        assert storage.stats.migrations == 0
+
+    def test_migrate_partition_to_self_records_no_stats(self, storage):
+        # Regression: the move survived but recorded a phantom handover.
+        storage.put(vref(0), "inside", 10, "a")
+        for vectorized in (True, False):
+            storage.vectorized_migration = vectorized
+            moved = storage.migrate_partition(Partition(8, 0), vref(0), vref(0))
+            assert moved == 0
+        assert storage.get(vref(0), "inside") == "a"
+        assert storage.stats.partitions_moved == 0
+        assert storage.stats.items_moved == 0
+        assert storage.stats.migrations == 0
+
+    def test_self_migration_still_validates_the_vnode(self, storage):
+        with pytest.raises(UnknownVnodeError):
+            storage.migrate_all(vref(9), vref(9))
+        with pytest.raises(UnknownVnodeError):
+            storage.migrate_partition(Partition(8, 0), vref(9), vref(9))
