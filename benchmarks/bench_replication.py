@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Replication cost and crash-recovery throughput.
+
+Two measurements on identical clusters:
+
+* **write amplification** — bulk-loading the same key population into an
+  unreplicated DHT (``replication_factor=1``) and a replicated one
+  (``--replication``, default 2).  The replica fan-out rides the primary
+  batch pipeline (one ``locate_batch`` pass serves every replica rank), so
+  the replicated load should cost roughly ``k ×`` the store step, not
+  ``k ×`` the whole pipeline; ``--max-slowdown`` gates the ratio (the
+  acceptance bar is 2.5x at replication 2).
+
+* **re-replication rate** — crashing one snode of the loaded, replicated
+  DHT (stores wiped, no drain) and timing the recovery pass that rebuilds
+  the lost primaries from surviving replicas through the columnar
+  ``pop_buckets``/``adopt_parts`` path.  The run fails if any item is lost.
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py --keys 1000000
+    PYTHONPATH=src python benchmarks/bench_replication.py --keys 100000 \
+        --max-slowdown 2.5 --output BENCH_replication.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.base import BaseDHT
+from repro.report import format_table
+from repro.workloads.driver import build_cluster
+from repro.workloads.keys import id_keys
+
+
+def build_and_load(args: argparse.Namespace, replication_factor: int) -> tuple:
+    """One freshly built cluster plus its bulk-load wall time."""
+    dht = build_cluster(
+        "local",
+        args.snodes,
+        args.vnodes_per_snode,
+        pmin=args.pmin,
+        vmin=args.vmin,
+        replication_factor=replication_factor,
+        seed=args.seed,
+    )
+    keys = id_keys(args.keys, rng=args.seed)
+    t0 = time.perf_counter()
+    dht.bulk_load(keys)
+    seconds = time.perf_counter() - t0
+    return dht, seconds
+
+
+def crash_one_snode(dht: BaseDHT) -> dict:
+    """Crash the snode holding the most physical rows; return recovery numbers."""
+    victim = max(
+        dht.snodes.values(),
+        key=lambda s: sum(dht.storage.fast_item_count(ref) for ref in s.vnodes),
+    )
+    rows_at_victim = sum(dht.storage.fast_item_count(ref) for ref in victim.vnodes)
+    t0 = time.perf_counter()
+    report = dht.crash_snode(victim.id)
+    seconds = time.perf_counter() - t0
+    restored = report.recovery.rows_restored if report.recovery else 0
+    refilled = report.sync.rows_refilled if report.sync else 0
+    return {
+        "crashed_snode": report.snode,
+        "rows_at_victim": rows_at_victim,
+        "rows_wiped": report.rows_wiped,
+        "rows_restored": restored,
+        "replica_rows_refilled": refilled,
+        "recovery_seconds": seconds,
+        "rereplication_rows_per_second": (
+            (restored + refilled) / seconds if seconds > 0 else 0.0
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keys", type=int, default=1_000_000, help="keys to bulk-load")
+    parser.add_argument("--replication", type=int, default=2,
+                        help="replication factor of the replicated side")
+    parser.add_argument("--snodes", type=int, default=8, help="snodes to enroll")
+    parser.add_argument("--vnodes-per-snode", type=int, default=4)
+    parser.add_argument("--pmin", type=int, default=8)
+    parser.add_argument("--vmin", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-slowdown", type=float, default=0.0,
+                        help="exit non-zero if replicated/unreplicated load time "
+                             "exceeds this ratio (0 disables the gate)")
+    parser.add_argument("--output", default=None,
+                        help="write the results to this JSON file")
+    args = parser.parse_args(argv)
+    if args.replication < 2:
+        parser.error("--replication must be >= 2 (the unreplicated side is built-in)")
+    if args.snodes < args.replication:
+        parser.error("--snodes must be >= --replication for full rank coverage")
+
+    plain_dht, plain_seconds = build_and_load(args, replication_factor=1)
+    assert plain_dht.storage.fast_item_count() == args.keys
+
+    repl_dht, repl_seconds = build_and_load(args, replication_factor=args.replication)
+    assert repl_dht.storage.fast_primary_count() == args.keys
+    assert repl_dht.storage.fast_item_count() == args.replication * args.keys, (
+        "replicated load did not produce replication_factor x keys physical rows"
+    )
+    repl_dht.verify_replication()
+
+    slowdown = repl_seconds / plain_seconds if plain_seconds > 0 else float("inf")
+
+    crash = crash_one_snode(repl_dht)
+    assert repl_dht.storage.fast_primary_count() == args.keys, (
+        "crash recovery lost items despite surviving replicas"
+    )
+    repl_dht.verify_replication()
+    repl_dht.check_invariants()
+
+    def rate(n: int, seconds: float) -> str:
+        return f"{n / seconds:,.0f}" if seconds > 0 else "inf"
+
+    print(f"bulk_load of {args.keys:,} int keys "
+          f"({args.snodes} snodes x {args.vnodes_per_snode} vnodes)\n")
+    print(format_table(
+        ["side", "seconds", "keys/s", "slowdown"],
+        [
+            ["unreplicated (k=1)", f"{plain_seconds:.3f}",
+             rate(args.keys, plain_seconds), "1.00x"],
+            [f"replicated (k={args.replication})", f"{repl_seconds:.3f}",
+             rate(args.keys, repl_seconds), f"{slowdown:.2f}x"],
+        ],
+    ))
+    print(f"\ncrash of snode {crash['crashed_snode']} "
+          f"({crash['rows_wiped']:,} rows wiped, no drain)\n")
+    print(format_table(
+        ["recovery step", "rows", "seconds", "rows/s"],
+        [
+            ["primaries restored from replicas", f"{crash['rows_restored']:,}",
+             f"{crash['recovery_seconds']:.3f}",
+             rate(crash['rows_restored'] + crash['replica_rows_refilled'],
+                  crash['recovery_seconds'])],
+            ["replica ranges refilled", f"{crash['replica_rows_refilled']:,}", "", ""],
+        ],
+    ))
+
+    if args.output:
+        payload = {
+            "keys": args.keys,
+            "replication_factor": args.replication,
+            "snodes": args.snodes,
+            "vnodes_per_snode": args.vnodes_per_snode,
+            "unreplicated_seconds": plain_seconds,
+            "replicated_seconds": repl_seconds,
+            "slowdown": slowdown,
+            "crash": crash,
+            "replication_stats": repl_dht.storage.replication.as_dict(),
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nresults written to {args.output}")
+
+    if args.max_slowdown and slowdown > args.max_slowdown:
+        print(f"\nFAIL: replicated load slowdown {slowdown:.2f}x > allowed "
+              f"{args.max_slowdown:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

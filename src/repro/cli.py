@@ -13,9 +13,12 @@ and can persist the result to JSON (``--output``) for later comparison with
 ``repro.experiments.persistence``.  ``bulk-bench`` replays the scenario
 suite of :mod:`repro.workloads.driver` through the batch API and prints
 throughput plus balance metrics per scenario.  ``churn-bench`` replays a
-join/leave/enrollment churn trace (:mod:`repro.workloads.churn`) against
-live data, verifying item conservation after every topology event, and can
-write the report JSON (the CI ``BENCH_churn.json`` artifact).
+join/leave/enrollment/crash churn trace (:mod:`repro.workloads.churn`)
+against live data — optionally with ``--replication N`` copies per item and
+a ``--crash-rate`` fraction of ungraceful snode failures — verifying item
+conservation (and replica consistency) after every topology event, and can
+write the report JSON (the CI ``BENCH_churn.json`` / ``BENCH_replication.json``
+artifacts).
 """
 
 from __future__ import annotations
@@ -90,6 +93,21 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--vnodes-per-snode", type=int, default=4)
     churn.add_argument("--pmin", type=int, default=8)
     churn.add_argument("--vmin", type=int, default=8)
+    churn.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        metavar="N",
+        help="copies kept of every item (default 1 = no replication)",
+    )
+    churn.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="fraction of topology events that are ungraceful snode crashes "
+             "(0 <= P < 1, default 0)",
+    )
     churn.add_argument("--seed", type=int, default=0)
     churn.add_argument("--output", default=None, help="write the churn report to this JSON file")
     return parser
@@ -170,6 +188,11 @@ def _cmd_bulk_bench(args: argparse.Namespace) -> int:
 
 def _cmd_churn_bench(args: argparse.Namespace) -> int:
     try:
+        if not (0.0 <= args.crash_rate < 1.0):
+            raise ValueError(f"--crash-rate must be in [0, 1), got {args.crash_rate}")
+        # The three graceful-event weights sum to 1 by default, so a crash
+        # weight of p/(1-p) makes crashes exactly a p-fraction of events.
+        crash_weight = args.crash_rate / (1.0 - args.crash_rate)
         spec = ChurnSpec(
             name=f"churn-{args.workload}",
             workload=args.workload,
@@ -180,6 +203,8 @@ def _cmd_churn_bench(args: argparse.Namespace) -> int:
             vnodes_per_snode=args.vnodes_per_snode,
             pmin=args.pmin,
             vmin=args.vmin,
+            replication_factor=args.replication,
+            crash_weight=crash_weight,
             seed=args.seed,
         )
     except ValueError as exc:

@@ -29,6 +29,7 @@ from repro.core.errors import (
     KeyLookupError,
     PartitionError,
     ProtocolError,
+    ReplicationError,
     ReproError,
     StorageError,
     UnknownGroupError,
@@ -49,8 +50,21 @@ from repro.core.ids import GroupId, SnodeId, VnodeRef
 from repro.core.local_model import LocalDHT, ideal_group_count
 from repro.core.lookup import BatchLookupResult, LookupResult, PartitionRouter
 from repro.core.records import GPDR, LPDR, PartitionDistributionRecord
+from repro.core.replication import (
+    CrashReport,
+    RecoveryReport,
+    ReplicaPlacement,
+    ReplicaPlacer,
+    SyncReport,
+)
 from repro.core.snapshot import restore_dht, snapshot_dht
-from repro.core.storage import DHTStorage, MigrationStats, StoredItem, VnodeStore
+from repro.core.storage import (
+    DHTStorage,
+    MigrationStats,
+    ReplicationStats,
+    StoredItem,
+    VnodeStore,
+)
 
 __all__ = [
     "DEFAULT_BH",
@@ -89,6 +103,13 @@ __all__ = [
     "VnodeStore",
     "StoredItem",
     "MigrationStats",
+    "ReplicationStats",
+    "ReplicaPlacer",
+    "ReplicaPlacement",
+    "SyncReport",
+    "RecoveryReport",
+    "CrashReport",
+    "ReplicationError",
     "ReproError",
     "ConfigError",
     "InvariantViolation",

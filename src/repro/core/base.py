@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from fractions import Fraction
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,12 +32,25 @@ from repro.core.entities import Snode, Vnode
 from repro.core.errors import (
     EmptyDHTError,
     InvariantViolation,
+    ReplicationError,
+    ReproError,
     UnknownSnodeError,
     UnknownVnodeError,
 )
 from repro.core.hashspace import HashSpace, Partition
 from repro.core.ids import SnodeId, VnodeRef
 from repro.core.lookup import BatchLookupResult, LookupResult, PartitionRouter
+from repro.core.replication import (
+    CrashReport,
+    RecoveryReport,
+    ReplicaPlacement,
+    ReplicaPlacer,
+    SyncReport,
+    recover_primaries,
+    sync_replicas,
+    verify_placement,
+    verify_replica_consistency,
+)
 from repro.core.storage import DHTStorage
 from repro.utils.arrays import as_object_column
 from repro.utils.gcscope import deferred_gc
@@ -79,6 +93,9 @@ class BaseDHT(ABC):
         self.snodes: Dict[SnodeId, Snode] = {}
         self.vnodes: Dict[VnodeRef, Vnode] = {}
         self._router = PartitionRouter(self.hash_space)
+        self._placer = ReplicaPlacer(config.replication_factor)
+        self._placement: Optional[ReplicaPlacement] = None
+        self._replica_sync_paused = False
         self._topology_version = 0
         self._next_snode_id = 0
         self._removals_occurred = False
@@ -117,8 +134,9 @@ class BaseDHT(ABC):
     def remove_snode(self, snode: SnodeLike) -> None:
         """Withdraw a snode from the DHT, removing each of its vnodes first."""
         node = self.get_snode(snode)
-        for ref in list(node.vnodes):
-            self.remove_vnode(ref)
+        with self._deferred_replica_sync():
+            for ref in list(node.vnodes):
+                self.remove_vnode(ref)
         del self.snodes[node.id]
 
     @property
@@ -165,11 +183,12 @@ class BaseDHT(ABC):
             raise ValueError("target_vnodes must be non-negative")
         node = self.get_snode(snode)
         created: List[VnodeRef] = []
-        while node.n_vnodes < target_vnodes:
-            created.append(self.create_vnode(node))
-        while node.n_vnodes > target_vnodes:
-            newest = max(node.vnodes, key=lambda r: r.vnode_index)
-            self.remove_vnode(newest)
+        with self._deferred_replica_sync():
+            while node.n_vnodes < target_vnodes:
+                created.append(self.create_vnode(node))
+            while node.n_vnodes > target_vnodes:
+                newest = max(node.vnodes, key=lambda r: r.vnode_index)
+                self.remove_vnode(newest)
         return created
 
     # ------------------------------------------------------------- vnode helpers
@@ -254,6 +273,165 @@ class BaseDHT(ABC):
             self._router.rebuild(self._iter_ownership(), self._topology_version)
         return self._router
 
+    # --------------------------------------------------------------- replication
+
+    @property
+    def replication_factor(self) -> int:
+        """Number of copies kept of every stored item (``k``, from config)."""
+        return self.config.replication_factor
+
+    def _ensure_placement(self) -> ReplicaPlacement:
+        """The replica placement for the current topology (rebuilt lazily,
+        exactly like the partition router)."""
+        router = self._ensure_router()
+        if self._placement is None or self._placement.version != self._topology_version:
+            self._placement = self._placer.place(router.entries(), self._topology_version)
+        return self._placement
+
+    def _replicas_of(self, partition: Partition) -> Tuple[VnodeRef, ...]:
+        """Replica vnodes of a partition (empty when replication is off)."""
+        if self.config.replica_ranks == 0:
+            return ()
+        return self._ensure_placement().replicas_for(partition)
+
+    def sync_replicas(self) -> SyncReport:
+        """Reconcile every replica store with the current placement.
+
+        Runs automatically after every topology change (vnode creation and
+        removal, enrollment changes, snode joins/leaves/crashes); exposed
+        for callers that mutate topology through lower-level entry points.
+        """
+        if self.config.replica_ranks == 0:
+            return SyncReport()
+        return sync_replicas(self.storage, self._ensure_placement())
+
+    def _sync_replicas_after_topology_change(self) -> None:
+        """Post-mutation hook: re-sync replicas unless paused or disabled."""
+        if self.config.replica_ranks == 0 or self._replica_sync_paused:
+            return
+        sync_replicas(self.storage, self._ensure_placement())
+
+    @contextmanager
+    def _deferred_replica_sync(self):
+        """Batch several topology mutations into one trailing sync pass."""
+        if self._replica_sync_paused:
+            yield
+            return
+        self._replica_sync_paused = True
+        try:
+            yield
+        finally:
+            self._replica_sync_paused = False
+            self._sync_replicas_after_topology_change()
+
+    def crash_snode(self, snode: SnodeLike) -> CrashReport:
+        """Crash a live snode: its data is destroyed, not drained.
+
+        Every store of the snode's vnodes (primary and replica tiers) is
+        wiped, then the vnodes are dropped from the topology — partition
+        ownership moves to the survivors through the normal removal path,
+        but with nothing left to migrate — and a re-replication pass
+        rebuilds the lost primaries from surviving replicas
+        (:func:`repro.core.replication.recover_primaries`) and re-syncs
+        replica placement, so with ``replication_factor >= 2`` a
+        single-snode crash loses no data.  Crash and recovery are one
+        atomic operation: surviving replica rows are only ever consumed
+        under the same placement they were re-homed against, so no caller
+        can observe (or snapshot, or write into) a half-recovered state.
+
+        Vnodes the model refuses to remove (e.g. the last vnode of a group
+        in the local approach) stay enrolled with wiped stores — like a
+        machine rebooting after the crash — and recovery refills them too;
+        they are listed in :attr:`~repro.core.replication.CrashReport.vnodes_stuck`.
+        """
+        node = self.get_snode(snode)
+        refs = sorted(node.vnodes, key=lambda r: r.vnode_index, reverse=True)
+        rows_wiped = 0
+        for ref in refs:
+            rows_wiped += self.storage.wipe_vnode(ref)
+        self.storage.replication.crashes += 1
+
+        removed: List[str] = []
+        stuck: List[str] = []
+        notes: List[str] = []
+        previous = self._replica_sync_paused
+        self._replica_sync_paused = True  # survivors are the recovery sources
+        try:
+            for ref in refs:
+                try:
+                    self.remove_vnode(ref)
+                    removed.append(ref.canonical_name)
+                except ReproError as exc:
+                    stuck.append(ref.canonical_name)
+                    notes.append(f"{ref}: {exc}")
+        finally:
+            self._replica_sync_paused = previous
+        if not node.vnodes:
+            del self.snodes[node.id]
+
+        recovery, sync = self.recover()
+        return CrashReport(
+            snode=node.id.value,
+            vnodes_removed=tuple(removed),
+            vnodes_stuck=tuple(stuck),
+            rows_wiped=rows_wiped,
+            recovery=recovery,
+            sync=sync,
+            notes=tuple(notes),
+        )
+
+    def recover(self) -> Tuple[RecoveryReport, SyncReport]:
+        """Rebuild empty primaries from surviving replicas, then re-sync.
+
+        Safe to call at any time; both passes are no-ops on a consistent
+        DHT (and skipped outright without replication — there are no
+        replica rows to recover from).  Returns the recovery and sync
+        reports.
+        """
+        if self.config.replica_ranks == 0:
+            return RecoveryReport(), SyncReport()
+        placement = self._ensure_placement()
+        recovery = recover_primaries(self.storage, placement)
+        sync = sync_replicas(self.storage, placement)
+        return recovery, sync
+
+    def verify_replication(self, deep: bool = False) -> None:
+        """Check replica placement and replica/primary consistency.
+
+        Raises :class:`~repro.core.errors.ReplicationError` if replicas of a
+        partition co-locate on one snode, if any partition has fewer
+        replicas than the cluster allows, if a vnode's primary store holds
+        rows outside the partitions it owns, or if a replica store disagrees
+        with its primary (row counts always; contents with ``deep=True``).
+        """
+        if not self.vnodes:
+            return
+        # Merge-free sibling of verify_storage_consistency: every primary row
+        # must lie inside one of its vnode's owned partition ranges.
+        bh = self.hash_space.bh
+        for ref, vnode in self.vnodes.items():
+            store = self.storage._store(ref)
+            ranges = vnode.sorted_ranges(bh)
+            if not ranges:
+                if store.fast_len():
+                    raise ReplicationError(
+                        f"vnode {ref} owns no partitions but stores "
+                        f"{store.fast_len()} primary rows"
+                    )
+                continue
+            starts, lasts = self.storage._range_arrays(ranges)
+            inside = int(store.count_buckets(starts, lasts).sum())
+            if inside != store.fast_len():
+                raise ReplicationError(
+                    f"vnode {ref} holds {store.fast_len() - inside} primary rows "
+                    f"outside its owned partitions"
+                )
+        placement = self._ensure_placement()
+        hosting_snodes = len({ref.snode for ref in self.vnodes})
+        expected = min(self.config.replica_ranks, hosting_snodes - 1)
+        verify_placement(placement, expected)
+        verify_replica_consistency(self.storage, placement, deep=deep)
+
     def find_owner(self, index: int) -> LookupResult:
         """Route a hash index to its partition, owning vnode and hosting snode."""
         router = self._ensure_router()
@@ -300,28 +478,69 @@ class BaseDHT(ABC):
     # ---------------------------------------------------------------- key/value API
 
     def put(self, key: Hashable, value: Any) -> LookupResult:
-        """Store ``value`` under ``key`` at the owning vnode."""
+        """Store ``value`` under ``key`` at the owning vnode (and replicas)."""
         result = self.lookup(key)
         self.storage.put(result.vnode, key, result.index, value)
+        for ref in self._replicas_of(result.partition):
+            self.storage.put_replica(ref, key, result.index, value)
         return result
 
     def get(self, key: Hashable) -> Any:
-        """Fetch the value stored under ``key`` (raises ``KeyError`` if absent)."""
+        """Fetch the value stored under ``key`` (raises ``KeyError`` if absent).
+
+        Falls back to the partition's replicas when the primary misses —
+        e.g. a primary store that lost rows in place and has not been
+        healed by the next :meth:`recover` / sync pass yet.
+        """
         result = self.lookup(key)
-        return self.storage.get(result.vnode, key)
+        try:
+            return self.storage.get(result.vnode, key)
+        except KeyError:
+            for ref in self._replicas_of(result.partition):
+                try:
+                    return self.storage.get_replica(ref, key)
+                except KeyError:
+                    continue
+            raise
 
     def delete(self, key: Hashable) -> Any:
-        """Delete and return the value stored under ``key``."""
+        """Delete and return the value stored under ``key`` (and its replicas).
+
+        Mirrors :meth:`get`'s fallback: when the primary misses but a
+        replica still holds the key (an in-place damaged primary awaiting
+        the next recovery pass), the replica copies are deleted and the
+        value returned — anything :meth:`contains` reports as present can
+        be deleted, and no removed key is later resurrected by recovery.
+        """
         result = self.lookup(key)
-        return self.storage.delete(result.vnode, key)
+        replicas = self._replicas_of(result.partition)
+        found = True
+        try:
+            value = self.storage.delete(result.vnode, key)
+        except KeyError:
+            found = False
+            value = None
+        for ref in replicas:
+            if not found and self.storage.contains_replica(ref, key):
+                value = self.storage.get_replica(ref, key)
+                found = True
+            self.storage.delete_replica(ref, key)
+        if not found:
+            raise KeyError(key)
+        return value
 
     def contains(self, key: Hashable) -> bool:
-        """True if ``key`` is currently stored in the DHT."""
+        """True if ``key`` is currently stored in the DHT (any copy)."""
         try:
             result = self.lookup(key)
         except EmptyDHTError:
             return False
-        return self.storage.contains(result.vnode, key)
+        if self.storage.contains(result.vnode, key):
+            return True
+        return any(
+            self.storage.contains_replica(ref, key)
+            for ref in self._replicas_of(result.partition)
+        )
 
     # ------------------------------------------------------------------- bulk API
 
@@ -361,14 +580,20 @@ class BaseDHT(ABC):
             values_sorted = None if values is None else as_object_column(values)[order]
 
             stored = 0
+            placement = self._ensure_placement() if self.config.replica_ranks else None
             for pos, lo, hi in runs:
                 owner = router.entry_at(pos)[1]
+                vals = None if values_sorted is None else values_sorted[lo:hi]
                 stored += self.storage.put_batch(
-                    owner,
-                    keys_sorted[lo:hi],
-                    indices_sorted[lo:hi],
-                    None if values_sorted is None else values_sorted[lo:hi],
+                    owner, keys_sorted[lo:hi], indices_sorted[lo:hi], vals
                 )
+                if placement is not None:
+                    # Replica fan-out rides the same position runs: the one
+                    # locate_batch pass above serves every replica rank.
+                    for ref in placement.replicas_at(pos):
+                        self.storage.put_replica_batch(
+                            ref, keys_sorted[lo:hi], indices_sorted[lo:hi], vals
+                        )
             return stored
 
     def get_many(self, keys: Union[Sequence[Hashable], np.ndarray]) -> List[Any]:
@@ -388,7 +613,15 @@ class BaseDHT(ABC):
             out = np.empty(n, dtype=object)
             for pos, lo, hi in runs:
                 owner = batch.route_table[pos][1]
-                out[order[lo:hi]] = self.storage.get_batch(owner, keys_sorted[lo:hi].tolist())
+                keys_run = keys_sorted[lo:hi].tolist()
+                try:
+                    out[order[lo:hi]] = self.storage.get_batch(owner, keys_run)
+                except KeyError:
+                    if self.config.replica_ranks == 0:
+                        raise  # no replicas to consult: keep the fast-fail path
+                    # Primary miss (e.g. mid-crash): retry per key through the
+                    # replica-fallback scalar path; absent keys still raise.
+                    out[order[lo:hi]] = [self.get(k) for k in keys_run]
             return out.tolist()
 
     def __contains__(self, key: Hashable) -> bool:
@@ -486,6 +719,8 @@ class BaseDHT(ABC):
             "vnodes": self.n_vnodes,
             "partitions": self.total_partitions,
             "items": self.storage.total_items(),
+            "replication_factor": self.config.replication_factor,
+            "replica_items": self.storage.replica_item_count(),
             "sigma_qv": self.sigma_qv(),
             "sigma_qn": self.sigma_qn(),
         }

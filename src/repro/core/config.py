@@ -56,17 +56,36 @@ class DHTConfig:
         local approach.  ``None`` means "no grouping" and is what the
         global approach uses internally.  The maximum is ``2 * vmin``
         (``Vmax``), per invariant L2.
+    replication_factor:
+        Number of copies kept of every stored item (data replication, a
+        library extension — the paper replicates only *metadata*, the
+        GPDR/LPDR tables).  ``1`` (default) stores each item once, exactly
+        as the seed model did; ``k > 1`` additionally places ``k - 1``
+        replicas of every partition on ring-successor vnodes hosted by
+        distinct snodes (see :mod:`repro.core.replication`).
     """
 
     bh: int = DEFAULT_BH
     pmin: int = 32
     vmin: Optional[int] = 32
+    replication_factor: int = 1
 
     def __post_init__(self) -> None:
         if isinstance(self.bh, bool) or not isinstance(self.bh, int):
             raise ConfigError(f"bh must be an int, got {type(self.bh).__name__}")
         if not (1 <= self.bh <= 128):
             raise ConfigError(f"bh must be in [1, 128], got {self.bh}")
+        if isinstance(self.replication_factor, bool) or not isinstance(
+            self.replication_factor, int
+        ):
+            raise ConfigError(
+                f"replication_factor must be an int, got "
+                f"{type(self.replication_factor).__name__}"
+            )
+        if self.replication_factor < 1:
+            raise ConfigError(
+                f"replication_factor must be >= 1, got {self.replication_factor}"
+            )
         _check_pow2(self.pmin, "pmin")
         if self.pmin < 2:
             # With Pmin = 1 the improvement test of the creation algorithm
@@ -117,17 +136,30 @@ class DHTConfig:
         """True when the configuration enables the local (grouped) approach."""
         return self.vmin is not None
 
+    @property
+    def replica_ranks(self) -> int:
+        """Number of non-primary replicas kept per partition (``k - 1``)."""
+        return self.replication_factor - 1
+
     # -- convenience constructors ------------------------------------------
 
     @classmethod
-    def for_global(cls, bh: int = DEFAULT_BH, pmin: int = 32) -> "DHTConfig":
+    def for_global(
+        cls, bh: int = DEFAULT_BH, pmin: int = 32, replication_factor: int = 1
+    ) -> "DHTConfig":
         """Configuration for the global approach (no groups)."""
-        return cls(bh=bh, pmin=pmin, vmin=None)
+        return cls(bh=bh, pmin=pmin, vmin=None, replication_factor=replication_factor)
 
     @classmethod
-    def for_local(cls, bh: int = DEFAULT_BH, pmin: int = 32, vmin: int = 32) -> "DHTConfig":
+    def for_local(
+        cls,
+        bh: int = DEFAULT_BH,
+        pmin: int = 32,
+        vmin: int = 32,
+        replication_factor: int = 1,
+    ) -> "DHTConfig":
         """Configuration for the local approach (grouped)."""
-        return cls(bh=bh, pmin=pmin, vmin=vmin)
+        return cls(bh=bh, pmin=pmin, vmin=vmin, replication_factor=replication_factor)
 
     @classmethod
     def paper_default(cls) -> "DHTConfig":

@@ -93,6 +93,18 @@ class Vnode:
             new_partitions.add(right)
         self._partitions = new_partitions
 
+    def sorted_ranges(self, bh: int) -> List[Tuple[int, int]]:
+        """Owned partitions as disjoint ``[start, last]`` (inclusive) ranges.
+
+        Sorted by start — the column layout the range-bucketing storage
+        primitives (:meth:`~repro.core.storage.VnodeStore.count_buckets` and
+        friends) consume; :meth:`~repro.core.base.BaseDHT.verify_replication`
+        uses it to check, merge-free, that every primary row lies inside a
+        partition its vnode owns.
+        """
+        ordered = sorted(self._partitions, key=Partition.ring_sort_key)
+        return [(p.start(bh), p.end(bh) - 1) for p in ordered]
+
     def partition_containing(self, index: int, bh: int) -> Optional[Partition]:
         """The owned partition containing hash index ``index``, if any."""
         for partition in self._partitions:

@@ -52,6 +52,15 @@ class KeyLookupError(ReproError):
     """A key or hash index could not be routed to any partition/vnode."""
 
 
+class ReplicationError(ReproError):
+    """Replica placement or replica/primary consistency failure.
+
+    Raised by :meth:`~repro.core.base.BaseDHT.verify_replication` and by the
+    recovery machinery of :mod:`repro.core.replication` when replica stores
+    disagree with their primaries in a way the sync pass cannot repair.
+    """
+
+
 class ProtocolError(ReproError):
     """Cluster protocol simulation error (bad message, unknown destination...)."""
 

@@ -71,12 +71,14 @@ class GlobalDHT(BaseDHT):
             for partition in iter_level_partitions(self.splitlevel):
                 vnode.add_partition(partition)
             self._bump_topology()
+            self._sync_replicas_after_topology_change()
             return ref
 
         # Mirror the plan on the entity layer; split-all cascades raise the
         # global splitlevel (all partitions are split, G3 is preserved).
         self.splitlevel += len(plan.split_alls)
         self._apply_plan(plan, scope=list(self.vnodes.keys()))
+        self._sync_replicas_after_topology_change()
         return ref
 
     # ------------------------------------------------------------------ removal
@@ -102,6 +104,7 @@ class GlobalDHT(BaseDHT):
                 vnode.remove_partition(partition)
             self._unregister_vnode(ref)
             self.splitlevel = self.config.initial_splitlevel
+            self._sync_replicas_after_topology_change()
             return
 
         self._drain_vnode(ref, others)
@@ -109,6 +112,7 @@ class GlobalDHT(BaseDHT):
         for other in others:
             self.gpdr.set_count(other, self.get_vnode(other).partition_count)
         self._unregister_vnode(ref)
+        self._sync_replicas_after_topology_change()
 
     # ------------------------------------------------------------------ metrics
 

@@ -144,6 +144,7 @@ class LocalDHT(BaseDHT):
             for partition in iter_level_partitions(group.splitlevel):
                 vnode.add_partition(partition)
             self._bump_topology()
+            self._sync_replicas_after_topology_change()
             return ref
 
         # Select the victim group by random lookup (probability = group quota).
@@ -162,6 +163,7 @@ class LocalDHT(BaseDHT):
         target_group.attach_entity(vnode)
         plan = plan_vnode_creation(target_group.lpdr, ref, self.config.pmin)
         self._apply_plan(plan, scope=list(target_group.vnodes.keys()))
+        self._sync_replicas_after_topology_change()
         return ref
 
     def _split_group(self, group: Group) -> Tuple[Group, Group]:
@@ -227,6 +229,7 @@ class LocalDHT(BaseDHT):
             group.remove_vnode(ref)
             del self.groups[group.id]
             self._unregister_vnode(ref)
+            self._sync_replicas_after_topology_change()
             return
 
         self._drain_vnode(ref, others)
@@ -234,6 +237,7 @@ class LocalDHT(BaseDHT):
         for other in others:
             group.lpdr.set_count(other, self.get_vnode(other).partition_count)
         self._unregister_vnode(ref)
+        self._sync_replicas_after_topology_change()
 
     # --------------------------------------------------------------- invariants
 

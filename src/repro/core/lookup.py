@@ -153,6 +153,10 @@ class PartitionRouter:
         """The ``(partition, owner)`` pair at a table position."""
         return self._entries[position]
 
+    def entries(self) -> List[Tuple[Partition, VnodeRef]]:
+        """The whole sorted interval table (used by the replica placer)."""
+        return list(self._entries)
+
     def locate(self, index: int) -> Tuple[Partition, VnodeRef]:
         """Find the partition (and owner) containing hash index ``index``."""
         if not self._entries:

@@ -9,12 +9,15 @@ items.  This module provides that capability for both approaches:
   Python types (JSON-serializable as long as stored values are);
 * :func:`restore_dht` — rebuild an equivalent DHT object from a snapshot.
 
-Round-tripping preserves: the configuration, snodes (including their
-canonical-name counters, so future vnode names do not collide), vnodes and
-their partitions, groups/LPDRs (local approach), the global splitlevel
-(global approach), the cumulative :class:`~repro.core.storage.MigrationStats`
-(so churn experiments survive persistence) and, when ``include_data=True``,
-every stored item.
+Round-tripping preserves: the configuration (including the replication
+factor), snodes (including their canonical-name counters, so future vnode
+names do not collide), vnodes and their partitions, groups/LPDRs (local
+approach), the global splitlevel (global approach), the cumulative
+:class:`~repro.core.storage.MigrationStats` and
+:class:`~repro.core.storage.ReplicationStats` (so churn/crash experiments
+survive persistence) and, when ``include_data=True``, every stored item —
+primary rows *and* replica rows, the latter validated against the replica
+placement on restore.
 
 :func:`restore_dht` *validates* the snapshot structurally instead of
 trusting it: the partitions must tile the hash space exactly (no overlaps,
@@ -70,6 +73,7 @@ def snapshot_dht(dht: AnyDHT, include_data: bool = True) -> Dict[str, Any]:
         "bh": dht.config.bh,
         "pmin": dht.config.pmin,
         "vmin": dht.config.vmin,
+        "replication_factor": dht.config.replication_factor,
     }
     snodes = [
         {
@@ -94,6 +98,7 @@ def snapshot_dht(dht: AnyDHT, include_data: bool = True) -> Dict[str, Any]:
             "items_moved": dht.storage.stats.items_moved,
             "migrations": dht.storage.stats.migrations,
         },
+        "replication_stats": dht.storage.replication.as_dict(),
     }
 
     if isinstance(dht, LocalDHT):
@@ -111,6 +116,7 @@ def snapshot_dht(dht: AnyDHT, include_data: bool = True) -> Dict[str, Any]:
 
     if include_data:
         items: List[Dict[str, Any]] = []
+        replica_items: List[Dict[str, Any]] = []
         for ref in dht.vnodes:
             for key, item in dht.storage._store(ref).items():
                 items.append(
@@ -121,7 +127,17 @@ def snapshot_dht(dht: AnyDHT, include_data: bool = True) -> Dict[str, Any]:
                         "value": item.value,
                     }
                 )
+            for key, item in dht.storage._replica(ref).items():
+                replica_items.append(
+                    {
+                        "vnode": ref.canonical_name,
+                        "key": key,
+                        "index": item.index,
+                        "value": item.value,
+                    }
+                )
         snapshot["items"] = items
+        snapshot["replica_items"] = replica_items
     return snapshot
 
 
@@ -155,13 +171,8 @@ def _verify_partition_tiling(dht: AnyDHT) -> None:
         )
 
 
-def _verify_item_ownership(dht: AnyDHT, ref: VnodeRef, triples: List[Tuple[Any, int, Any]]) -> None:
-    """Raise :class:`ReproError` unless every item's index belongs to ``ref``.
-
-    Vectorized: one :meth:`~repro.core.lookup.PartitionRouter.locate_batch`
-    pass over the vnode's whole item column, then an owner comparison per
-    distinct routing-table position.
-    """
+def _routed_positions(dht: AnyDHT, ref: VnodeRef, triples: List[Tuple[Any, int, Any]]) -> np.ndarray:
+    """Route every item's hash index; raise :class:`ReproError` on bad indexes."""
     for key, index, _ in triples:
         if not isinstance(index, int) or isinstance(index, bool):
             raise ReproError(
@@ -175,12 +186,23 @@ def _verify_item_ownership(dht: AnyDHT, ref: VnodeRef, triples: List[Tuple[Any, 
         else:
             indexes = np.empty(len(triples), dtype=object)
             indexes[:] = [t[1] for t in triples]
-        positions = router.locate_batch(indexes)
+        return router.locate_batch(indexes)
     except (KeyLookupError, OverflowError, TypeError) as exc:
         raise ReproError(
             f"snapshot corrupt: item stored at vnode {ref} has an unroutable "
             f"hash index ({exc})"
         ) from exc
+
+
+def _verify_item_ownership(dht: AnyDHT, ref: VnodeRef, triples: List[Tuple[Any, int, Any]]) -> None:
+    """Raise :class:`ReproError` unless every item's index belongs to ``ref``.
+
+    Vectorized: one :meth:`~repro.core.lookup.PartitionRouter.locate_batch`
+    pass over the vnode's whole item column, then an owner comparison per
+    distinct routing-table position.
+    """
+    positions = _routed_positions(dht, ref, triples)
+    router = dht._ensure_router()
     for pos in np.unique(positions).tolist():
         owner = router.entry_at(int(pos))[1]
         if owner != ref:
@@ -189,6 +211,24 @@ def _verify_item_ownership(dht: AnyDHT, ref: VnodeRef, triples: List[Tuple[Any, 
             raise ReproError(
                 f"snapshot corrupt: item {key!r} (hash index {index}) is stored "
                 f"at vnode {ref} but its index is owned by vnode {owner}"
+            )
+
+
+def _verify_replica_ownership(
+    dht: AnyDHT, ref: VnodeRef, triples: List[Tuple[Any, int, Any]]
+) -> None:
+    """Raise :class:`ReproError` unless ``ref`` legitimately replicates every
+    item — i.e. the current placement assigns it the item's partition."""
+    positions = _routed_positions(dht, ref, triples)
+    placement = dht._ensure_placement()
+    for pos in np.unique(positions).tolist():
+        if ref not in placement.replicas_at(int(pos)):
+            offender = int(np.flatnonzero(positions == pos)[0])
+            key, index, _ = triples[offender]
+            raise ReproError(
+                f"snapshot corrupt: replica item {key!r} (hash index {index}) is "
+                f"stored at vnode {ref}, which is not a replica of partition "
+                f"{placement.partitions[int(pos)]}"
             )
 
 
@@ -203,6 +243,7 @@ def restore_dht(snapshot: Dict[str, Any], rng: RngLike = None) -> AnyDHT:
         bh=snapshot["config"]["bh"],
         pmin=snapshot["config"]["pmin"],
         vmin=snapshot["config"]["vmin"],
+        replication_factor=snapshot["config"].get("replication_factor", 1),
     )
     approach = snapshot.get("approach")
     if approach == "local":
@@ -298,10 +339,40 @@ def restore_dht(snapshot: Dict[str, Any], rng: RngLike = None) -> AnyDHT:
         keys, indexes, values = zip(*triples)
         dht.storage.put_batch(ref, list(keys), list(indexes), list(values))
 
+    # Replica rows restore the same way, except ownership is judged against
+    # the replica placement instead of the primary routing table.
+    replica_by_vnode: Dict[str, List[Tuple[Any, int, Any]]] = {}
+    for item in snapshot.get("replica_items", []):
+        replica_by_vnode.setdefault(item["vnode"], []).append(
+            (item["key"], item["index"], item["value"])
+        )
+    if replica_by_vnode and dht.config.replica_ranks == 0:
+        raise ReproError(
+            "snapshot corrupt: replica items present but replication_factor is 1"
+        )
+    for name, triples in replica_by_vnode.items():
+        ref = VnodeRef.parse(name)
+        if ref not in dht.vnodes:
+            raise ReproError(
+                f"snapshot corrupt: {len(triples)} replica item(s) stored at "
+                f"vnode {name!r}, which is not a vnode of the snapshot"
+            )
+        _verify_replica_ownership(dht, ref, triples)
+        keys, indexes, values = zip(*triples)
+        dht.storage.put_replica_batch(ref, list(keys), list(indexes), list(values))
+
     stats = snapshot.get("migration_stats")
     if stats is not None:
         dht.storage.stats.partitions_moved = int(stats.get("partitions_moved", 0))
         dht.storage.stats.items_moved = int(stats.get("items_moved", 0))
         dht.storage.stats.migrations = int(stats.get("migrations", 0))
+    replication_stats = snapshot.get("replication_stats")
+    if replication_stats is not None:
+        for field_name in dht.storage.replication.as_dict():
+            setattr(
+                dht.storage.replication,
+                field_name,
+                int(replication_stats.get(field_name, 0)),
+            )
 
     return dht

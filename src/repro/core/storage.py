@@ -39,6 +39,18 @@ and the moved rows are adopted by the target store as columnar segments
 (:meth:`VnodeStore.adopt_parts`).  A churn burst over freshly bulk-loaded
 data therefore runs at array speed end to end — the per-key python objects
 are only ever materialized by point reads, never by rebalancing.
+
+Since the replication extension (:mod:`repro.core.replication`), every
+vnode also owns a **replica store** — a second :class:`VnodeStore` holding
+the rows it keeps as a non-primary replica of partitions owned elsewhere.
+Replica stores are deliberately separate from the primary stores: routing,
+migration and the storage-consistency invariant never see them, and
+:meth:`DHTStorage.item_count` keeps counting *logical* items while
+:meth:`DHTStorage.fast_item_count` counts physical rows across both tiers
+(``replication_factor × logical`` when fully synced).  The range-bucketing
+primitives (:meth:`VnodeStore.count_buckets`, :meth:`VnodeStore.copy_buckets`,
+:meth:`VnodeStore.drop_outside`) give the replica sync and crash-recovery
+passes the same merge-free columnar speed as migration.
 """
 
 from __future__ import annotations
@@ -255,6 +267,20 @@ class VnodeStore:
 
     # -- segment-aware migration ------------------------------------------------
 
+    def _hash_tier_columns(self, dtype) -> Tuple[np.ndarray, np.ndarray]:
+        """The hash tier as ``(keys, indexes)`` columns (for range bucketing)."""
+        n = len(self._items)
+        keys_arr = np.empty(n, dtype=object)
+        keys_arr[:] = list(self._items.keys())
+        if dtype == object:
+            idx_arr = np.empty(n, dtype=object)
+            idx_arr[:] = [item[0] for item in self._items.values()]
+        else:
+            idx_arr = np.fromiter(
+                (item[0] for item in self._items.values()), dtype=dtype, count=n
+            )
+        return keys_arr, idx_arr
+
     def pop_buckets(self, starts: np.ndarray, lasts: np.ndarray) -> List[_Parts]:
         """Pop every item whose hash index falls in one of the given ranges,
         *without* merging pending segments.
@@ -268,19 +294,8 @@ class VnodeStore:
         """
         buckets: List[_Parts] = [([], []) for _ in range(len(starts))]
 
-        n = len(self._items)
-        if n:
-            keys_arr = np.empty(n, dtype=object)
-            keys_arr[:] = list(self._items.keys())
-            if starts.dtype == object:
-                idx_arr = np.empty(n, dtype=object)
-                idx_arr[:] = [item[0] for item in self._items.values()]
-            else:
-                idx_arr = np.fromiter(
-                    (item[0] for item in self._items.values()),
-                    dtype=starts.dtype,
-                    count=n,
-                )
+        if self._items:
+            keys_arr, idx_arr = self._hash_tier_columns(starts.dtype)
             pos, inside = _locate_ranges(idx_arr, starts, lasts)
             pop = self._items.pop
             for bucket, rows in _bucket_runs(pos, inside):
@@ -303,6 +318,94 @@ class VnodeStore:
             self._segments = kept
 
         return buckets
+
+    def copy_buckets(self, starts: np.ndarray, lasts: np.ndarray) -> List[_Parts]:
+        """Like :meth:`pop_buckets` but non-destructive: the store keeps every
+        row, and the returned parts reference (hash tier) or copy (segment
+        rows, via fancy indexing) the matching data.
+
+        Used by the replica sync pass to copy a primary's range into a
+        replica store without disturbing the primary's columnar segments.
+        """
+        buckets: List[_Parts] = [([], []) for _ in range(len(starts))]
+
+        if self._items:
+            keys_arr, idx_arr = self._hash_tier_columns(starts.dtype)
+            pos, inside = _locate_ranges(idx_arr, starts, lasts)
+            items = self._items
+            for bucket, rows in _bucket_runs(pos, inside):
+                pairs = buckets[bucket][0]
+                for key in keys_arr[rows].tolist():
+                    pairs.append((key, items[key]))
+
+        for segment in self._segments:
+            pos, inside = _locate_ranges(segment[1], starts, lasts)
+            for bucket, rows in _bucket_runs(pos, inside):
+                buckets[bucket][1].append(_segment_rows(segment, rows))
+
+        return buckets
+
+    def count_buckets(self, starts: np.ndarray, lasts: np.ndarray) -> np.ndarray:
+        """Physical row count per range, without merging or mutating anything.
+
+        Returns an ``int64`` array with one entry per ``[start, last]`` range.
+        Rows are counted across both tiers; like :meth:`fast_len`, a key
+        stored in several tiers counts once per occurrence.
+        """
+        counts = np.zeros(len(starts), dtype=np.int64)
+        if len(starts) == 0:
+            return counts
+        if self._items:
+            _, idx_arr = self._hash_tier_columns(starts.dtype)
+            pos, inside = _locate_ranges(idx_arr, starts, lasts)
+            rows = np.flatnonzero(inside)
+            if rows.size:
+                counts += np.bincount(pos[rows], minlength=len(starts))
+        for segment in self._segments:
+            pos, inside = _locate_ranges(segment[1], starts, lasts)
+            rows = np.flatnonzero(inside)
+            if rows.size:
+                counts += np.bincount(pos[rows], minlength=len(starts))
+        return counts
+
+    def drop_outside(self, starts: np.ndarray, lasts: np.ndarray) -> int:
+        """Discard every row whose hash index lies in none of the ranges.
+
+        The retention pass of the replica sync: a replica store keeps only
+        the ranges its vnode is still assigned.  Returns the number of rows
+        dropped.  Pending segments are filtered columnar, never merged.
+        """
+        dropped = 0
+        if self._items:
+            keys_arr, idx_arr = self._hash_tier_columns(starts.dtype)
+            _, inside = _locate_ranges(idx_arr, starts, lasts)
+            out_rows = np.flatnonzero(~inside)
+            for key in keys_arr[out_rows].tolist():
+                del self._items[key]
+            dropped += int(out_rows.size)
+        if self._segments:
+            kept: List[_Segment] = []
+            for segment in self._segments:
+                _, inside = _locate_ranges(segment[1], starts, lasts)
+                keep_n = int(np.count_nonzero(inside))
+                if keep_n == len(segment[0]):
+                    kept.append(segment)
+                else:
+                    dropped += len(segment[0]) - keep_n
+                    if keep_n:
+                        kept.append(_segment_rows(segment, np.flatnonzero(inside)))
+            self._segments = kept
+        return dropped
+
+    def wipe(self) -> int:
+        """Discard every row (both tiers); returns the physical rows destroyed.
+
+        This is what a crash does to a store — no migration, no drain.
+        """
+        n = self.fast_len()
+        self._items = {}
+        self._segments = []
+        return n
 
     def adopt_parts(
         self,
@@ -342,6 +445,45 @@ class MigrationStats:
         self.migrations = 0
 
 
+@dataclass
+class ReplicationStats:
+    """Counters describing replica maintenance and crash recovery."""
+
+    #: Rows ingested into replica stores by the write fan-out.
+    replica_rows_written: int = 0
+    #: Rows copied primary → replica by the sync pass (refills).
+    rows_refilled: int = 0
+    ranges_refilled: int = 0
+    #: Rows moved replica → primary by crash recovery (columnar pop/adopt).
+    rows_restored: int = 0
+    ranges_restored: int = 0
+    #: Stale replica rows discarded (placement changes, vnode removal).
+    rows_dropped: int = 0
+    #: Physical rows destroyed by crashes (primary + replica tiers).
+    rows_wiped: int = 0
+    crashes: int = 0
+    syncs: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-serializable form (snapshots, churn/bench reports)."""
+        return {
+            "replica_rows_written": self.replica_rows_written,
+            "rows_refilled": self.rows_refilled,
+            "ranges_refilled": self.ranges_refilled,
+            "rows_restored": self.rows_restored,
+            "ranges_restored": self.ranges_restored,
+            "rows_dropped": self.rows_dropped,
+            "rows_wiped": self.rows_wiped,
+            "crashes": self.crashes,
+            "syncs": self.syncs,
+        }
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        for name in self.as_dict():
+            setattr(self, name, 0)
+
+
 class DHTStorage:
     """DHT-wide storage coordinator.
 
@@ -358,7 +500,13 @@ class DHTStorage:
     def __init__(self, hash_space: HashSpace):
         self.hash_space = hash_space
         self._stores: Dict[VnodeRef, VnodeStore] = {}
+        #: Per-vnode stores of *replica* rows: items this vnode holds as a
+        #: non-primary replica of partitions owned by other vnodes.  Kept
+        #: strictly separate from the primary stores so routing, migration
+        #: and the storage-consistency invariant stay untouched.
+        self._replica_stores: Dict[VnodeRef, VnodeStore] = {}
         self.stats = MigrationStats()
+        self.replication = ReplicationStats()
         #: When True (default), partition migration filters pending segments
         #: with numpy masks and never merges them (:meth:`VnodeStore.pop_buckets`).
         #: When False, the legacy per-item scan path runs instead — kept for
@@ -368,18 +516,27 @@ class DHTStorage:
     # -- vnode lifecycle -------------------------------------------------------
 
     def register_vnode(self, ref: VnodeRef) -> None:
-        """Create an empty store for a new vnode."""
+        """Create an empty store (and replica store) for a new vnode."""
         if ref in self._stores:
             raise StorageError(f"storage for vnode {ref} already exists")
         self._stores[ref] = VnodeStore(ref)
+        self._replica_stores[ref] = VnodeStore(ref)
 
     def unregister_vnode(self, ref: VnodeRef) -> VnodeStore:
-        """Drop a vnode's store (its items must have been migrated already)."""
+        """Drop a vnode's store (its items must have been migrated already).
+
+        The vnode's *replica* rows are redundant copies of data whose
+        primaries live elsewhere, so they are simply discarded (and counted
+        in :attr:`ReplicationStats.rows_dropped`); the next sync pass
+        re-creates them on the vnodes the new placement assigns.
+        """
         store = self._store(ref)
         if len(store) > 0:
             raise StorageError(
                 f"cannot unregister vnode {ref}: {len(store)} items still stored"
             )
+        replica = self._replica_stores.pop(ref)
+        self.replication.rows_dropped += replica.fast_len()
         return self._stores.pop(ref)
 
     def has_vnode(self, ref: VnodeRef) -> bool:
@@ -392,6 +549,14 @@ class DHTStorage:
         except KeyError:
             raise UnknownVnodeError(f"no storage registered for vnode {ref}") from None
 
+    def _replica(self, ref: VnodeRef) -> VnodeStore:
+        try:
+            return self._replica_stores[ref]
+        except KeyError:
+            raise UnknownVnodeError(
+                f"no replica storage registered for vnode {ref}"
+            ) from None
+
     # -- client operations ---------------------------------------------------------
 
     def put(self, owner: VnodeRef, key: Hashable, index: int, value: Any) -> None:
@@ -400,22 +565,15 @@ class DHTStorage:
             raise StorageError(f"hash index {index} outside the hash space")
         self._store(owner).put(key, index, value)
 
-    def put_batch(
+    def _ingest_batch(
         self,
-        owner: VnodeRef,
+        store: VnodeStore,
         keys: Union[Sequence[Hashable], np.ndarray],
         indexes: Union[Sequence[int], np.ndarray],
         values: Optional[Union[Sequence[Any], np.ndarray]] = None,
     ) -> int:
-        """Bulk-store a group of items that all route to the same vnode.
-
-        Validates the whole index column at once (min/max) instead of per
-        item, then hands the columns to :meth:`VnodeStore.put_many` as one
-        columnar segment.  The columns are copied on the way in (a shallow,
-        references-only copy for object arrays), so callers remain free to
-        mutate their arrays after the call.  ``values=None`` stores ``None``
-        for every key.  Returns the number of items ingested.
-        """
+        """Validate and columnar-ingest one batch into ``store`` (shared by
+        the primary and replica bulk write paths)."""
         n = len(keys)
         if len(indexes) != n or (values is not None and len(values) != n):
             raise StorageError(
@@ -437,8 +595,26 @@ class DHTStorage:
             index_arr = index_arr.astype(np.uint64)
         key_arr = np.array(as_object_column(keys))
         value_arr = None if values is None else np.array(as_object_column(values))
-        self._store(owner).put_many(key_arr, index_arr, value_arr)
+        store.put_many(key_arr, index_arr, value_arr)
         return n
+
+    def put_batch(
+        self,
+        owner: VnodeRef,
+        keys: Union[Sequence[Hashable], np.ndarray],
+        indexes: Union[Sequence[int], np.ndarray],
+        values: Optional[Union[Sequence[Any], np.ndarray]] = None,
+    ) -> int:
+        """Bulk-store a group of items that all route to the same vnode.
+
+        Validates the whole index column at once (min/max) instead of per
+        item, then hands the columns to :meth:`VnodeStore.put_many` as one
+        columnar segment.  The columns are copied on the way in (a shallow,
+        references-only copy for object arrays), so callers remain free to
+        mutate their arrays after the call.  ``values=None`` stores ``None``
+        for every key.  Returns the number of items ingested.
+        """
+        return self._ingest_batch(self._store(owner), keys, indexes, values)
 
     def get(self, owner: VnodeRef, key: Hashable) -> Any:
         """Fetch the value stored for ``key`` at vnode ``owner``."""
@@ -469,24 +645,104 @@ class DHTStorage:
         """True if ``key`` is stored at vnode ``owner``."""
         return key in self._store(owner)
 
+    # -- replica operations ------------------------------------------------------
+
+    def put_replica(self, owner: VnodeRef, key: Hashable, index: int, value: Any) -> None:
+        """Store a replica row at vnode ``owner`` (the write fan-out path)."""
+        self._replica(owner).put(key, index, value)
+        self.replication.replica_rows_written += 1
+
+    def put_replica_batch(
+        self,
+        owner: VnodeRef,
+        keys: Union[Sequence[Hashable], np.ndarray],
+        indexes: Union[Sequence[int], np.ndarray],
+        values: Optional[Union[Sequence[Any], np.ndarray]] = None,
+    ) -> int:
+        """Bulk-store replica rows at one vnode — :meth:`put_batch` against
+        the vnode's replica store (same columnar ingest, same semantics)."""
+        n = self._ingest_batch(self._replica(owner), keys, indexes, values)
+        self.replication.replica_rows_written += n
+        return n
+
+    def get_replica(self, owner: VnodeRef, key: Hashable) -> Any:
+        """Fetch the replica value stored for ``key`` at vnode ``owner``."""
+        try:
+            return self._replica(owner).get_value(key)
+        except KeyError:
+            raise KeyError(key) from None
+
+    def contains_replica(self, owner: VnodeRef, key: Hashable) -> bool:
+        """True if vnode ``owner`` holds a replica row for ``key``."""
+        return key in self._replica(owner)
+
+    def delete_replica(self, owner: VnodeRef, key: Hashable) -> bool:
+        """Delete the replica row for ``key`` at ``owner`` if present."""
+        store = self._replica(owner)
+        if key in store:
+            store.delete(key)
+            return True
+        return False
+
+    def replica_items_of(self, ref: VnodeRef) -> List[Tuple[Hashable, Any]]:
+        """All ``(key, value)`` replica pairs held by a vnode."""
+        return [(k, item[1]) for k, item in self._replica(ref).raw_dict().items()]
+
+    def wipe_vnode(self, ref: VnodeRef) -> int:
+        """Destroy every row a vnode holds — primary and replica tiers.
+
+        This models a crash: no drain, no migration, the data is simply
+        gone.  Returns the number of physical rows destroyed (also recorded
+        in :attr:`ReplicationStats.rows_wiped`).
+        """
+        wiped = self._store(ref).wipe() + self._replica(ref).wipe()
+        self.replication.rows_wiped += wiped
+        return wiped
+
+    # -- counting ----------------------------------------------------------------
+
     def item_count(self, ref: Optional[VnodeRef] = None) -> int:
-        """Number of items stored at one vnode, or in the whole DHT."""
+        """Number of *primary* items stored at one vnode, or in the whole DHT
+        (the logical item count — replicas are not included)."""
         if ref is not None:
             return len(self._store(ref))
         return sum(len(s) for s in self._stores.values())
 
-    def fast_item_count(self, ref: Optional[VnodeRef] = None) -> int:
-        """Like :meth:`item_count` but without merging pending segments.
+    def replica_item_count(self, ref: Optional[VnodeRef] = None) -> int:
+        """Number of replica rows held at one vnode, or in the whole DHT."""
+        if ref is not None:
+            return len(self._replica(ref))
+        return sum(len(s) for s in self._replica_stores.values())
 
-        Exact whenever no key is stored twice (the common case: distinct
-        keys); an upper bound otherwise.  See :meth:`VnodeStore.fast_len`.
+    def fast_item_count(self, ref: Optional[VnodeRef] = None) -> int:
+        """Physical rows (primary + replica tiers) without merging segments.
+
+        With a fully synced replication factor ``k`` this equals ``k ×``
+        the logical item count; with ``k = 1`` it reduces to the primary
+        count exactly as before replication existed.  Exact whenever no key
+        is stored twice in one store (the common case: distinct keys); an
+        upper bound otherwise.  See :meth:`VnodeStore.fast_len`.
         """
+        if ref is not None:
+            return self._store(ref).fast_len() + self._replica(ref).fast_len()
+        return sum(s.fast_len() for s in self._stores.values()) + sum(
+            s.fast_len() for s in self._replica_stores.values()
+        )
+
+    def fast_primary_count(self, ref: Optional[VnodeRef] = None) -> int:
+        """Primary rows only, without merging pending segments."""
         if ref is not None:
             return self._store(ref).fast_len()
         return sum(s.fast_len() for s in self._stores.values())
 
+    def fast_replica_count(self, ref: Optional[VnodeRef] = None) -> int:
+        """Replica rows only, without merging pending segments."""
+        if ref is not None:
+            return self._replica(ref).fast_len()
+        return sum(s.fast_len() for s in self._replica_stores.values())
+
     def items_of(self, ref: VnodeRef) -> List[Tuple[Hashable, Any]]:
-        """All ``(key, value)`` pairs stored at a vnode."""
+        """All primary ``(key, value)`` pairs stored at a vnode."""
         return [(k, item[1]) for k, item in self._store(ref).raw_dict().items()]
 
     # -- migration --------------------------------------------------------------------

@@ -4,12 +4,21 @@ The paper's elastic DHT is defined by partitions changing hands as vnodes
 come and go, but the bulk scenario driver (:mod:`repro.workloads.driver`)
 only exercises *growth* against a static topology.  This module closes the
 gap: a churn trace interleaves **topology events** — ``snode_join``,
-``snode_leave``, ``enrollment_change`` — with bulk ``load``/``lookup``
-chunks, and :class:`ChurnEngine` replays the trace against a live
-:class:`~repro.core.global_model.GlobalDHT` or
+``snode_leave``, ``enrollment_change``, ``snode_crash`` — with bulk
+``load``/``lookup`` chunks, and :class:`ChurnEngine` replays the trace
+against a live :class:`~repro.core.global_model.GlobalDHT` or
 :class:`~repro.core.local_model.LocalDHT` with an **item-conservation
 check** after every topology event (rebalancing must never create or
 destroy data).
+
+Crashes are the failure-injection half of the replication extension
+(:mod:`repro.core.replication`): a crash drops a live snode *without* a
+graceful drain — its stores are wiped, ownership moves to survivors, and a
+re-replication pass rebuilds the lost primaries from surviving replicas.
+The conservation check is replication-aware: non-crash events must conserve
+the logical item count exactly; a crash may shrink it only when no replica
+survived (``replication_factor == 1``), and with replication enabled the
+engine also verifies replica/primary consistency after every event.
 
 The trace is generated up front by :func:`make_churn_trace` from a
 declarative :class:`ChurnSpec`, fully deterministic for a given seed: the
@@ -27,11 +36,13 @@ the post-churn balance metrics ``sigma_qv``/``sigma_qn``.  The
 ``repro churn-bench`` CLI subcommand is a thin wrapper that prints the
 report and can persist it as JSON.
 
-Conservation checks use :meth:`~repro.core.storage.DHTStorage.fast_item_count`
-— counting without merging pending segments — so the check itself does not
-destroy the columnar segments that make vectorized migration fast; the
-final deep verification recounts through the merged path and runs the full
-invariant suite.
+Conservation checks use :meth:`~repro.core.storage.DHTStorage.fast_primary_count`
+— logical (primary) rows counted without merging pending segments — so the
+check itself does not destroy the columnar segments that make vectorized
+migration fast, and replica rows (whose population legitimately changes
+with placement) stay out of the conserved quantity; the final deep
+verification recounts through the merged path and runs the full invariant
+suite.
 """
 
 from __future__ import annotations
@@ -51,7 +62,7 @@ from repro.workloads.keys import id_keys, uniform_keys
 #: Trace families the churn engine can replay.
 CHURN_WORKLOADS = ("ids", "uniform")
 #: Event kinds that mutate the topology (and trigger conservation checks).
-TOPOLOGY_KINDS = ("snode_join", "snode_leave", "enrollment_change")
+TOPOLOGY_KINDS = ("snode_join", "snode_leave", "enrollment_change", "snode_crash")
 
 
 @dataclass(frozen=True)
@@ -62,7 +73,9 @@ class ChurnEvent:
     ``"load"`` (bulk-load the key slice ``[lo, hi)``) and ``"lookup"``
     (issue ``n_reads`` batch lookups over the first ``hi`` loaded keys).
     Topology events name their concrete target snode id; joins and
-    enrollment changes carry the target enrollment in ``vnodes``.
+    enrollment changes carry the target enrollment in ``vnodes``.  A
+    ``"snode_crash"`` drops a live snode *without a graceful drain* — its
+    data is destroyed and must be rebuilt from replicas.
     """
 
     kind: str
@@ -82,6 +95,8 @@ class ChurnEvent:
             return f"join s{self.snode} ({self.vnodes} vnodes)"
         if self.kind == "snode_leave":
             return f"leave s{self.snode}"
+        if self.kind == "snode_crash":
+            return f"crash s{self.snode}"
         return f"enroll s{self.snode} -> {self.vnodes} vnodes"
 
 
@@ -115,6 +130,11 @@ class ChurnSpec:
     join_weight: float = 0.4
     leave_weight: float = 0.3
     enroll_weight: float = 0.3
+    #: Relative odds of a crash (ungraceful snode failure).  Zero keeps the
+    #: pre-replication trace mix bit-identical.
+    crash_weight: float = 0.0
+    #: Copies kept of every item (``1`` = no replication, the seed model).
+    replication_factor: int = 1
     #: Model parameters (small defaults keep 64-event traces fast).
     pmin: int = 8
     vmin: int = 8
@@ -140,34 +160,48 @@ class ChurnSpec:
             raise ValueError("load_chunks must be >= 1")
         if self.read_multiplier < 0:
             raise ValueError("read_multiplier must be non-negative")
-        weights = (self.join_weight, self.leave_weight, self.enroll_weight)
+        weights = (
+            self.join_weight,
+            self.leave_weight,
+            self.enroll_weight,
+            self.crash_weight,
+        )
         if min(weights) < 0 or sum(weights) <= 0:
             raise ValueError("event weights must be non-negative and not all zero")
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
 
 
 def make_churn_trace(spec: ChurnSpec) -> List[ChurnEvent]:
     """Generate the deterministic event trace described by ``spec``.
 
     Topology events are drawn with the spec's weights under the cluster-size
-    bounds (a leave at ``min_snodes`` falls back to a join; a join at
-    ``max_snodes`` falls back to an enrollment change), tracking the DHT's
-    sequential snode-id allocation so every event names a concrete snode.
-    The key population is split into ``load_chunks`` slices interleaved
-    evenly with the topology events, each followed by a batch-lookup event
-    over the keys loaded so far.
+    bounds (a leave — or crash — at ``min_snodes`` falls back to a join; a
+    join at ``max_snodes`` falls back to an enrollment change), tracking the
+    DHT's sequential snode-id allocation so every event names a concrete
+    snode.  The key population is split into ``load_chunks`` slices
+    interleaved evenly with the topology events, each followed by a
+    batch-lookup event over the keys loaded so far.
+
+    With ``crash_weight == 0`` (the default) the crash kind never enters the
+    weighted draw, so traces are bit-identical to the pre-replication
+    generator for the same spec and seed.
     """
     rng = np.random.default_rng(spec.seed)
     alive = list(range(spec.n_snodes))
     next_id = spec.n_snodes
-    weights = np.array(
-        [spec.join_weight, spec.leave_weight, spec.enroll_weight], dtype=np.float64
-    )
+    kinds = ["snode_join", "snode_leave", "enrollment_change"]
+    raw_weights = [spec.join_weight, spec.leave_weight, spec.enroll_weight]
+    if spec.crash_weight > 0:
+        kinds.append("snode_crash")
+        raw_weights.append(spec.crash_weight)
+    weights = np.array(raw_weights, dtype=np.float64)
     weights /= weights.sum()
 
     topology: List[ChurnEvent] = []
     for _ in range(spec.n_events):
-        kind = TOPOLOGY_KINDS[int(rng.choice(3, p=weights))]
-        if kind == "snode_leave" and len(alive) <= spec.min_snodes:
+        kind = kinds[int(rng.choice(len(kinds), p=weights))]
+        if kind in ("snode_leave", "snode_crash") and len(alive) <= spec.min_snodes:
             kind = "snode_join"
         if kind == "snode_join" and len(alive) >= spec.max_snodes:
             kind = "enrollment_change"
@@ -177,9 +211,9 @@ def make_churn_trace(spec: ChurnSpec) -> List[ChurnEvent]:
             )
             alive.append(next_id)
             next_id += 1
-        elif kind == "snode_leave":
+        elif kind in ("snode_leave", "snode_crash"):
             pick = alive.pop(int(rng.integers(0, len(alive))))
-            topology.append(ChurnEvent("snode_leave", snode=pick))
+            topology.append(ChurnEvent(kind, snode=pick))
         else:
             pick = alive[int(rng.integers(0, len(alive)))]
             target = 1 + int(rng.integers(0, 2 * spec.vnodes_per_snode))
@@ -221,12 +255,19 @@ class ChurnReport:
 
     name: str
     approach: str
+    replication_factor: int
     n_events: int
     events_applied: int
     events_skipped: int
     joins: int
     leaves: int
     enrollment_changes: int
+    crashes: int
+    #: Logical items lost to crashes (always 0 when a replica survived).
+    items_lost: int
+    #: Replica rows rebuilt by recovery + sync (replica->primary restores
+    #: plus primary->replica refills) over the whole run.
+    replica_rows_rebuilt: int
     keys_loaded: int
     load_seconds: float
     lookups_issued: int
@@ -238,6 +279,7 @@ class ChurnReport:
     max_event_items_moved: int
     conservation_checks: int
     final_items: int
+    final_replica_items: int
     n_snodes: int
     n_vnodes: int
     n_partitions: int
@@ -270,12 +312,16 @@ class ChurnReport:
         out: Dict[str, Any] = {
             "name": self.name,
             "approach": self.approach,
+            "replication_factor": self.replication_factor,
             "n_events": self.n_events,
             "events_applied": self.events_applied,
             "events_skipped": self.events_skipped,
             "joins": self.joins,
             "leaves": self.leaves,
             "enrollment_changes": self.enrollment_changes,
+            "crashes": self.crashes,
+            "items_lost": self.items_lost,
+            "replica_rows_rebuilt": self.replica_rows_rebuilt,
             "keys_loaded": self.keys_loaded,
             "load_seconds": self.load_seconds,
             "load_keys_per_second": self.load_keys_per_second,
@@ -291,6 +337,7 @@ class ChurnReport:
             "mean_event_items_moved": self.mean_event_items_moved,
             "conservation_checks": self.conservation_checks,
             "final_items": self.final_items,
+            "final_replica_items": self.final_replica_items,
             "n_snodes": self.n_snodes,
             "n_vnodes": self.n_vnodes,
             "n_partitions": self.n_partitions,
@@ -317,10 +364,14 @@ class ChurnReport:
         return [
             ["scenario", self.name],
             ["approach", self.approach],
+            ["replication factor", str(self.replication_factor)],
             ["topology events", f"{self.n_events} ({self.events_applied} applied, "
                                 f"{self.events_skipped} skipped)"],
             ["event mix", f"{self.joins} joins / {self.leaves} leaves / "
-                          f"{self.enrollment_changes} enrollment changes"],
+                          f"{self.enrollment_changes} enrollment changes / "
+                          f"{self.crashes} crashes"],
+            ["items lost to crashes", f"{self.items_lost:,}"],
+            ["replica rows rebuilt", f"{self.replica_rows_rebuilt:,}"],
             ["keys loaded", f"{self.keys_loaded:,}"],
             ["load keys/s", f"{self.load_keys_per_second:,.0f}"],
             ["lookups issued", f"{self.lookups_issued:,}"],
@@ -331,7 +382,8 @@ class ChurnReport:
             ["max/mean items per event", f"{self.max_event_items_moved:,} / "
                                          f"{self.mean_event_items_moved:,.0f}"],
             ["conservation checks", f"{self.conservation_checks} passed"],
-            ["final items", f"{self.final_items:,}"],
+            ["final items", f"{self.final_items:,} (+{self.final_replica_items:,} "
+                            f"replica rows)"],
             ["final topology", f"{self.n_snodes} snodes, {self.n_vnodes} vnodes, "
                                f"{self.n_partitions} partitions"],
             ["sigma(Qv)", f"{self.sigma_qv * 100:.2f}%"],
@@ -359,6 +411,7 @@ class ChurnEngine:
             spec.vnodes_per_snode,
             pmin=spec.pmin,
             vmin=spec.vmin,
+            replication_factor=spec.replication_factor,
             seed=spec.seed,
         )
 
@@ -373,6 +426,17 @@ class ChurnEngine:
 
     def run(self, dht: Optional[BaseDHT] = None, deep_verify: bool = True) -> ChurnReport:
         """Replay the trace; raise :class:`ReproError` if items are not conserved.
+
+        Conservation is **replication-aware**: it is judged on the *logical*
+        item count (primary rows, :meth:`~repro.core.storage.DHTStorage.fast_primary_count`
+        — identical to the historical ``fast_item_count`` check when
+        ``replication_factor == 1``), so the physical row count is free to
+        change when placement legitimately gains or loses replica ranks.
+        Non-crash topology events must conserve items exactly; a crash may
+        lose items only when no replica survived — with
+        ``replication_factor >= 2`` any loss on a single-snode crash raises.
+        When replication is on, replica/primary consistency is additionally
+        verified after every topology event.
 
         ``deep_verify`` additionally runs the DHT's full invariant suite and
         an exact (merged-path) recount at the end of the run.
@@ -395,12 +459,15 @@ class ChurnEngine:
         lookup_seconds = 0.0
         topology_seconds = 0.0
         conservation_checks = 0
-        applied = skipped = joins = leaves = enrollment_changes = 0
+        applied = skipped = joins = leaves = enrollment_changes = crashes = 0
+        items_lost = 0
         max_event_items = 0
         stats = dht.storage.stats
         base_items, base_partitions, base_migrations = (
             stats.items_moved, stats.partitions_moved, stats.migrations,
         )
+        replication = dht.storage.replication
+        base_rebuilt = replication.rows_restored + replication.rows_refilled
 
         for event in self.trace:
             if event.kind == "load":
@@ -420,26 +487,43 @@ class ChurnEngine:
                 lookups += len(batch)
                 outcomes.append(EventOutcome("lookup", event.describe(), dt))
             else:
-                before = dht.storage.fast_item_count()
+                before = dht.storage.fast_primary_count()
                 items_before = stats.items_moved
                 partitions_before = stats.partitions_moved
                 note = ""
                 event_applied = True
                 t0 = time.perf_counter()
                 try:
-                    self._apply_topology(dht, event)
+                    note = self._apply_topology(dht, event) or ""
                 except ReproError as exc:
                     event_applied = False
                     note = str(exc)
                 dt = time.perf_counter() - t0
                 topology_seconds += dt
-                after = dht.storage.fast_item_count()
+                after = dht.storage.fast_primary_count()
                 conservation_checks += 1
-                if after != before:
+                if event.kind == "snode_crash":
+                    lost = before - after
+                    if lost < 0:
+                        raise ReproError(
+                            f"churn event '{event.describe()}' created items: "
+                            f"{before} before, {after} after"
+                        )
+                    if lost and spec.replication_factor > 1:
+                        raise ReproError(
+                            f"churn event '{event.describe()}' lost {lost} items "
+                            f"despite replication_factor="
+                            f"{spec.replication_factor} (recovery should have "
+                            f"rebuilt them from surviving replicas)"
+                        )
+                    items_lost += lost
+                elif after != before:
                     raise ReproError(
                         f"churn event '{event.describe()}' broke item conservation: "
                         f"{before} items before, {after} after"
                     )
+                if spec.replication_factor > 1:
+                    dht.verify_replication()
                 moved = stats.items_moved - items_before
                 max_event_items = max(max_event_items, moved)
                 if event_applied:
@@ -447,6 +531,7 @@ class ChurnEngine:
                     joins += event.kind == "snode_join"
                     leaves += event.kind == "snode_leave"
                     enrollment_changes += event.kind == "enrollment_change"
+                    crashes += event.kind == "snode_crash"
                 else:
                     skipped += 1
                 outcomes.append(
@@ -463,24 +548,33 @@ class ChurnEngine:
 
         if deep_verify:
             dht.check_invariants()
+            if spec.replication_factor > 1:
+                dht.verify_replication()
             final_items = dht.storage.total_items()
-            if final_items != initial_items + loaded:
+            if final_items != initial_items + loaded - items_lost:
                 raise ReproError(
                     f"churn run lost data: {initial_items} items before the trace "
-                    f"plus {loaded} loaded distinct keys, but {final_items} remain"
+                    f"plus {loaded} loaded distinct keys minus {items_lost} lost "
+                    f"to unreplicated crashes, but {final_items} remain"
                 )
         else:
-            final_items = dht.storage.fast_item_count()
+            final_items = dht.storage.fast_primary_count()
 
         return ChurnReport(
             name=spec.name,
             approach=spec.approach,
+            replication_factor=spec.replication_factor,
             n_events=applied + skipped,
             events_applied=applied,
             events_skipped=skipped,
             joins=joins,
             leaves=leaves,
             enrollment_changes=enrollment_changes,
+            crashes=crashes,
+            items_lost=items_lost,
+            replica_rows_rebuilt=(
+                replication.rows_restored + replication.rows_refilled - base_rebuilt
+            ),
             keys_loaded=loaded,
             load_seconds=load_seconds,
             lookups_issued=lookups,
@@ -492,6 +586,7 @@ class ChurnEngine:
             max_event_items_moved=max_event_items,
             conservation_checks=conservation_checks,
             final_items=final_items,
+            final_replica_items=dht.storage.fast_replica_count(),
             n_snodes=dht.n_snodes,
             n_vnodes=dht.n_vnodes,
             n_partitions=dht.total_partitions,
@@ -500,8 +595,12 @@ class ChurnEngine:
             outcomes=outcomes,
         )
 
-    def _apply_topology(self, dht: BaseDHT, event: ChurnEvent) -> None:
-        """Apply one topology event to the live DHT."""
+    def _apply_topology(self, dht: BaseDHT, event: ChurnEvent) -> Optional[str]:
+        """Apply one topology event to the live DHT.
+
+        Returns an optional note for the outcome row (crashes report vnodes
+        the model refused to drop; those stay enrolled with recovered data).
+        """
         if event.kind == "snode_join":
             snode = dht.add_snode()
             if snode.id.value != event.snode:  # pragma: no cover - defensive
@@ -513,8 +612,16 @@ class ChurnEngine:
             dht.remove_snode(SnodeId(event.snode))
         elif event.kind == "enrollment_change":
             dht.set_enrollment(SnodeId(event.snode), event.vnodes)
+        elif event.kind == "snode_crash":
+            report = dht.crash_snode(SnodeId(event.snode))
+            if report.vnodes_stuck:
+                return (
+                    f"vnodes {', '.join(report.vnodes_stuck)} could not leave the "
+                    f"topology; wiped, kept enrolled and recovered in place"
+                )
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown topology event kind {event.kind!r}")
+        return None
 
 
 def run_churn(spec: ChurnSpec) -> ChurnReport:

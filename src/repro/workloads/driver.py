@@ -44,21 +44,25 @@ def build_cluster(
     capacities: Optional[Sequence[float]] = None,
     pmin: int = 32,
     vmin: int = 32,
+    replication_factor: int = 1,
     seed: int = 0,
 ) -> BaseDHT:
     """Enroll a cluster (homogeneous or capacity-weighted) for a scenario.
 
     Shared by the bulk scenario driver and the churn engine
     (:mod:`repro.workloads.churn`): builds the DHT for the requested
-    approach, enrolls ``n_snodes`` snodes and grows each to its target
-    enrollment (``vnodes_per_snode``, optionally scaled by the snode's
-    relative capacity via :func:`~repro.workloads.heterogeneity.enrollment_from_capacity`).
+    approach (with ``replication_factor`` copies of every item), enrolls
+    ``n_snodes`` snodes and grows each to its target enrollment
+    (``vnodes_per_snode``, optionally scaled by the snode's relative
+    capacity via :func:`~repro.workloads.heterogeneity.enrollment_from_capacity`).
     """
     if approach == "local":
-        config = DHTConfig.for_local(pmin=pmin, vmin=vmin)
+        config = DHTConfig.for_local(
+            pmin=pmin, vmin=vmin, replication_factor=replication_factor
+        )
         dht: BaseDHT = LocalDHT(config, rng=seed)
     elif approach == "global":
-        config = DHTConfig.for_global(pmin=pmin)
+        config = DHTConfig.for_global(pmin=pmin, replication_factor=replication_factor)
         dht = GlobalDHT(config, rng=seed)
     else:
         raise ValueError(f"approach must be one of {APPROACHES}, got {approach!r}")
