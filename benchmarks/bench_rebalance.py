@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Load-aware rebalancing at scale: vectorized migration vs per-item scan.
+
+Runs the ``repro rebalance-bench`` scenario twice — a cluster bulk-loaded
+with a Zipf-skewed key population (hot hash ranges via
+:func:`repro.workloads.keys.zipf_id_keys`), then
+:meth:`~repro.core.base.BaseDHT.rebalance_load` — once per migration path:
+
+* **vectorized** (`DHTStorage.vectorized_migration = True`, the default) —
+  partition transfers filter pending columnar segments with numpy masks and
+  adopt them on the recipient still columnar (``pop_buckets`` /
+  ``adopt_parts``);
+* **per-item scan** (`vectorized_migration = False`) — the legacy path: the
+  first transfer merges every segment into the hash tier, then every
+  transfer scans all stored items of the source vnode.
+
+Planning is measurement-driven and deterministic, so both paths make
+identical decisions; the script verifies the final per-snode loads and
+migration stats match before reporting the speedup, and gates on both the
+speedup (``--min-speedup``) and the max/mean load reduction
+(``--min-reduction``).
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_rebalance.py --keys 1000000
+    PYTHONPATH=src python benchmarks/bench_rebalance.py --keys 100000 \\
+        --min-speedup 3 --min-reduction 2 --output BENCH_rebalance.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+
+from repro.report import format_table
+from repro.workloads.rebalance_bench import RebalanceBenchSpec, run_rebalance_bench
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keys", type=int, default=1_000_000, help="distinct keys to load")
+    parser.add_argument("--exponent", type=float, default=1.1, help="zipf exponent")
+    parser.add_argument("--ranges", type=int, default=256,
+                        help="equal ring slices carrying the zipf mass (power of two)")
+    parser.add_argument("--approach", choices=("local", "global"), default="local")
+    parser.add_argument("--snodes", type=int, default=16)
+    parser.add_argument("--vnodes-per-snode", type=int, default=2)
+    parser.add_argument("--pmin", type=int, default=8)
+    parser.add_argument("--vmin", type=int, default=8)
+    parser.add_argument("--replication", type=int, default=2)
+    parser.add_argument("--tolerance", type=float, default=1.15)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="exit non-zero if vectorized/legacy speedup falls below this")
+    parser.add_argument("--min-reduction", type=float, default=0.0,
+                        help="exit non-zero if the max/mean load reduction falls below this")
+    parser.add_argument("--output", default=None,
+                        help="write both reports plus the speedup to this JSON file")
+    args = parser.parse_args(argv)
+
+    base = RebalanceBenchSpec(
+        n_keys=args.keys,
+        exponent=args.exponent,
+        n_ranges=args.ranges,
+        approach=args.approach,
+        n_snodes=args.snodes,
+        vnodes_per_snode=args.vnodes_per_snode,
+        pmin=args.pmin,
+        vmin=args.vmin,
+        replication_factor=args.replication,
+        tolerance=args.tolerance,
+        seed=args.seed,
+    )
+    # Vectorized first, on a cold heap; the legacy run then starts from an
+    # identical state (its own fresh DHT) and pays its own merge costs.
+    vec = run_rebalance_bench(base)
+    legacy = run_rebalance_bench(dataclasses.replace(base, vectorized=False))
+
+    assert vec.final_snode_rows == legacy.final_snode_rows, (
+        "per-snode loads diverged between migration paths"
+    )
+    assert (vec.rebalance.transfers, vec.rebalance.splits, vec.rebalance.rows_moved) == (
+        legacy.rebalance.transfers, legacy.rebalance.splits, legacy.rebalance.rows_moved
+    ), "rebalance decisions diverged between migration paths"
+
+    vec_s, legacy_s = vec.rebalance.seconds, legacy.rebalance.seconds
+    speedup = legacy_s / vec_s if vec_s > 0 else float("inf")
+    moved = vec.rebalance.rows_moved
+
+    def rate(seconds: float) -> str:
+        return f"{moved / seconds:,.0f}" if seconds > 0 else "inf"
+
+    print(f"load-aware rebalance @ {args.keys:,} zipf({args.exponent}) keys, "
+          f"replication x{args.replication}\n"
+          f"max/mean per-snode load {vec.rebalance.before_max_over_mean:.2f} -> "
+          f"{vec.rebalance.after_max_over_mean:.2f} "
+          f"({vec.reduction:.2f}x reduction; {moved:,} rows over "
+          f"{vec.rebalance.partitions_moved:,} partition handovers, "
+          f"{vec.rebalance.splits} scope splits)\n")
+    print(format_table(
+        ["migration path", "seconds", "moved rows/s", "speedup"],
+        [
+            ["per-item scan", f"{legacy_s:.3f}", rate(legacy_s), "1.0x"],
+            ["vectorized", f"{vec_s:.3f}", rate(vec_s), f"{speedup:.1f}x"],
+        ],
+    ))
+
+    if args.output:
+        payload = {
+            "vectorized": vec.as_dict(),
+            "legacy": legacy.as_dict(),
+            "speedup": speedup,
+            "reduction": vec.reduction,
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nreport written to {args.output}")
+
+    failed = False
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"\nFAIL: speedup {speedup:.1f}x < required {args.min_speedup:.1f}x",
+              file=sys.stderr)
+        failed = True
+    if args.min_reduction and vec.reduction < args.min_reduction:
+        print(f"\nFAIL: load reduction {vec.reduction:.1f}x < required "
+              f"{args.min_reduction:.1f}x", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

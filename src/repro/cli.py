@@ -1,12 +1,13 @@
 """Command-line interface for the reproduction.
 
-Provides five subcommands::
+Provides six subcommands::
 
     python -m repro list                         # registered experiments
     python -m repro run fig4 [--runs N] [...]    # run one experiment
     python -m repro demo [--vnodes N] [...]      # build a small DHT and report it
     python -m repro bulk-bench [--keys N] [...]  # replay bulk workload scenarios
     python -m repro churn-bench [--events N] [...]  # replay a topology churn trace
+    python -m repro rebalance-bench [--keys N] [...]  # load-aware rebalancing run
 
 ``run`` prints the same checkpoint table / ASCII chart the benchmarks print
 and can persist the result to JSON (``--output``) for later comparison with
@@ -18,7 +19,11 @@ against live data — optionally with ``--replication N`` copies per item and
 a ``--crash-rate`` fraction of ungraceful snode failures — verifying item
 conservation (and replica consistency) after every topology event, and can
 write the report JSON (the CI ``BENCH_churn.json`` / ``BENCH_replication.json``
-artifacts).
+artifacts).  ``rebalance-bench`` bulk-loads a Zipf-skewed key population
+(hot hash ranges, :func:`repro.workloads.keys.zipf_id_keys`), runs
+:meth:`~repro.core.base.BaseDHT.rebalance_load` and reports the per-snode
+item-load max/mean before/after plus migration throughput (the CI
+``BENCH_rebalance.json`` artifact).
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ from repro.report import format_table
 from repro.workloads import KeyWorkload
 from repro.workloads.churn import ChurnEngine, ChurnSpec
 from repro.workloads.driver import ScenarioDriver, ScenarioReport, builtin_scenarios
+from repro.workloads.rebalance_bench import RebalanceBenchSpec, run_rebalance_bench
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -108,8 +114,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of topology events that are ungraceful snode crashes "
              "(0 <= P < 1, default 0)",
     )
+    churn.add_argument(
+        "--rebalance-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="fraction of topology events that run a load-aware rebalance pass "
+             "(0 <= P < 1, default 0)",
+    )
     churn.add_argument("--seed", type=int, default=0)
     churn.add_argument("--output", default=None, help="write the churn report to this JSON file")
+
+    reb = sub.add_parser(
+        "rebalance-bench",
+        help="bulk-load a zipf-skewed key population and rebalance item load",
+    )
+    reb.add_argument("--keys", type=int, default=1_000_000, help="distinct keys to load")
+    reb.add_argument("--exponent", type=float, default=1.1, help="zipf exponent")
+    reb.add_argument(
+        "--ranges", type=int, default=256,
+        help="equal ring slices the zipf mass is spread over (power of two)",
+    )
+    reb.add_argument("--approach", choices=("local", "global"), default="local")
+    reb.add_argument("--snodes", type=int, default=16)
+    reb.add_argument("--vnodes-per-snode", type=int, default=2)
+    reb.add_argument("--pmin", type=int, default=8)
+    reb.add_argument("--vmin", type=int, default=8)
+    reb.add_argument(
+        "--replication", type=int, default=2, metavar="N",
+        help="copies kept of every item (default 2: exercises replica re-sync)",
+    )
+    reb.add_argument("--tolerance", type=float, default=1.15,
+                     help="stop once max/mean per-snode load falls below this")
+    reb.add_argument(
+        "--legacy", action="store_true",
+        help="use the per-item migration baseline instead of the vectorized path",
+    )
+    reb.add_argument("--seed", type=int, default=0)
+    reb.add_argument("--output", default=None,
+                     help="write the rebalance report to this JSON file")
     return parser
 
 
@@ -190,9 +233,18 @@ def _cmd_churn_bench(args: argparse.Namespace) -> int:
     try:
         if not (0.0 <= args.crash_rate < 1.0):
             raise ValueError(f"--crash-rate must be in [0, 1), got {args.crash_rate}")
-        # The three graceful-event weights sum to 1 by default, so a crash
-        # weight of p/(1-p) makes crashes exactly a p-fraction of events.
-        crash_weight = args.crash_rate / (1.0 - args.crash_rate)
+        if not (0.0 <= args.rebalance_rate < 1.0):
+            raise ValueError(
+                f"--rebalance-rate must be in [0, 1), got {args.rebalance_rate}"
+            )
+        remainder = 1.0 - args.crash_rate - args.rebalance_rate
+        if remainder <= 0.0:
+            raise ValueError("--crash-rate plus --rebalance-rate must stay below 1")
+        # The three graceful-event weights sum to 1 by default, so weights of
+        # p/(1-p-q) and q/(1-p-q) make crashes and rebalances exactly a p-
+        # and q-fraction of events.
+        crash_weight = args.crash_rate / remainder
+        rebalance_weight = args.rebalance_rate / remainder
         spec = ChurnSpec(
             name=f"churn-{args.workload}",
             workload=args.workload,
@@ -205,6 +257,7 @@ def _cmd_churn_bench(args: argparse.Namespace) -> int:
             vmin=args.vmin,
             replication_factor=args.replication,
             crash_weight=crash_weight,
+            rebalance_weight=rebalance_weight,
             seed=args.seed,
         )
     except ValueError as exc:
@@ -223,6 +276,38 @@ def _cmd_churn_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_rebalance_bench(args: argparse.Namespace) -> int:
+    try:
+        spec = RebalanceBenchSpec(
+            n_keys=args.keys,
+            exponent=args.exponent,
+            n_ranges=args.ranges,
+            approach=args.approach,
+            n_snodes=args.snodes,
+            vnodes_per_snode=args.vnodes_per_snode,
+            pmin=args.pmin,
+            vmin=args.vmin,
+            replication_factor=args.replication,
+            tolerance=args.tolerance,
+            vectorized=not args.legacy,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"rebalance-bench: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = run_rebalance_bench(spec)
+    except ReproError as exc:
+        print(f"rebalance-bench FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(format_table(["property", "value"], report.as_rows()))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2)
+        print(f"\nreport written to {args.output}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -236,6 +321,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_bulk_bench(args)
     if args.command == "churn-bench":
         return _cmd_churn_bench(args)
+    if args.command == "rebalance-bench":
+        return _cmd_rebalance_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

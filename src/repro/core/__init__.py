@@ -4,8 +4,10 @@ The package is layered:
 
 * :mod:`repro.core.hashspace` / :mod:`repro.core.ids` — the value types
   (partitions, hash space, canonical names, group identifiers);
-* :mod:`repro.core.records` / :mod:`repro.core.balancer` — the *record
-  layer*: GPDR/LPDR tables and the creation-time balancing planner;
+* :mod:`repro.core.records` / :mod:`repro.core.rebalance` — the *record
+  layer*: GPDR/LPDR tables and the unified rebalancing engine (creation,
+  removal and load-aware policies; :mod:`repro.core.balancer` remains as
+  a compatibility facade);
 * :mod:`repro.core.entities` / :mod:`repro.core.storage` /
   :mod:`repro.core.lookup` — the *entity layer*: vnodes, snodes, groups,
   stored items and key routing;
@@ -13,11 +15,21 @@ The package is layered:
   DHT approaches tying everything together.
 """
 
-from repro.core.balancer import (
+from repro.core.rebalance import (
+    Action,
+    LoadRebalancePlan,
+    LoadRebalanceReport,
+    LoadSnapshot,
+    LoadSplitAction,
+    PartitionLoad,
     RebalancePlan,
     SplitAllAction,
     TransferAction,
+    greedy_fill,
+    measure_loads,
+    plan_load_round,
     plan_vnode_creation,
+    plan_vnode_removal,
     transfer_improves_balance,
 )
 from repro.core.config import DHTConfig, SimulationConfig, DEFAULT_BH
@@ -83,10 +95,20 @@ __all__ = [
     "GPDR",
     "LPDR",
     "PartitionDistributionRecord",
+    "Action",
     "RebalancePlan",
+    "LoadRebalancePlan",
+    "LoadRebalanceReport",
+    "LoadSnapshot",
+    "LoadSplitAction",
+    "PartitionLoad",
     "SplitAllAction",
     "TransferAction",
+    "greedy_fill",
+    "measure_loads",
+    "plan_load_round",
     "plan_vnode_creation",
+    "plan_vnode_removal",
     "transfer_improves_balance",
     "Vnode",
     "Snode",

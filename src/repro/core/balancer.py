@@ -1,194 +1,44 @@
-"""The rebalancing algorithm executed when a vnode is created.
+"""The creation-time rebalancing planner (compatibility facade).
 
-This module implements the algorithm of section 2.5 as a *pure planner*
-operating on a :class:`~repro.core.records.PartitionDistributionRecord`:
+This module used to implement the algorithm of section 2.5 directly; the
+implementation now lives in the unified rebalancing engine
+(:mod:`repro.core.rebalance`), which plans vnode creation, vnode removal
+and load-aware rebalancing in one shared Plan/Action vocabulary.  The
+public names are re-exported here unchanged:
 
-1. add an entry for the new vnode with zero partitions;
-2. compute the balance quality ``sigma(Pv)``;
-3. sort the record by partition count and select the most loaded vnode
-   (the *victim*);
-4. if handing one partition from the victim to the new vnode improves the
-   balance, do it and go back to step 3; otherwise stop.
+* :func:`plan_vnode_creation` — the per-partition creation planner
+  (step-by-step, section 2.5);
+* :class:`SplitAllAction` / :class:`TransferAction` / :data:`Action` —
+  the action vocabulary (``Action`` is now a real ``typing.Union`` alias;
+  it used to be an accidental string literal);
+* :class:`RebalancePlan`, :func:`transfer_improves_balance`,
+  :func:`equalized_counts` — the plan container and the closed-form
+  improvement test (``x - y >= 2``) with its analytical anchor.
 
-Two refinements come from the surrounding text of the paper:
-
-* **Split-all cascade** — invariant G4 forbids any vnode from dropping below
-  ``Pmin`` partitions.  When the victim already holds only ``Pmin``
-  partitions (which, by invariant G5, happens exactly when every existing
-  vnode holds ``Pmin``), every vnode binary-splits all of its partitions,
-  doubling its count to ``Pmax``, and the handover then proceeds.
-* **Improvement test** — moving one partition from the victim (count ``x``)
-  to the new vnode (count ``y``) decreases ``sigma(Pv)`` iff it decreases
-  ``sum(Pv^2)`` (the mean is unchanged), i.e. iff ``x - y >= 2``.  The
-  planner uses the closed form, and property tests verify it against a
-  literal recomputation of the standard deviation.
-
-The planner only *decides* the sequence of actions; applying them (moving
-actual :class:`~repro.core.hashspace.Partition` objects, migrating stored
-keys, updating replicas) is the DHT's job.  This mirrors the paper's
-distributed execution, where every snode independently runs the same
-deterministic algorithm on its replica of the record and deduces which
-transfers involve its own vnodes.
+See the engine module for the algorithm documentation and for the new
+load-aware policy (:func:`~repro.core.rebalance.plan_load_round`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Literal, Optional, Sequence, Tuple
+from repro.core.rebalance import (
+    Action,
+    LoadSplitAction,
+    RebalancePlan,
+    SplitAllAction,
+    TransferAction,
+    equalized_counts,
+    plan_vnode_creation,
+    transfer_improves_balance,
+)
 
-from repro.core.errors import InvariantViolation
-from repro.core.ids import VnodeRef
-from repro.core.records import PartitionDistributionRecord
-
-
-@dataclass(frozen=True)
-class SplitAllAction:
-    """Every vnode of the record must binary-split all of its partitions."""
-
-    kind: Literal["split_all"] = "split_all"
-
-
-@dataclass(frozen=True)
-class TransferAction:
-    """Hand one partition from ``victim`` to ``recipient``."""
-
-    victim: VnodeRef
-    recipient: VnodeRef
-    kind: Literal["transfer"] = "transfer"
-
-
-Action = "SplitAllAction | TransferAction"
-
-
-@dataclass
-class RebalancePlan:
-    """The full sequence of actions produced for one vnode creation."""
-
-    new_vnode: VnodeRef
-    actions: List[object] = field(default_factory=list)
-
-    @property
-    def transfers(self) -> List[TransferAction]:
-        """Only the partition-handover actions of the plan."""
-        return [a for a in self.actions if isinstance(a, TransferAction)]
-
-    @property
-    def split_alls(self) -> List[SplitAllAction]:
-        """Only the split-all cascade actions of the plan."""
-        return [a for a in self.actions if isinstance(a, SplitAllAction)]
-
-    @property
-    def n_transfers(self) -> int:
-        """Number of partitions handed over to the new vnode."""
-        return len(self.transfers)
-
-    def __iter__(self) -> Iterator[object]:
-        return iter(self.actions)
-
-
-def transfer_improves_balance(victim_count: int, recipient_count: int) -> bool:
-    """True if moving one partition from victim to recipient lowers ``sigma(Pv)``.
-
-    With the mean unchanged, the variance changes proportionally to
-    ``(x-1)^2 + (y+1)^2 - x^2 - y^2 = 2 (y - x + 1)``, which is negative iff
-    ``x - y >= 2``.
-    """
-    return victim_count - recipient_count >= 2
-
-
-def plan_vnode_creation(
-    record: PartitionDistributionRecord,
-    new_vnode: VnodeRef,
-    pmin: int,
-    max_split_alls: Optional[int] = None,
-) -> RebalancePlan:
-    """Run the creation algorithm of section 2.5 and mutate ``record`` in place.
-
-    Parameters
-    ----------
-    record:
-        The GPDR (global approach) or the LPDR of the victim group (local
-        approach).  The record is updated to the post-creation state; the
-        returned plan lists the actions an entity layer must mirror.
-    new_vnode:
-        Canonical reference of the vnode being created.  It must *not* be in
-        the record yet (step 1 adds it with zero partitions).
-    pmin:
-        Minimum partitions per vnode (``Pmin``); the split-all cascade fires
-        when the victim would otherwise drop below it.
-    max_split_alls:
-        Safety valve for the cascade (defaults to unlimited).  A correct
-        model never needs more than one split-all per creation; the limit
-        exists so that a corrupted record fails loudly instead of looping.
-
-    Returns
-    -------
-    RebalancePlan
-        The ordered list of :class:`SplitAllAction` / :class:`TransferAction`
-        steps that were applied to the record.
-    """
-    if new_vnode in record:
-        raise ValueError(f"vnode {new_vnode} already exists in the record")
-    if pmin < 1:
-        raise ValueError(f"pmin must be >= 1, got {pmin}")
-
-    plan = RebalancePlan(new_vnode=new_vnode)
-
-    # Step 1: register the new vnode with zero partitions.
-    record.add_vnode(new_vnode, 0)
-
-    # First vnode of the record: it simply receives the group's initial
-    # pmin partitions; there is nobody to take partitions from.
-    if len(record) == 1:
-        record.set_count(new_vnode, pmin)
-        return plan
-
-    splits_done = 0
-    while True:
-        # Step 3: sort by partition count, pick the victim.
-        victim = record.victim()
-        if victim == new_vnode:
-            # The new vnode became (one of) the most loaded: nothing more to
-            # gain (a transfer to itself is meaningless).
-            break
-        victim_count = record.count(victim)
-        recipient_count = record.count(new_vnode)
-
-        # Step 4: does handing one partition over improve the balance?
-        if not transfer_improves_balance(victim_count, recipient_count):
-            break
-
-        if victim_count <= pmin:
-            # Invariant G4 forbids the victim from dropping below Pmin: every
-            # vnode binary-splits its partitions (doubling its count), then
-            # the handover continues (section 2.5, last paragraphs).
-            if max_split_alls is not None and splits_done >= max_split_alls:
-                raise InvariantViolation(
-                    "G4",
-                    f"victim {victim} at Pmin={pmin} after {splits_done} split-all "
-                    "cascades; record is inconsistent",
-                )
-            record.double_all()
-            plan.actions.append(SplitAllAction())
-            splits_done += 1
-            continue
-
-        record.decrement(victim)
-        record.increment(new_vnode)
-        plan.actions.append(TransferAction(victim=victim, recipient=new_vnode))
-
-    return plan
-
-
-def equalized_counts(total: int, n_vnodes: int) -> Tuple[int, int, int]:
-    """Helper describing the most balanced integer distribution of ``total``.
-
-    Returns ``(low, high, n_high)``: ``n_high`` vnodes hold ``high = low+1``
-    partitions and the rest hold ``low``, with ``low = total // n_vnodes``.
-    Used by tests as an analytical anchor for the planner's output.
-    """
-    if n_vnodes <= 0:
-        raise ValueError("n_vnodes must be positive")
-    low, n_high = divmod(total, n_vnodes)
-    high = low + 1 if n_high else low
-    return low, high, n_high
+__all__ = [
+    "Action",
+    "LoadSplitAction",
+    "RebalancePlan",
+    "SplitAllAction",
+    "TransferAction",
+    "equalized_counts",
+    "plan_vnode_creation",
+    "transfer_improves_balance",
+]

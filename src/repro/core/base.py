@@ -19,6 +19,7 @@ and the invariant checks specific to each approach.
 from __future__ import annotations
 
 import math
+import time
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from fractions import Fraction
@@ -26,7 +27,17 @@ from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequ
 
 import numpy as np
 
-from repro.core.balancer import RebalancePlan, SplitAllAction, TransferAction
+from repro.core.rebalance import (
+    LoadRebalanceReport,
+    LoadSplitAction,
+    RebalancePlan,
+    ScopeKey,
+    SplitAllAction,
+    TransferAction,
+    measure_loads,
+    plan_load_round,
+    plan_vnode_removal,
+)
 from repro.core.config import DHTConfig
 from repro.core.entities import Snode, Vnode
 from repro.core.errors import (
@@ -99,6 +110,7 @@ class BaseDHT(ABC):
         self._topology_version = 0
         self._next_snode_id = 0
         self._removals_occurred = False
+        self._load_splits_occurred = False
 
     # ------------------------------------------------------------------ snodes
 
@@ -226,7 +238,11 @@ class BaseDHT(ABC):
             elif isinstance(action, TransferAction):
                 victim = self.get_vnode(action.victim)
                 recipient = self.get_vnode(action.recipient)
-                partition = victim.pick_victim_partition()
+                partition = (
+                    action.partition
+                    if action.partition is not None
+                    else victim.pick_victim_partition()
+                )
                 victim.remove_partition(partition)
                 recipient.add_partition(partition)
                 self.storage.migrate_partition(partition, victim.ref, recipient.ref)
@@ -237,26 +253,148 @@ class BaseDHT(ABC):
     def _drain_vnode(self, ref: VnodeRef, recipients: List[VnodeRef]) -> None:
         """Hand every partition of ``ref`` to the least-loaded recipient.
 
-        Used by vnode removal.  Each handover picks the recipient with the
-        fewest partitions (deterministic tie-break by canonical name) so the
-        redistribution stays as balanced as possible.
+        Used by vnode removal.  The assignment is planned by the unified
+        engine's removal policy (:func:`repro.core.rebalance.plan_vnode_removal`:
+        each handover to the recipient with the fewest partitions,
+        deterministic tie-break by canonical name) and executed in one
+        storage pass.
         """
         if not recipients:
             raise EmptyDHTError("cannot drain a vnode without any recipient vnodes")
         vnode = self.get_vnode(ref)
+        plan = plan_vnode_removal(
+            ref,
+            sorted(vnode.partitions, key=Partition.ring_sort_key),
+            {r: self.get_vnode(r).partition_count for r in recipients},
+        )
         moves: List[Tuple[Partition, VnodeRef]] = []
-        for partition in sorted(vnode.partitions, key=Partition.ring_sort_key):
-            target_ref = min(
-                recipients, key=lambda r: (self.get_vnode(r).partition_count, r)
-            )
-            target = self.get_vnode(target_ref)
-            vnode.remove_partition(partition)
-            target.add_partition(partition)
-            moves.append((partition, target_ref))
+        for action in plan:
+            vnode.remove_partition(action.partition)
+            self.get_vnode(action.recipient).add_partition(action.partition)
+            moves.append((action.partition, action.recipient))
         # One storage pass for the whole drain: the hash tier is bucketed
         # once across all ranges instead of rescanned per partition.
         self.storage.migrate_partitions(ref, moves)
         self._bump_topology()
+
+    # -------------------------------------------------------- load-aware rebalancing
+
+    @abstractmethod
+    def _load_scopes(self) -> Dict[ScopeKey, Tuple[List[VnodeRef], int]]:
+        """Balancing scopes for the load-aware engine.
+
+        Maps each scope key (``None`` for the global approach's single
+        scope, the :class:`~repro.core.ids.GroupId` for each group of the
+        local approach) to ``(member vnode refs, scope splitlevel)``.
+        """
+
+    @abstractmethod
+    def _sync_record_counts(self, refs: Iterable[VnodeRef]) -> None:
+        """Overwrite the record-layer count of each vnode from the entity layer."""
+
+    @abstractmethod
+    def _apply_scope_split(self, scope: ScopeKey) -> None:
+        """Binary-split every partition of one balancing scope (record + entities)."""
+
+    def rebalance_load(
+        self,
+        max_rounds: int = 64,
+        tolerance: float = 1.15,
+        allow_splits: bool = True,
+        max_splits: int = 12,
+        max_partitions_per_vnode: int = 1024,
+    ) -> LoadRebalanceReport:
+        """Rebalance *measured item load* across snodes (library extension).
+
+        The paper's algorithm balances partition **counts**; under a skewed
+        key distribution the item load per snode can stay badly skewed
+        while ``sigma(Pv)`` reports perfect balance.  This entry point runs
+        the unified engine's load-aware policy in measure → plan → execute
+        rounds until the max/mean per-snode item load falls within
+        ``tolerance`` (or no further action is possible, or ``max_rounds``
+        is reached):
+
+        * loads are measured merge-free
+          (:func:`~repro.core.rebalance.measure_loads`, one columnar
+          ``count_buckets`` pass per vnode);
+        * transfers move whole partitions between vnodes of the same
+          balancing scope through the vectorized migration machinery
+          (:meth:`~repro.core.storage.DHTStorage.migrate_partition`, i.e.
+          ``pop_buckets`` / ``adopt_parts`` — or the legacy per-item path
+          when ``storage.vectorized_migration`` is off);
+        * when a single partition is too hot to place anywhere, its whole
+          scope binary-splits (:class:`~repro.core.rebalance.LoadSplitAction`)
+          to halve the transfer granularity — at most ``max_splits`` times,
+          and never past ``max_partitions_per_vnode`` per member (splits
+          double a whole scope, so the budget is what keeps an unreachable
+          ``tolerance`` from doubling partition counts forever).
+
+        Transfers preserve every invariant including the strict
+        balanced-state ones; scope splits forfeit ``Pmax``/G5 (exactly like
+        vnode removal) and are recorded so
+        :meth:`check_invariants` relaxes those checks automatically.
+        Replicas are re-synced once at the end, so the operation is
+        replication-safe (``verify_replication`` passes afterwards) and
+        conserves the logical item count exactly.
+        """
+        t0 = time.perf_counter()
+        stats = self.storage.stats
+        base_rows, base_partitions = stats.items_moved, stats.partitions_moved
+        snapshot = measure_loads(self)
+        report = LoadRebalanceReport(
+            total_rows=snapshot.total_rows,
+            before_max=snapshot.max_snode_rows,
+            before_mean=snapshot.mean_snode_rows,
+            before_max_over_mean=snapshot.max_over_mean,
+            after_max=snapshot.max_snode_rows,
+            after_mean=snapshot.mean_snode_rows,
+            after_max_over_mean=snapshot.max_over_mean,
+        )
+        if not self.vnodes or snapshot.total_rows == 0:
+            report.seconds = time.perf_counter() - t0
+            return report
+
+        boosts: Dict[ScopeKey, int] = {}
+        with self._deferred_replica_sync():
+            while report.rounds < max_rounds:
+                plan = plan_load_round(
+                    snapshot,
+                    pmin=self.config.pmin,
+                    pmax=self.config.pmax,
+                    bh=self.hash_space.bh,
+                    tolerance=tolerance,
+                    allow_splits=allow_splits and report.splits < max_splits,
+                    level_boosts=boosts,
+                    max_partitions_per_vnode=max_partitions_per_vnode,
+                )
+                if not plan:
+                    break
+                report.rounds += 1
+                for action in plan.transfers:
+                    victim = self.get_vnode(action.victim)
+                    recipient = self.get_vnode(action.recipient)
+                    victim.remove_partition(action.partition)
+                    recipient.add_partition(action.partition)
+                    self.storage.migrate_partition(
+                        action.partition, action.victim, action.recipient
+                    )
+                    self._sync_record_counts((action.victim, action.recipient))
+                    report.transfers += 1
+                for action in plan.splits:
+                    self._apply_scope_split(action.scope)
+                    boosts[action.scope] = boosts.get(action.scope, 0) + 1
+                    report.splits += 1
+                    self._load_splits_occurred = True
+                self._bump_topology()
+                snapshot = measure_loads(self)
+
+        report.after_max = snapshot.max_snode_rows
+        report.after_mean = snapshot.mean_snode_rows
+        report.after_max_over_mean = snapshot.max_over_mean
+        report.rows_moved = stats.items_moved - base_rows
+        report.partitions_moved = stats.partitions_moved - base_partitions
+        report.seconds = time.perf_counter() - t0
+        return report
 
     # ------------------------------------------------------------------ routing
 
@@ -419,8 +557,7 @@ class BaseDHT(ABC):
                         f"{store.fast_len()} primary rows"
                     )
                 continue
-            starts, lasts = self.storage._range_arrays(ranges)
-            inside = int(store.count_buckets(starts, lasts).sum())
+            inside = int(self.storage.primary_range_counts(ref, ranges).sum())
             if inside != store.fast_len():
                 raise ReplicationError(
                     f"vnode {ref} holds {store.fast_len() - inside} primary rows "
@@ -696,14 +833,16 @@ class BaseDHT(ABC):
         """Verify every invariant of the approach; raise on violation.
 
         ``strict=None`` (default) enables the balanced-state invariants (G5,
-        G5', the lower bound of L2) only if no vnode was ever removed —
-        removal is a library extension the paper does not define, and it
-        cannot always restore those invariants without partition merging.
+        G5', the lower bound of L2) only if no vnode was ever removed and no
+        load-driven scope split ever fired — removal and load-aware
+        rebalancing are library extensions the paper does not define, and
+        they cannot always restore those invariants without partition
+        merging.
         """
 
     def _effective_strict(self, strict: Optional[bool]) -> bool:
         if strict is None:
-            return not self._removals_occurred
+            return not (self._removals_occurred or self._load_splits_occurred)
         return strict
 
     # ------------------------------------------------------------------- misc

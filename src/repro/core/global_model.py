@@ -11,10 +11,10 @@ two (invariant G5).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.balancer import plan_vnode_creation
 from repro.core.base import BaseDHT, SnodeLike
+from repro.core.rebalance import ScopeKey, plan_vnode_creation
 from repro.core.config import DHTConfig
 from repro.core.entities import Vnode
 from repro.core.errors import (
@@ -109,10 +109,27 @@ class GlobalDHT(BaseDHT):
 
         self._drain_vnode(ref, others)
         self.gpdr.remove_vnode(ref)
-        for other in others:
-            self.gpdr.set_count(other, self.get_vnode(other).partition_count)
+        self._sync_record_counts(others)
         self._unregister_vnode(ref)
         self._sync_replicas_after_topology_change()
+
+    # ------------------------------------------------------- rebalancing engine hooks
+
+    def _load_scopes(self) -> Dict[ScopeKey, Tuple[List[VnodeRef], int]]:
+        """The global approach is one balancing scope: every vnode, one splitlevel."""
+        return {None: (list(self.vnodes), self.splitlevel)}
+
+    def _sync_record_counts(self, refs: Iterable[VnodeRef]) -> None:
+        """Overwrite the GPDR counts of ``refs`` from the entity layer."""
+        for ref in refs:
+            self.gpdr.set_count(ref, self.get_vnode(ref).partition_count)
+
+    def _apply_scope_split(self, scope: ScopeKey) -> None:
+        """Binary-split every partition of the DHT (G3 keeps one splitlevel)."""
+        for vnode in self.vnodes.values():
+            vnode.split_all_partitions()
+        self.gpdr.double_all()
+        self.splitlevel += 1
 
     # ------------------------------------------------------------------ metrics
 

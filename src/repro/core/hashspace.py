@@ -53,6 +53,33 @@ def _splitmix64_vec(values: np.ndarray) -> np.ndarray:
         return v ^ (v >> np.uint64(31))
 
 
+#: Modular inverses of the SplitMix64 multipliers (the finalizer is a
+#: bijection on 64-bit integers, so it can be run backwards).
+_SM64_INV_MIX1 = pow(_SM64_MIX1, -1, 1 << 64)
+_SM64_INV_MIX2 = pow(_SM64_MIX2, -1, 1 << 64)
+
+
+def splitmix64_inverse(values: np.ndarray) -> np.ndarray:
+    """Invert :func:`_splitmix64_vec` over a uint64 array.
+
+    For every 64-bit value ``h``, ``_splitmix64_vec(splitmix64_inverse(h))
+    == h``.  Each xorshift inverts by re-applying until the shift exhausts
+    the word, each multiplication by the modular inverse of its constant.
+    Used by the skewed workload generators
+    (:func:`repro.workloads.keys.zipf_id_keys`) to construct integer keys
+    whose *hash indexes* follow a chosen distribution — the only way to
+    place stored load deliberately when the hash function is uniform.
+    """
+    with np.errstate(over="ignore"):
+        v = values.astype(np.uint64, copy=False)
+        v = v ^ (v >> np.uint64(31)) ^ (v >> np.uint64(62))
+        v = v * np.uint64(_SM64_INV_MIX2)
+        v = v ^ (v >> np.uint64(27)) ^ (v >> np.uint64(54))
+        v = v * np.uint64(_SM64_INV_MIX1)
+        v = v ^ (v >> np.uint64(30)) ^ (v >> np.uint64(60))
+        return v - np.uint64(_SM64_GAMMA)
+
+
 @dataclass(frozen=True, order=True)
 class Partition:
     """A contiguous, binary-aligned sub-range of the hash space.

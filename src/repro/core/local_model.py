@@ -22,12 +22,12 @@ Vnode creation (section 3.6):
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.balancer import plan_vnode_creation
 from repro.core.base import BaseDHT, SnodeLike
+from repro.core.rebalance import ScopeKey, plan_vnode_creation
 from repro.core.config import DHTConfig
 from repro.core.entities import Group, Vnode
 from repro.core.errors import (
@@ -234,10 +234,30 @@ class LocalDHT(BaseDHT):
 
         self._drain_vnode(ref, others)
         group.remove_vnode(ref)
-        for other in others:
-            group.lpdr.set_count(other, self.get_vnode(other).partition_count)
+        self._sync_record_counts(others)
         self._unregister_vnode(ref)
         self._sync_replicas_after_topology_change()
+
+    # ------------------------------------------------------- rebalancing engine hooks
+
+    def _load_scopes(self) -> Dict[ScopeKey, Tuple[List[VnodeRef], int]]:
+        """One balancing scope per group (L1: groups partition the vnode set)."""
+        return {
+            gid: (list(group.vnodes), group.splitlevel)
+            for gid, group in self.groups.items()
+        }
+
+    def _sync_record_counts(self, refs: Iterable[VnodeRef]) -> None:
+        """Overwrite the LPDR counts of ``refs`` from the entity layer."""
+        for ref in refs:
+            self.group_of(ref).lpdr.set_count(ref, self.get_vnode(ref).partition_count)
+
+    def _apply_scope_split(self, scope: ScopeKey) -> None:
+        """Binary-split every partition of one group (G3' keeps its splitlevel)."""
+        group = self.get_group(scope)
+        for vnode in group.vnodes.values():
+            vnode.split_all_partitions()
+        group.lpdr.double_all()  # the LPDR also advances the group splitlevel
 
     # --------------------------------------------------------------- invariants
 

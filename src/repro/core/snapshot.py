@@ -91,6 +91,7 @@ def snapshot_dht(dht: AnyDHT, include_data: bool = True) -> Dict[str, Any]:
         "config": config,
         "next_snode_id": dht._next_snode_id,
         "removals_occurred": dht._removals_occurred,
+        "load_splits_occurred": dht._load_splits_occurred,
         "snodes": snodes,
         "vnodes": vnodes,
         "migration_stats": {
@@ -316,6 +317,7 @@ def restore_dht(snapshot: Dict[str, Any], rng: RngLike = None) -> AnyDHT:
             dht.gpdr.add_vnode(ref, vnode.partition_count)
 
     dht._removals_occurred = snapshot.get("removals_occurred", False)
+    dht._load_splits_occurred = snapshot.get("load_splits_occurred", False)
     dht._bump_topology()
     if dht.vnodes:
         dht.verify_coverage()

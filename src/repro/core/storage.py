@@ -69,6 +69,13 @@ from repro.utils.gcscope import deferred_gc
 #: One pending columnar batch: (keys, indexes, values-or-None).
 _Segment = Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]
 
+#: Pending-segment cap: migration adopts segment *fragments*, and a long
+#: churn/rebalance run would otherwise shred a store into thousands of tiny
+#: segments, making every later range pass O(segments).  Above this count
+#: the fragments are concatenated back into one segment (write order — and
+#: therefore merge semantics — preserved exactly).
+_MAX_PENDING_SEGMENTS = 64
+
 #: Raw hash-tier pairs plus columnar segments popped for one range.
 _Parts = Tuple[List[Tuple[Hashable, Tuple[int, Any]]], List[_Segment]]
 
@@ -418,10 +425,37 @@ class VnodeStore:
         previously own (true for every partition handover), so no key can
         collide with existing data and neither side's pending segments need
         merging: pairs go straight into the hash tier, segments are appended
-        to the segment tier with their write order preserved.
+        to the segment tier with their write order preserved.  When the
+        fragments accumulate past :data:`_MAX_PENDING_SEGMENTS` they are
+        compacted into one segment so later range passes stay O(rows), not
+        O(adoptions).
         """
         self._items.update(pairs)
         self._segments.extend(segments)
+        if len(self._segments) > _MAX_PENDING_SEGMENTS:
+            self._compact_segments()
+
+    def _compact_segments(self) -> None:
+        """Concatenate every pending segment into one, in write order.
+
+        Pure column concatenation — no hash-tier merge, no per-key python
+        objects.  Stores mixing valueless (``values is None``) and valued
+        segments materialize explicit ``None`` columns for the former.
+        """
+        segments = self._segments
+        keys = np.concatenate([s[0] for s in segments])
+        indexes = np.concatenate([s[1] for s in segments])
+        values: Optional[np.ndarray]
+        if any(s[2] is not None for s in segments):
+            columns = []
+            for seg_keys, _, seg_values in segments:
+                if seg_values is None:
+                    seg_values = np.empty(len(seg_keys), dtype=object)
+                columns.append(seg_values)
+            values = np.concatenate(columns)
+        else:
+            values = None
+        self._segments = [(keys, indexes, values)]
 
 
 @dataclass
@@ -744,6 +778,20 @@ class DHTStorage:
     def items_of(self, ref: VnodeRef) -> List[Tuple[Hashable, Any]]:
         """All primary ``(key, value)`` pairs stored at a vnode."""
         return [(k, item[1]) for k, item in self._store(ref).raw_dict().items()]
+
+    def primary_range_counts(
+        self, ref: VnodeRef, ranges: Sequence[Tuple[int, int]]
+    ) -> np.ndarray:
+        """Primary rows per ``[start, last]`` (inclusive) range, merge-free.
+
+        One :meth:`VnodeStore.count_buckets` pass over the vnode's primary
+        store — the measurement primitive of the load-aware rebalancing
+        engine (:func:`repro.core.rebalance.measure_loads`) and of
+        :meth:`~repro.core.base.BaseDHT.verify_replication`.  Ranges must
+        be disjoint and sorted by start (``Vnode.sorted_ranges`` order).
+        """
+        starts, lasts = self._range_arrays(ranges)
+        return self._store(ref).count_buckets(starts, lasts)
 
     # -- migration --------------------------------------------------------------------
 

@@ -13,6 +13,10 @@ Every metric of the paper's evaluation lives here:
 """
 
 from repro.metrics.balance import (
+    ItemLoadStats,
+    LoadAxisStats,
+    item_load_stats,
+    load_axis_stats,
     relative_std,
     relative_std_percent,
     sigma_from_counts,
@@ -29,6 +33,10 @@ from repro.metrics.theta import best_vmin, theta, theta_scores
 from repro.metrics.aggregate import RunStatistics, average_curves, summarize_runs
 
 __all__ = [
+    "ItemLoadStats",
+    "LoadAxisStats",
+    "item_load_stats",
+    "load_axis_stats",
     "relative_std",
     "relative_std_percent",
     "sigma_from_counts",

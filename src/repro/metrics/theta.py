@@ -17,6 +17,8 @@ from typing import Dict, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.errors import ReproError
+
 ArrayLike = Union[Sequence[float], np.ndarray]
 
 
@@ -31,24 +33,44 @@ def theta(
     Parameters
     ----------
     vmin_values:
-        Candidate ``Vmin`` values.
+        Candidate ``Vmin`` values.  Must be non-empty: θ normalizes both
+        terms by their maximum over the candidates, so an empty candidate
+        list has no meaning (it used to silently return an empty array).
     sigma_values:
         The balance quality ``sigma-bar(Qv)`` measured for each candidate
-        (same order); fractions and percentages both work since the metric
-        is normalized by its maximum.
+        (same order and length); fractions and percentages both work since
+        the metric is normalized by its maximum.
     alpha, beta:
         Complementary weights (must sum to 1).
+
+    Raises
+    ------
+    ReproError
+        If the weights do not sum to 1 or are negative, the candidate list
+        is empty, or the two series disagree in length — instead of
+        silently producing a nonsense score.
     """
     if not np.isclose(alpha + beta, 1.0):
-        raise ValueError(f"alpha + beta must equal 1, got {alpha} + {beta}")
+        raise ReproError(
+            f"theta weights must satisfy alpha + beta == 1, got "
+            f"alpha={alpha} + beta={beta} = {alpha + beta}"
+        )
     if alpha < 0 or beta < 0:
-        raise ValueError("alpha and beta must be non-negative")
+        raise ReproError(
+            f"theta weights must be non-negative, got alpha={alpha}, beta={beta}"
+        )
     vmins = np.asarray(vmin_values, dtype=np.float64)
     sigmas = np.asarray(sigma_values, dtype=np.float64)
-    if vmins.shape != sigmas.shape:
-        raise ValueError("vmin_values and sigma_values must have the same shape")
     if vmins.size == 0:
-        return np.empty(0, dtype=np.float64)
+        raise ReproError(
+            "theta needs at least one candidate Vmin (both terms are "
+            "normalized by their maximum over the candidates)"
+        )
+    if vmins.shape != sigmas.shape:
+        raise ReproError(
+            f"theta candidate series disagree: {vmins.shape[0] if vmins.ndim else 1} "
+            f"Vmin values vs {sigmas.shape[0] if sigmas.ndim else 1} sigma values"
+        )
     vmax = vmins.max()
     smax = sigmas.max()
     vterm = vmins / vmax if vmax > 0 else np.zeros_like(vmins)
@@ -71,7 +93,7 @@ def best_vmin(
 ) -> Tuple[int, float]:
     """The ``Vmin`` minimizing θ and its score (ties go to the smaller ``Vmin``)."""
     if not sigma_by_vmin:
-        raise ValueError("sigma_by_vmin must not be empty")
+        raise ReproError("best_vmin needs a non-empty Vmin -> sigma mapping")
     scores = theta_scores(sigma_by_vmin, alpha=alpha, beta=beta)
     winner = min(scores, key=lambda v: (scores[v], v))
     return winner, scores[winner]

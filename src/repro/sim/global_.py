@@ -15,7 +15,8 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.config import DHTConfig
-from repro.sim.local import CreationRecord, greedy_fill
+from repro.core.rebalance import greedy_fill
+from repro.sim.local import CreationRecord
 from repro.sim.trace import BalanceTrace
 from repro.utils.rng import RngLike, ensure_rng
 

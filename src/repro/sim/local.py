@@ -13,8 +13,10 @@ reproduce every metric of the paper's evaluation:
 * a full group splits into two random halves (section 3.7), each inheriting
   half of its quota (exact because a full group is perfectly balanced).
 
-The per-creation balancing uses the same greedy algorithm as
-:func:`repro.core.balancer.plan_vnode_creation` but processes whole "count
+The per-creation balancing consumes the unified rebalancing engine's
+count-bucket fast path (:func:`repro.core.rebalance.greedy_fill`, re-exported
+here): the same creation policy as
+:func:`repro.core.rebalance.plan_vnode_creation` but processing whole "count
 buckets" at a time, so a creation costs ``O(distinct count values)`` instead
 of ``O(partitions transferred)`` — the test suite checks the two produce
 identical count multisets.
@@ -24,15 +26,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import DHTConfig
 from repro.core.errors import ConfigError
 from repro.core.local_model import ideal_group_count
+from repro.core.rebalance import greedy_fill
 from repro.sim.trace import BalanceTrace
 from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["CreationRecord", "LocalBalanceSimulator", "greedy_fill"]
 
 
 class _SimGroup:
@@ -74,86 +79,6 @@ class _SimGroup:
         """Sum over member vnodes of the squared quota (for sigma updates)."""
         scale = 1.0 / (1 << self.level)
         return sum((c * scale) ** 2 for c in self.counts)
-
-
-def greedy_fill(counts: Sequence[int], pmin: int) -> Tuple[List[int], int, int]:
-    """Add a new vnode to a group with the given counts (bucket-level greedy).
-
-    Implements the creation algorithm of section 2.5 on a count multiset:
-    repeatedly hand one partition from the most loaded vnode to the new one
-    while that lowers ``sigma(Pv)`` (i.e. while ``max - new >= 2``), binary
-    splitting every partition of the group first whenever the victim already
-    sits at ``Pmin``.
-
-    Parameters
-    ----------
-    counts:
-        Partition counts of the group's existing vnodes (all ``>= pmin``).
-    pmin:
-        Minimum partitions per vnode.
-
-    Returns
-    -------
-    (new_counts, new_vnode_count, level_increase)
-        ``new_counts`` are the updated counts of the *existing* vnodes (same
-        order as the input, scaled by the split cascade if one occurred),
-        ``new_vnode_count`` is the count assigned to the new vnode and
-        ``level_increase`` is how many split-all cascades fired (0 or 1 in
-        any reachable state).
-    """
-    if pmin < 2:
-        raise ConfigError(f"pmin must be >= 2, got {pmin}")
-    if not counts:
-        return [], pmin, 0
-
-    working = list(counts)
-    level_increase = 0
-
-    # Bucket-level greedy: values -> number of vnodes at that value.
-    hist: Dict[int, int] = {}
-    for c in working:
-        hist[c] = hist.get(c, 0) + 1
-
-    new = 0
-    while hist:
-        m = max(hist)
-        if m - new < 2:
-            break
-        if m <= pmin:
-            # Split-all cascade: the victim already sits at (or, in degenerate
-            # hand-built states, below) Pmin, so handing a partition over
-            # would violate G4'.  Every partition of the group binary-splits:
-            # all counts double, including the new vnode's (section 2.5).
-            hist = {value * 2: count for value, count in hist.items()}
-            new *= 2
-            level_increase += 1
-            continue
-        k = hist[m]
-        allowed = m - 1 - new  # how many single transfers keep the condition true
-        take = min(k, allowed)
-        if take <= 0:
-            break
-        hist[m] -= take
-        if hist[m] == 0:
-            del hist[m]
-        hist[m - 1] = hist.get(m - 1, 0) + take
-        new += take
-        if take < k:
-            break
-
-    # Rebuild per-vnode counts.  The greedy only ever removes partitions from
-    # the currently largest counts, so the final multiset is obtained by
-    # clipping the sorted counts; assign the clipped values back largest-first
-    # so the mapping is deterministic.
-    final_multiset: List[int] = []
-    for value, count in hist.items():
-        final_multiset.extend([value] * count)
-    final_multiset.sort(reverse=True)
-    order = sorted(range(len(working)), key=lambda i: (-working[i], i))
-    new_counts = list(working)
-    for rank, idx in enumerate(order):
-        new_counts[idx] = final_multiset[rank]
-    return new_counts, new, level_increase
 
 
 @dataclass

@@ -15,7 +15,14 @@ from repro.workloads.arrivals import (
     PoissonArrivals,
     StaggeredBatches,
 )
-from repro.workloads.keys import KeyWorkload, id_keys, sequential_keys, uniform_keys, zipf_keys
+from repro.workloads.keys import (
+    KeyWorkload,
+    id_keys,
+    sequential_keys,
+    uniform_keys,
+    zipf_id_keys,
+    zipf_keys,
+)
 from repro.workloads.heterogeneity import (
     CapacityProfile,
     NodeSpec,
@@ -37,6 +44,11 @@ from repro.workloads.churn import (
     make_churn_trace,
     run_churn,
 )
+from repro.workloads.rebalance_bench import (
+    RebalanceBenchReport,
+    RebalanceBenchSpec,
+    run_rebalance_bench,
+)
 
 __all__ = [
     "ArrivalEvent",
@@ -47,6 +59,7 @@ __all__ = [
     "KeyWorkload",
     "uniform_keys",
     "zipf_keys",
+    "zipf_id_keys",
     "sequential_keys",
     "id_keys",
     "ScenarioSpec",
@@ -61,6 +74,9 @@ __all__ = [
     "ChurnReport",
     "make_churn_trace",
     "run_churn",
+    "RebalanceBenchSpec",
+    "RebalanceBenchReport",
+    "run_rebalance_bench",
     "NodeSpec",
     "CapacityProfile",
     "enrollment_from_capacity",

@@ -4,7 +4,7 @@ The paper's elastic DHT is defined by partitions changing hands as vnodes
 come and go, but the bulk scenario driver (:mod:`repro.workloads.driver`)
 only exercises *growth* against a static topology.  This module closes the
 gap: a churn trace interleaves **topology events** — ``snode_join``,
-``snode_leave``, ``enrollment_change``, ``snode_crash`` — with bulk
+``snode_leave``, ``enrollment_change``, ``snode_crash``, ``rebalance`` — with bulk
 ``load``/``lookup`` chunks, and :class:`ChurnEngine` replays the trace
 against a live :class:`~repro.core.global_model.GlobalDHT` or
 :class:`~repro.core.local_model.LocalDHT` with an **item-conservation
@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.core.base import BaseDHT
 from repro.core.errors import ReproError
+from repro.metrics.balance import item_load_stats
 from repro.core.ids import SnodeId
 from repro.workloads.driver import APPROACHES, build_cluster
 from repro.workloads.keys import id_keys, uniform_keys
@@ -62,7 +63,13 @@ from repro.workloads.keys import id_keys, uniform_keys
 #: Trace families the churn engine can replay.
 CHURN_WORKLOADS = ("ids", "uniform")
 #: Event kinds that mutate the topology (and trigger conservation checks).
-TOPOLOGY_KINDS = ("snode_join", "snode_leave", "enrollment_change", "snode_crash")
+TOPOLOGY_KINDS = (
+    "snode_join",
+    "snode_leave",
+    "enrollment_change",
+    "snode_crash",
+    "rebalance",
+)
 
 
 @dataclass(frozen=True)
@@ -97,6 +104,8 @@ class ChurnEvent:
             return f"leave s{self.snode}"
         if self.kind == "snode_crash":
             return f"crash s{self.snode}"
+        if self.kind == "rebalance":
+            return "rebalance item load"
         return f"enroll s{self.snode} -> {self.vnodes} vnodes"
 
 
@@ -133,6 +142,10 @@ class ChurnSpec:
     #: Relative odds of a crash (ungraceful snode failure).  Zero keeps the
     #: pre-replication trace mix bit-identical.
     crash_weight: float = 0.0
+    #: Relative odds of a load-aware rebalance pass
+    #: (:meth:`~repro.core.base.BaseDHT.rebalance_load`).  Zero keeps older
+    #: traces bit-identical.
+    rebalance_weight: float = 0.0
     #: Copies kept of every item (``1`` = no replication, the seed model).
     replication_factor: int = 1
     #: Model parameters (small defaults keep 64-event traces fast).
@@ -165,6 +178,7 @@ class ChurnSpec:
             self.leave_weight,
             self.enroll_weight,
             self.crash_weight,
+            self.rebalance_weight,
         )
         if min(weights) < 0 or sum(weights) <= 0:
             raise ValueError("event weights must be non-negative and not all zero")
@@ -185,7 +199,10 @@ def make_churn_trace(spec: ChurnSpec) -> List[ChurnEvent]:
 
     With ``crash_weight == 0`` (the default) the crash kind never enters the
     weighted draw, so traces are bit-identical to the pre-replication
-    generator for the same spec and seed.
+    generator for the same spec and seed; ``rebalance_weight == 0`` likewise
+    keeps pre-rebalancing traces unchanged.  A ``rebalance`` event targets
+    no snode (it runs :meth:`~repro.core.base.BaseDHT.rebalance_load` over
+    the whole DHT) and is never substituted by the cluster-size bounds.
     """
     rng = np.random.default_rng(spec.seed)
     alive = list(range(spec.n_snodes))
@@ -195,12 +212,18 @@ def make_churn_trace(spec: ChurnSpec) -> List[ChurnEvent]:
     if spec.crash_weight > 0:
         kinds.append("snode_crash")
         raw_weights.append(spec.crash_weight)
+    if spec.rebalance_weight > 0:
+        kinds.append("rebalance")
+        raw_weights.append(spec.rebalance_weight)
     weights = np.array(raw_weights, dtype=np.float64)
     weights /= weights.sum()
 
     topology: List[ChurnEvent] = []
     for _ in range(spec.n_events):
         kind = kinds[int(rng.choice(len(kinds), p=weights))]
+        if kind == "rebalance":
+            topology.append(ChurnEvent("rebalance"))
+            continue
         if kind in ("snode_leave", "snode_crash") and len(alive) <= spec.min_snodes:
             kind = "snode_join"
         if kind == "snode_join" and len(alive) >= spec.max_snodes:
@@ -263,6 +286,8 @@ class ChurnReport:
     leaves: int
     enrollment_changes: int
     crashes: int
+    #: Load-aware rebalance passes executed (``rebalance`` events).
+    rebalances: int
     #: Logical items lost to crashes (always 0 when a replica survived).
     items_lost: int
     #: Replica rows rebuilt by recovery + sync (replica->primary restores
@@ -285,6 +310,12 @@ class ChurnReport:
     n_partitions: int
     sigma_qv: float
     sigma_qn: float
+    #: Item-weighted imbalance of the final state (merge-free; the
+    #: quantity ``rebalance`` events optimize — the paper's sigma metrics
+    #: above weigh partitions, not stored items).
+    sigma_items_vnode: float = 0.0
+    sigma_items_snode: float = 0.0
+    max_mean_items_snode: float = 0.0
     outcomes: List[EventOutcome] = field(default_factory=list, repr=False)
 
     @property
@@ -320,6 +351,7 @@ class ChurnReport:
             "leaves": self.leaves,
             "enrollment_changes": self.enrollment_changes,
             "crashes": self.crashes,
+            "rebalances": self.rebalances,
             "items_lost": self.items_lost,
             "replica_rows_rebuilt": self.replica_rows_rebuilt,
             "keys_loaded": self.keys_loaded,
@@ -343,6 +375,9 @@ class ChurnReport:
             "n_partitions": self.n_partitions,
             "sigma_qv": self.sigma_qv,
             "sigma_qn": self.sigma_qn,
+            "sigma_items_vnode": self.sigma_items_vnode,
+            "sigma_items_snode": self.sigma_items_snode,
+            "max_mean_items_snode": self.max_mean_items_snode,
         }
         if include_events:
             out["events"] = [
@@ -369,7 +404,7 @@ class ChurnReport:
                                 f"{self.events_skipped} skipped)"],
             ["event mix", f"{self.joins} joins / {self.leaves} leaves / "
                           f"{self.enrollment_changes} enrollment changes / "
-                          f"{self.crashes} crashes"],
+                          f"{self.crashes} crashes / {self.rebalances} rebalances"],
             ["items lost to crashes", f"{self.items_lost:,}"],
             ["replica rows rebuilt", f"{self.replica_rows_rebuilt:,}"],
             ["keys loaded", f"{self.keys_loaded:,}"],
@@ -388,6 +423,9 @@ class ChurnReport:
                                f"{self.n_partitions} partitions"],
             ["sigma(Qv)", f"{self.sigma_qv * 100:.2f}%"],
             ["sigma(Qn)", f"{self.sigma_qn * 100:.2f}%"],
+            ["sigma items/vnode", f"{self.sigma_items_vnode * 100:.2f}%"],
+            ["sigma items/snode", f"{self.sigma_items_snode * 100:.2f}%"],
+            ["max/mean items per snode", f"{self.max_mean_items_snode:.2f}"],
         ]
 
 
@@ -460,6 +498,7 @@ class ChurnEngine:
         topology_seconds = 0.0
         conservation_checks = 0
         applied = skipped = joins = leaves = enrollment_changes = crashes = 0
+        rebalances = 0
         items_lost = 0
         max_event_items = 0
         stats = dht.storage.stats
@@ -532,6 +571,7 @@ class ChurnEngine:
                     leaves += event.kind == "snode_leave"
                     enrollment_changes += event.kind == "enrollment_change"
                     crashes += event.kind == "snode_crash"
+                    rebalances += event.kind == "rebalance"
                 else:
                     skipped += 1
                 outcomes.append(
@@ -559,6 +599,7 @@ class ChurnEngine:
                 )
         else:
             final_items = dht.storage.fast_primary_count()
+        item_loads = item_load_stats(dht)
 
         return ChurnReport(
             name=spec.name,
@@ -571,6 +612,7 @@ class ChurnEngine:
             leaves=leaves,
             enrollment_changes=enrollment_changes,
             crashes=crashes,
+            rebalances=rebalances,
             items_lost=items_lost,
             replica_rows_rebuilt=(
                 replication.rows_restored + replication.rows_refilled - base_rebuilt
@@ -592,6 +634,9 @@ class ChurnEngine:
             n_partitions=dht.total_partitions,
             sigma_qv=dht.sigma_qv(),
             sigma_qn=dht.sigma_qn(),
+            sigma_items_vnode=item_loads.vnodes.sigma,
+            sigma_items_snode=item_loads.snodes.sigma,
+            max_mean_items_snode=item_loads.snodes.max_over_mean,
             outcomes=outcomes,
         )
 
@@ -619,6 +664,12 @@ class ChurnEngine:
                     f"vnodes {', '.join(report.vnodes_stuck)} could not leave the "
                     f"topology; wiped, kept enrolled and recovered in place"
                 )
+        elif event.kind == "rebalance":
+            # A maintenance pass, not a full shatter: under churn the next
+            # join/leave reshuffles load anyway, so cap the scope splits (each
+            # doubles a whole scope's partition count and taxes every later
+            # topology event) and accept a looser tolerance.
+            return dht.rebalance_load(tolerance=1.25, max_splits=2).summary()
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown topology event kind {event.kind!r}")
         return None

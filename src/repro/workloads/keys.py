@@ -13,7 +13,9 @@ from typing import Iterator, List
 
 import numpy as np
 
+from repro.core.hashspace import splitmix64_inverse
 from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import is_power_of_two
 
 
 def uniform_keys(n: int, rng: RngLike = None, prefix: str = "key") -> List[str]:
@@ -81,6 +83,82 @@ def zipf_keys(
     probabilities /= probabilities.sum()
     draws = gen.choice(n_distinct, size=n, p=probabilities)
     return [f"{prefix}:{int(d)}" for d in draws]
+
+
+def zipf_id_keys(
+    n: int,
+    bh: int = 32,
+    exponent: float = 1.1,
+    n_ranges: int = 4096,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """``n`` distinct integer keys whose *stored* load is Zipf-skewed on the ring.
+
+    A uniform hash function turns any key population into uniform stored
+    load, so skewing the keys themselves (as :func:`zipf_keys` does for the
+    read trace) cannot produce hot *partitions*.  This generator works
+    backwards instead: it slices the ``bh``-bit ring into ``n_ranges``
+    equal ranges, draws each key's range with Zipf(``exponent``)
+    probability (range order shuffled so hot ranges scatter over the
+    ring), places the key's hash index uniformly inside the drawn range,
+    and inverts the SplitMix64 finalizer
+    (:func:`repro.core.hashspace.splitmix64_inverse`) to obtain a ``uint64``
+    key that :meth:`~repro.core.hashspace.HashSpace.hash_keys` maps exactly
+    there.
+
+    The result is the skewed-load scenario the paper's count-only balance
+    model cannot express: ``sigma(Pv)`` reports perfect balance while the
+    per-snode *item* load is dominated by whichever vnodes own the hot
+    ranges — the workload ``repro rebalance-bench`` feeds to
+    :meth:`~repro.core.base.BaseDHT.rebalance_load`.
+
+    ``n_ranges`` must be a power of two no larger than ``2**bh`` (ranges
+    stay aligned with the model's binary partitions); ``bh`` must be at
+    most 64 (integer keys hash through SplitMix64 only on 64-bit-or-smaller
+    spaces).  Keys are distinct and returned in shuffled order.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not (1 <= bh <= 64):
+        raise ValueError(f"bh must be in [1, 64] for integer-key workloads, got {bh}")
+    if n_ranges < 2 or not is_power_of_two(n_ranges) or n_ranges > (1 << bh):
+        raise ValueError(
+            f"n_ranges must be a power of two in [2, 2**bh], got {n_ranges} "
+            f"(bh={bh}; a single range cannot carry any skew)"
+        )
+    if exponent <= 0:
+        raise ValueError("exponent must be strictly positive")
+    if n == 0:
+        return np.empty(0, dtype=np.uint64)
+
+    gen = ensure_rng(rng)
+    ranks = np.arange(1, n_ranges + 1, dtype=np.float64)
+    probabilities = ranks**-exponent
+    probabilities /= probabilities.sum()
+    # Scatter the popularity ranks over the ring so the hot ranges are not
+    # all adjacent at index zero.
+    placement = gen.permutation(n_ranges).astype(np.uint64)
+    width = np.uint64((1 << bh) // n_ranges)
+    high_bits = 64 - bh
+
+    def draw(count: int) -> np.ndarray:
+        ranges = placement[gen.choice(n_ranges, size=count, p=probabilities)]
+        with np.errstate(over="ignore"):
+            index = ranges * width
+            if int(width) > 1:
+                index = index + gen.integers(0, int(width), size=count, dtype=np.uint64)
+            if high_bits:
+                # The hash masks to the low bh bits; the high bits are free
+                # entropy that keeps the inverted keys distinct.
+                upper = gen.integers(0, 1 << high_bits, size=count, dtype=np.uint64)
+                index = index | (upper << np.uint64(bh))
+        return splitmix64_inverse(index)
+
+    keys = np.unique(draw(n))
+    while keys.size < n:
+        keys = np.unique(np.concatenate([keys, draw(n - keys.size)]))
+    gen.shuffle(keys)
+    return keys
 
 
 @dataclass

@@ -1,0 +1,210 @@
+"""The skewed-load rebalancing scenario behind ``repro rebalance-bench``.
+
+Builds a replicated cluster, bulk-loads a Zipf-skewed key population
+(:func:`~repro.workloads.keys.zipf_id_keys` — keys whose *hash indexes*
+cluster, the scenario the paper's count-only balance model cannot
+express), then runs :meth:`~repro.core.base.BaseDHT.rebalance_load` and
+reports the per-snode item-load statistics before and after, the rows
+moved and the migration throughput.  The benchmark script
+(``benchmarks/bench_rebalance.py``) runs the same scenario twice —
+vectorized and legacy per-item migration — and gates on the speedup; the
+CLI subcommand runs it once and can persist the report as the CI
+``BENCH_rebalance.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.core.base import BaseDHT
+from repro.core.errors import ReproError
+from repro.core.rebalance import LoadRebalanceReport, measure_loads
+from repro.utils.validation import is_power_of_two
+from repro.workloads.driver import APPROACHES, build_cluster
+from repro.workloads.keys import zipf_id_keys
+
+
+@dataclass(frozen=True)
+class RebalanceBenchSpec:
+    """Declarative description of one skewed-load rebalancing run."""
+
+    #: Scenario name (shown in reports).
+    name: str = "zipf-rebalance"
+    #: Distinct integer keys to load (skew-placed on the ring).
+    n_keys: int = 1_000_000
+    #: Zipf exponent of the per-range popularity.
+    exponent: float = 1.1
+    #: Equal ring slices the Zipf mass is spread over (power of two).
+    n_ranges: int = 256
+    #: DHT approach: ``"local"`` (grouped) or ``"global"``.
+    approach: str = "local"
+    #: Cluster shape (few vnodes per snode keeps the initial skew strong).
+    n_snodes: int = 16
+    vnodes_per_snode: int = 2
+    pmin: int = 8
+    vmin: int = 8
+    #: Copies kept of every item (2 exercises the replication-safe path).
+    replication_factor: int = 2
+    #: Engine knobs (see :meth:`~repro.core.base.BaseDHT.rebalance_load`).
+    tolerance: float = 1.15
+    max_rounds: int = 64
+    max_splits: int = 12
+    #: ``False`` runs the legacy per-item migration baseline
+    #: (``storage.vectorized_migration = False``).
+    vectorized: bool = True
+    #: Master seed (key generation and cluster build).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.approach not in APPROACHES:
+            raise ValueError(f"approach must be one of {APPROACHES}, got {self.approach!r}")
+        if self.n_keys < 1:
+            raise ValueError("n_keys must be >= 1")
+        if self.n_snodes < 2 or self.vnodes_per_snode < 1:
+            raise ValueError("need n_snodes >= 2 and vnodes_per_snode >= 1")
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        # Validate the knobs consumed downstream (zipf_id_keys and
+        # plan_load_round raise too, but only mid-run with a traceback; the
+        # CLI maps this ValueError to a clean exit instead).
+        if self.exponent <= 0:
+            raise ValueError("exponent must be strictly positive")
+        if self.n_ranges < 2 or not is_power_of_two(self.n_ranges):
+            raise ValueError(
+                f"n_ranges must be a power of two >= 2, got {self.n_ranges}"
+            )
+        if self.tolerance < 1.0:
+            raise ValueError(f"tolerance must be >= 1.0, got {self.tolerance}")
+        if self.max_rounds < 1 or self.max_splits < 0:
+            raise ValueError("need max_rounds >= 1 and max_splits >= 0")
+
+
+@dataclass
+class RebalanceBenchReport:
+    """Outcome of one rebalancing run (load, rebalance, verification)."""
+
+    name: str
+    approach: str
+    vectorized: bool
+    n_keys: int
+    replication_factor: int
+    load_seconds: float
+    rebalance: LoadRebalanceReport
+    #: Per-snode item loads after rebalancing (snode id order).
+    final_snode_rows: Dict[int, int]
+    n_snodes: int
+    n_vnodes: int
+    n_partitions: int
+
+    @property
+    def reduction(self) -> float:
+        """How many times smaller the max/mean per-snode item load got."""
+        return self.rebalance.reduction
+
+    @property
+    def rows_per_second(self) -> float:
+        """Rows migrated per second of rebalancing time."""
+        return self.rebalance.rows_per_second
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the ``BENCH_rebalance.json`` artifact)."""
+        return {
+            "name": self.name,
+            "approach": self.approach,
+            "vectorized": self.vectorized,
+            "n_keys": self.n_keys,
+            "replication_factor": self.replication_factor,
+            "load_seconds": self.load_seconds,
+            "n_snodes": self.n_snodes,
+            "n_vnodes": self.n_vnodes,
+            "n_partitions": self.n_partitions,
+            "rebalance": self.rebalance.as_dict(),
+        }
+
+    def as_rows(self) -> List[List[str]]:
+        """Property/value rows for :func:`repro.report.format_table`."""
+        r = self.rebalance
+        return [
+            ["scenario", self.name],
+            ["approach", self.approach],
+            ["migration path", "vectorized" if self.vectorized else "per-item scan"],
+            ["keys loaded", f"{self.n_keys:,} (x{self.replication_factor} replication)"],
+            ["max/mean snode load before", f"{r.before_max_over_mean:.2f} "
+                                           f"({r.before_max:,} vs {r.before_mean:,.0f})"],
+            ["max/mean snode load after", f"{r.after_max_over_mean:.2f} "
+                                          f"({r.after_max:,} vs {r.after_mean:,.0f})"],
+            ["reduction", f"{r.reduction:.2f}x"],
+            ["actions", f"{r.transfers} transfers, {r.splits} scope splits "
+                        f"over {r.rounds} rounds"],
+            ["rows moved", f"{r.rows_moved:,} over {r.partitions_moved:,} "
+                           f"partition handovers"],
+            ["rebalance seconds", f"{r.seconds:.3f}"],
+            ["moved rows/s", f"{r.rows_per_second:,.0f}"],
+            ["final topology", f"{self.n_snodes} snodes, {self.n_vnodes} vnodes, "
+                               f"{self.n_partitions} partitions"],
+        ]
+
+
+def run_rebalance_bench(spec: RebalanceBenchSpec) -> RebalanceBenchReport:
+    """Run one scenario: build, load skewed, rebalance, verify, report.
+
+    Verifies zero item loss (merge-free logical count unchanged), replica
+    consistency (when replicated) and the full invariant suite; any failure
+    raises :class:`~repro.core.errors.ReproError` rather than reporting a
+    corrupted win.
+    """
+    dht: BaseDHT = build_cluster(
+        spec.approach,
+        spec.n_snodes,
+        spec.vnodes_per_snode,
+        pmin=spec.pmin,
+        vmin=spec.vmin,
+        replication_factor=spec.replication_factor,
+        seed=spec.seed,
+    )
+    keys = zipf_id_keys(
+        spec.n_keys,
+        bh=dht.config.bh,
+        exponent=spec.exponent,
+        n_ranges=spec.n_ranges,
+        rng=spec.seed,
+    )
+    t0 = time.perf_counter()
+    dht.bulk_load(keys)
+    load_seconds = time.perf_counter() - t0
+
+    dht.storage.vectorized_migration = spec.vectorized
+    rows_before = dht.storage.fast_primary_count()
+    rebalance = dht.rebalance_load(
+        max_rounds=spec.max_rounds,
+        tolerance=spec.tolerance,
+        max_splits=spec.max_splits,
+    )
+    rows_after = dht.storage.fast_primary_count()
+    if rows_after != rows_before:
+        raise ReproError(
+            f"rebalance lost items: {rows_before} primary rows before, "
+            f"{rows_after} after"
+        )
+    if spec.replication_factor > 1:
+        dht.verify_replication()
+    dht.check_invariants()
+
+    snode_rows = {
+        sid.value: rows for sid, rows in measure_loads(dht).snode_rows().items()
+    }
+    return RebalanceBenchReport(
+        name=spec.name,
+        approach=spec.approach,
+        vectorized=spec.vectorized,
+        n_keys=spec.n_keys,
+        replication_factor=spec.replication_factor,
+        load_seconds=load_seconds,
+        rebalance=rebalance,
+        final_snode_rows=dict(sorted(snode_rows.items())),
+        n_snodes=dht.n_snodes,
+        n_vnodes=dht.n_vnodes,
+        n_partitions=dht.total_partitions,
+    )

@@ -192,6 +192,51 @@ class TestChurnTrace:
                 assert event.vnodes >= 1
 
 
+class TestRebalanceEvents:
+    def test_zero_weight_keeps_traces_bit_identical(self):
+        """The default spec must generate exactly the pre-rebalancing traces
+        (golden regression suites replay pinned traces by seed)."""
+        base = ChurnSpec(n_keys=1000, n_events=32, seed=9)
+        weighted = ChurnSpec(n_keys=1000, n_events=32, seed=9, crash_weight=0.0,
+                             rebalance_weight=0.0)
+        assert make_churn_trace(base) == make_churn_trace(weighted)
+        assert all(e.kind != "rebalance" for e in make_churn_trace(base))
+
+    def test_rebalance_events_enter_the_mix(self):
+        spec = ChurnSpec(n_keys=1000, n_events=40, rebalance_weight=0.5, seed=3)
+        trace = make_churn_trace(spec)
+        rebalances = [e for e in trace if e.kind == "rebalance"]
+        assert rebalances
+        assert all(e.snode == -1 for e in rebalances)
+        assert "rebalance" in TOPOLOGY_KINDS
+
+    def test_run_conserves_and_verifies_under_rebalance_and_crash(self):
+        """Conservation + verify_replication hold after every event, with
+        load-aware rebalances interleaved with crashes at factor 2."""
+        spec = ChurnSpec(n_keys=4000, n_events=20, rebalance_weight=0.3,
+                         crash_weight=0.2, replication_factor=2, seed=11)
+        report = run_churn(spec)
+        assert report.rebalances > 0
+        assert report.final_items == 4000
+        assert report.items_lost == 0
+        assert report.conservation_checks == 20
+        d = report.as_dict()
+        assert d["rebalances"] == report.rebalances
+        assert d["max_mean_items_snode"] >= 1.0
+        assert any("rebalance" in row[1] for row in report.as_rows()
+                   if row[0] == "event mix")
+
+    def test_item_load_metrics_surface_in_report(self):
+        report = run_churn(ChurnSpec(n_keys=2000, n_events=6, seed=1))
+        assert report.sigma_items_vnode >= 0.0
+        assert report.sigma_items_snode >= 0.0
+        assert report.max_mean_items_snode >= 1.0
+        keys = report.as_dict()
+        for name in ("sigma_items_vnode", "sigma_items_snode",
+                     "max_mean_items_snode"):
+            assert name in keys
+
+
 class TestChurnEngine:
     def test_small_run_conserves_and_reports(self):
         spec = ChurnSpec(n_keys=5000, n_events=16, seed=7)

@@ -102,6 +102,56 @@ class TestChurnBench:
         assert args.keys >= 100_000
         assert args.events >= 64
 
+    def test_rebalance_rate_mixes_rebalance_events(self, capsys, tmp_path):
+        path = tmp_path / "churn.json"
+        assert main(
+            ["churn-bench", "--keys", "2000", "--events", "12",
+             "--rebalance-rate", "0.4", "--output", str(path)]
+        ) == 0
+        report = json.loads(path.read_text())
+        assert report["rebalances"] > 0
+        assert report["final_items"] == 2000
+        assert "sigma_items_snode" in report
+
+    def test_bad_rebalance_rate_fails_cleanly(self, capsys):
+        assert main(["churn-bench", "--rebalance-rate", "1.5"]) == 2
+        assert "rebalance-rate" in capsys.readouterr().err
+        assert main(["churn-bench", "--crash-rate", "0.6",
+                     "--rebalance-rate", "0.5"]) == 2
+
+
+class TestRebalanceBench:
+    def test_small_skewed_run_cuts_load(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_rebalance.json"
+        assert main(
+            ["rebalance-bench", "--keys", "20000", "--output", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "max/mean snode load before" in out
+        assert "reduction" in out
+        report = json.loads(path.read_text())
+        assert report["n_keys"] == 20000
+        assert report["replication_factor"] == 2
+        assert report["rebalance"]["reduction"] >= 2.0
+        assert report["rebalance"]["rows_moved"] > 0
+
+    def test_legacy_path_and_global_approach(self, capsys):
+        assert main(
+            ["rebalance-bench", "--keys", "5000", "--approach", "global",
+             "--legacy", "--snodes", "8", "--replication", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-item scan" in out
+
+    def test_invalid_spec_fails_cleanly(self, capsys):
+        assert main(["rebalance-bench", "--keys", "0"]) == 2
+        assert "rebalance-bench" in capsys.readouterr().err
+
+    def test_parser_defaults_meet_acceptance_scale(self):
+        args = build_parser().parse_args(["rebalance-bench"])
+        assert args.keys >= 1_000_000
+        assert args.replication >= 2
+
 
 class TestParser:
     def test_parser_requires_command(self):

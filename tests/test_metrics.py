@@ -22,6 +22,7 @@ from repro.metrics import (
     theta,
     theta_scores,
 )
+from repro.core.errors import ReproError
 from repro.metrics.aggregate import tail_mean, value_at
 
 
@@ -78,13 +79,17 @@ class TestTheta:
         assert best_vmin(sigma_by_vmin, alpha=0.0, beta=1.0)[0] == 128
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        """Bad inputs raise a precise ReproError instead of producing nonsense."""
+        with pytest.raises(ReproError, match="alpha [+] beta"):
             theta([8], [1.0], alpha=0.7, beta=0.7)
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError, match="non-negative"):
+            theta([8], [1.0], alpha=1.5, beta=-0.5)
+        with pytest.raises(ReproError, match="disagree"):
             theta([8, 16], [1.0], alpha=0.5, beta=0.5)
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError, match="non-empty"):
             best_vmin({})
-        assert theta([], []).size == 0
+        with pytest.raises(ReproError, match="at least one candidate"):
+            theta([], [])
 
 
 class TestGroupMetrics:
