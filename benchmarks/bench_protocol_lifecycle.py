@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Control-plane cost of full-lifecycle churn: global barrier vs per-group locks.
+
+Generates one churn trace containing **all five topology event kinds**
+(snode joins, graceful leaves, ungraceful crashes with replica rebuild,
+enrollment changes, load-aware rebalance passes) on a group-rich replicated
+cluster, assigns the events to concurrent arrival batches
+(:func:`repro.cluster.protocol.staggered_arrival_times` — the lifecycle
+analogue of the ``StaggeredBatches`` creation workload), and replays the
+same trace through :class:`repro.cluster.protocol.LifecycleProtocolSimulator`
+under both lock structures:
+
+* **global** — every event synchronizes the GPDR across all snodes and
+  serializes behind one DHT-wide FIFO barrier;
+* **local** — an event locks only the groups it touches, so concurrent
+  events targeting disjoint groups overlap.
+
+Gates (exit non-zero on failure):
+
+* every topology kind appears in the trace, replays end-to-end under both
+  approaches and reports populated per-kind latency stats;
+* the local approach's makespan **strictly beats** the global one's on the
+  concurrent batch workload (``--min-speedup``, default 1.0 = strict win);
+* both runs complete every event (latencies populated for all arrivals).
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_protocol_lifecycle.py
+    PYTHONPATH=src python benchmarks/bench_protocol_lifecycle.py \
+        --events 24 --snodes 12 --output BENCH_protocol.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.cluster.protocol import compare_lifecycle_protocols
+from repro.report import format_table
+from repro.workloads.churn import TOPOLOGY_KINDS, ChurnSpec, make_churn_trace
+
+
+def build_spec(args: argparse.Namespace) -> ChurnSpec:
+    """The churn scenario both approaches replay (approach overridden per run)."""
+    return ChurnSpec(
+        name="protocol-lifecycle",
+        n_keys=args.keys,
+        n_events=args.events,
+        approach="local",
+        n_snodes=args.snodes,
+        vnodes_per_snode=args.vnodes_per_snode,
+        min_snodes=args.min_snodes,
+        max_snodes=args.max_snodes,
+        pmin=args.pmin,
+        vmin=args.vmin,
+        replication_factor=args.replication,
+        crash_weight=args.crash_weight,
+        rebalance_weight=args.rebalance_weight,
+        seed=args.seed,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keys", type=int, default=5_000,
+                        help="distinct keys loaded during profiling")
+    parser.add_argument("--events", type=int, default=40, help="topology events")
+    parser.add_argument("--snodes", type=int, default=20, help="initial snodes")
+    parser.add_argument("--vnodes-per-snode", type=int, default=4)
+    parser.add_argument("--min-snodes", type=int, default=6)
+    parser.add_argument("--max-snodes", type=int, default=40)
+    parser.add_argument("--pmin", type=int, default=8)
+    parser.add_argument("--vmin", type=int, default=4,
+                        help="small groups => many groups => real parallelism")
+    parser.add_argument("--replication", type=int, default=2)
+    parser.add_argument("--crash-weight", type=float, default=0.25)
+    parser.add_argument("--rebalance-weight", type=float, default=0.15)
+    parser.add_argument("--batch-size", type=int, default=10,
+                        help="topology events arriving concurrently per batch")
+    parser.add_argument("--gap", type=float, default=0.02,
+                        help="simulated seconds between batches")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="fail unless global/local makespan exceeds this "
+                             "(1.0 = local must strictly win)")
+    parser.add_argument("--output", default=None,
+                        help="write the results to this JSON file")
+    args = parser.parse_args(argv)
+
+    spec = build_spec(args)
+    trace = make_churn_trace(spec)
+    kinds_present = {e.kind for e in trace}
+    missing = set(TOPOLOGY_KINDS) - kinds_present
+    if missing:
+        print(f"FAIL: trace is missing topology kinds {sorted(missing)} "
+              f"(try another --seed or more --events)", file=sys.stderr)
+        return 1
+    t0 = time.perf_counter()
+    comparison = compare_lifecycle_protocols(
+        spec, trace=trace, batch_size=args.batch_size, gap=args.gap
+    )
+    wall_seconds = time.perf_counter() - t0
+    results = comparison.results
+    n_topology = comparison.n_topology_events
+
+    rows = []
+    for approach in ("global", "local"):
+        stats = results[approach]
+        rows.append([
+            approach,
+            f"{stats.makespan:.4f}",
+            f"{stats.mean_latency:.4f}",
+            f"{stats.p95_latency:.4f}",
+            f"{stats.total_messages:,}",
+            f"{stats.total_bytes:,.0f}",
+            str(stats.lock_waits),
+            str(stats.events_skipped),
+        ])
+    print(format_table(
+        ["approach", "makespan s", "mean lat s", "p95 lat s", "messages",
+         "bytes", "lock waits", "skipped"],
+        rows,
+    ))
+    print(f"(both replays + simulations took {wall_seconds:.1f}s wall time)")
+    print()
+    kind_rows = []
+    for kind in TOPOLOGY_KINDS:
+        cells = [kind]
+        for approach in ("global", "local"):
+            ks = results[approach].per_kind.get(kind)
+            cells.append(
+                f"{ks.count}x mean {ks.mean_latency_s:.4f}s" if ks else "absent"
+            )
+        kind_rows.append(cells)
+    print(format_table(["kind", "global", "local"], kind_rows))
+
+    failures = []
+    for approach, stats in results.items():
+        if stats.n_events != n_topology:
+            failures.append(f"{approach}: simulated {stats.n_events} of "
+                            f"{n_topology} topology events")
+        absent = set(TOPOLOGY_KINDS) - set(stats.per_kind)
+        if absent:
+            failures.append(f"{approach}: kinds {sorted(absent)} never replayed")
+        unpopulated = [
+            kind for kind, ks in stats.per_kind.items()
+            if ks.count < 1 or ks.mean_latency_s <= 0 or ks.messages <= 0
+        ]
+        if unpopulated:
+            failures.append(f"{approach}: per-kind stats empty for {unpopulated}")
+
+    speedup = comparison.makespan_speedup
+    print(f"\nlocal finishes the concurrent churn workload {speedup:.2f}x "
+          f"faster than global")
+    if speedup <= args.min_speedup:
+        failures.append(
+            f"local must beat global by more than {args.min_speedup}x on the "
+            f"concurrent workload, got {speedup:.3f}x"
+        )
+
+    if args.output:
+        payload = {
+            "spec": {
+                "keys": args.keys,
+                "events": args.events,
+                "topology_events": n_topology,
+                "snodes": args.snodes,
+                "vnodes_per_snode": args.vnodes_per_snode,
+                "replication": args.replication,
+                "batch_size": args.batch_size,
+                "gap_s": args.gap,
+                "seed": args.seed,
+            },
+            "results": {a: s.as_dict() for a, s in results.items()},
+            "makespan_speedup_local_over_global": speedup,
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"results written to {args.output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all protocol-lifecycle gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

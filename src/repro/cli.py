@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Provides six subcommands::
+Provides seven subcommands::
 
     python -m repro list                         # registered experiments
     python -m repro run fig4 [--runs N] [...]    # run one experiment
@@ -8,6 +8,7 @@ Provides six subcommands::
     python -m repro bulk-bench [--keys N] [...]  # replay bulk workload scenarios
     python -m repro churn-bench [--events N] [...]  # replay a topology churn trace
     python -m repro rebalance-bench [--keys N] [...]  # load-aware rebalancing run
+    python -m repro protocol-bench [--events N] [...]  # control-plane cost of a churn trace
 
 ``run`` prints the same checkpoint table / ASCII chart the benchmarks print
 and can persist the result to JSON (``--output``) for later comparison with
@@ -23,7 +24,12 @@ artifacts).  ``rebalance-bench`` bulk-loads a Zipf-skewed key population
 (hot hash ranges, :func:`repro.workloads.keys.zipf_id_keys`), runs
 :meth:`~repro.core.base.BaseDHT.rebalance_load` and reports the per-snode
 item-load max/mean before/after plus migration throughput (the CI
-``BENCH_rebalance.json`` artifact).
+``BENCH_rebalance.json`` artifact).  ``protocol-bench`` replays one churn
+trace through the control-plane simulator
+(:class:`~repro.cluster.protocol.LifecycleProtocolSimulator`) under both
+the global barrier and the per-group locks, printing per-event-kind
+latency breakdowns and the global/local makespan ratio (the CI
+``BENCH_protocol.json`` artifact).
 """
 
 from __future__ import annotations
@@ -153,6 +159,48 @@ def build_parser() -> argparse.ArgumentParser:
     reb.add_argument("--seed", type=int, default=0)
     reb.add_argument("--output", default=None,
                      help="write the rebalance report to this JSON file")
+
+    proto = sub.add_parser(
+        "protocol-bench",
+        help="simulate the control-plane cost of a churn trace (global vs local)",
+    )
+    proto.add_argument("--keys", type=int, default=5_000,
+                       help="distinct keys loaded during profiling")
+    proto.add_argument("--events", type=int, default=32, help="topology events in the trace")
+    proto.add_argument(
+        "--approach", choices=("both", "local", "global"), default="both",
+        help="which lock structure(s) to simulate (default: both, with speedup)",
+    )
+    proto.add_argument("--workload", choices=("ids", "uniform"), default="ids")
+    proto.add_argument("--snodes", type=int, default=12, help="initial snodes")
+    proto.add_argument("--vnodes-per-snode", type=int, default=4)
+    proto.add_argument("--min-snodes", type=int, default=4)
+    proto.add_argument("--max-snodes", type=int, default=32)
+    proto.add_argument("--pmin", type=int, default=8)
+    proto.add_argument("--vmin", type=int, default=4)
+    proto.add_argument(
+        "--replication", type=int, default=2, metavar="N",
+        help="copies kept of every item (default 2: prices crash recovery)",
+    )
+    proto.add_argument(
+        "--crash-rate", type=float, default=0.2, metavar="P",
+        help="fraction of topology events that are ungraceful crashes",
+    )
+    proto.add_argument(
+        "--rebalance-rate", type=float, default=0.1, metavar="P",
+        help="fraction of topology events that run a load-aware rebalance",
+    )
+    proto.add_argument(
+        "--batch-size", type=int, default=8,
+        help="topology events arriving concurrently per batch",
+    )
+    proto.add_argument(
+        "--gap", type=float, default=0.02,
+        help="simulated seconds between event batches",
+    )
+    proto.add_argument("--seed", type=int, default=0)
+    proto.add_argument("--output", default=None,
+                       help="write the protocol report to this JSON file")
     return parser
 
 
@@ -229,22 +277,29 @@ def _cmd_bulk_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _event_weights(crash_rate: float, rebalance_rate: float) -> tuple:
+    """Crash/rebalance weights making those kinds exact trace fractions.
+
+    The three graceful-event weights sum to 1 by default, so weights of
+    ``p/(1-p-q)`` and ``q/(1-p-q)`` make crashes and rebalances exactly a
+    ``p``- and ``q``-fraction of events.  Raises ``ValueError`` for rates
+    outside ``[0, 1)`` or summing to 1 or more.
+    """
+    if not (0.0 <= crash_rate < 1.0):
+        raise ValueError(f"--crash-rate must be in [0, 1), got {crash_rate}")
+    if not (0.0 <= rebalance_rate < 1.0):
+        raise ValueError(f"--rebalance-rate must be in [0, 1), got {rebalance_rate}")
+    remainder = 1.0 - crash_rate - rebalance_rate
+    if remainder <= 0.0:
+        raise ValueError("--crash-rate plus --rebalance-rate must stay below 1")
+    return crash_rate / remainder, rebalance_rate / remainder
+
+
 def _cmd_churn_bench(args: argparse.Namespace) -> int:
     try:
-        if not (0.0 <= args.crash_rate < 1.0):
-            raise ValueError(f"--crash-rate must be in [0, 1), got {args.crash_rate}")
-        if not (0.0 <= args.rebalance_rate < 1.0):
-            raise ValueError(
-                f"--rebalance-rate must be in [0, 1), got {args.rebalance_rate}"
-            )
-        remainder = 1.0 - args.crash_rate - args.rebalance_rate
-        if remainder <= 0.0:
-            raise ValueError("--crash-rate plus --rebalance-rate must stay below 1")
-        # The three graceful-event weights sum to 1 by default, so weights of
-        # p/(1-p-q) and q/(1-p-q) make crashes and rebalances exactly a p-
-        # and q-fraction of events.
-        crash_weight = args.crash_rate / remainder
-        rebalance_weight = args.rebalance_rate / remainder
+        crash_weight, rebalance_weight = _event_weights(
+            args.crash_rate, args.rebalance_rate
+        )
         spec = ChurnSpec(
             name=f"churn-{args.workload}",
             workload=args.workload,
@@ -308,6 +363,106 @@ def _cmd_rebalance_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _protocol_rows(stats) -> List[List[str]]:
+    """Property/value rows for one lifecycle-protocol run."""
+    rows = [
+        ["approach", stats.approach],
+        ["events", f"{stats.n_events} ({stats.events_skipped} skipped)"],
+        ["makespan (s)", f"{stats.makespan:.6f}"],
+        ["mean latency (s)", f"{stats.mean_latency:.6f}"],
+        ["p95 latency (s)", f"{stats.p95_latency:.6f}"],
+        ["throughput (events/s)", f"{stats.throughput:,.1f}"],
+        ["messages", f"{stats.total_messages:,}"],
+        ["bytes", f"{stats.total_bytes:,.0f}"],
+        ["lock waits", str(stats.lock_waits)],
+    ]
+    for kind, ks in sorted(stats.per_kind.items()):
+        rows.append(
+            [
+                f"  {kind}",
+                f"{ks.count} events, mean {ks.mean_latency_s:.6f}s, "
+                f"p95 {ks.p95_latency_s:.6f}s, {ks.messages:,} msgs",
+            ]
+        )
+    return rows
+
+
+def _cmd_protocol_bench(args: argparse.Namespace) -> int:
+    from repro.cluster.protocol import compare_lifecycle_protocols
+
+    try:
+        crash_weight, rebalance_weight = _event_weights(
+            args.crash_rate, args.rebalance_rate
+        )
+        if args.events < 1:
+            raise ValueError(f"--events must be >= 1, got {args.events}")
+        if args.batch_size < 1:
+            raise ValueError(f"--batch-size must be >= 1, got {args.batch_size}")
+        if args.gap < 0:
+            raise ValueError(f"--gap must be non-negative, got {args.gap}")
+        spec = ChurnSpec(
+            name=f"protocol-{args.workload}",
+            workload=args.workload,
+            n_keys=args.keys,
+            n_events=args.events,
+            approach="local",
+            n_snodes=args.snodes,
+            vnodes_per_snode=args.vnodes_per_snode,
+            min_snodes=args.min_snodes,
+            max_snodes=args.max_snodes,
+            pmin=args.pmin,
+            vmin=args.vmin,
+            replication_factor=args.replication,
+            crash_weight=crash_weight,
+            rebalance_weight=rebalance_weight,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"protocol-bench: {exc}", file=sys.stderr)
+        return 2
+    approaches = ("local", "global") if args.approach == "both" else (args.approach,)
+    try:
+        comparison = compare_lifecycle_protocols(
+            spec,
+            batch_size=args.batch_size,
+            gap=args.gap,
+            approaches=approaches,
+        )
+    except ReproError as exc:
+        print(f"protocol-bench FAILED: {exc}", file=sys.stderr)
+        return 1
+    results = comparison.results
+    n_topology = comparison.n_topology_events
+    for approach in approaches:
+        print(format_table(["property", "value"], _protocol_rows(results[approach])))
+        print()
+    payload = {
+        "workload": {
+            "keys": args.keys,
+            "events": args.events,
+            "topology_events": n_topology,
+            "snodes": args.snodes,
+            "vnodes_per_snode": args.vnodes_per_snode,
+            "replication": args.replication,
+            "crash_rate": args.crash_rate,
+            "rebalance_rate": args.rebalance_rate,
+            "batch_size": args.batch_size,
+            "gap_s": args.gap,
+            "seed": args.seed,
+        },
+        "results": {a: s.as_dict() for a, s in results.items()},
+    }
+    if len(results) == 2:
+        speedup = comparison.makespan_speedup
+        payload["makespan_speedup_local_over_global"] = speedup
+        print(f"local finishes the churn burst {speedup:.2f}x faster than global")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nreport written to {args.output}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -323,6 +478,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_churn_bench(args)
     if args.command == "rebalance-bench":
         return _cmd_rebalance_bench(args)
+    if args.command == "protocol-bench":
+        return _cmd_protocol_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -15,9 +15,13 @@ This package provides the substrate needed to quantify that claim:
   bandwidth), as assumed by the paper (section 5);
 * :mod:`repro.cluster.simulator` — a small discrete-event simulation engine
   with FIFO resources (locks);
-* :mod:`repro.cluster.protocol` — the vnode-creation control protocol of
-  both approaches driven by the fast balance simulators, producing
-  per-creation latency and makespan statistics.
+* :mod:`repro.cluster.protocol` — the DHT control protocol of both
+  approaches: the vnode-creation simulator driven by the fast balance
+  simulators, and the full-lifecycle simulator
+  (:class:`~repro.cluster.protocol.LifecycleProtocolSimulator`) that prices
+  churn traces — joins, leaves, crashes with replica rebuild, enrollment
+  changes, load rebalancing — from a live-DHT replay, producing per-event
+  latency, makespan and per-kind breakdown statistics.
 """
 
 from repro.cluster.cluster import Cluster
@@ -25,16 +29,28 @@ from repro.cluster.network import NetworkModel
 from repro.cluster.node import ClusterNode
 from repro.cluster.protocol import (
     CreationProtocolSimulator,
+    EventProfile,
+    KindStats,
+    LifecycleComparison,
+    LifecycleProtocolSimulator,
     ProtocolCosts,
     ProtocolStats,
+    compare_lifecycle_protocols,
+    lifecycle_event_cost,
+    staggered_arrival_times,
 )
 from repro.cluster.simulator import EventScheduler, FifoResource
 from repro.cluster.messages import (
     Ack,
+    CrashNotice,
     CreateVnodeRequest,
     Message,
     PartitionTransfer,
+    RebalanceTransfer,
     RecordSync,
+    RemoveVnodeRequest,
+    ReplicaRebuildTransfer,
+    ReplicaSyncTransfer,
 )
 
 __all__ = [
@@ -45,10 +61,22 @@ __all__ = [
     "FifoResource",
     "Message",
     "CreateVnodeRequest",
+    "RemoveVnodeRequest",
+    "CrashNotice",
     "RecordSync",
     "PartitionTransfer",
+    "ReplicaRebuildTransfer",
+    "ReplicaSyncTransfer",
+    "RebalanceTransfer",
     "Ack",
     "ProtocolCosts",
     "ProtocolStats",
+    "KindStats",
+    "EventProfile",
     "CreationProtocolSimulator",
+    "LifecycleProtocolSimulator",
+    "LifecycleComparison",
+    "compare_lifecycle_protocols",
+    "lifecycle_event_cost",
+    "staggered_arrival_times",
 ]

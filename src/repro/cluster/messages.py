@@ -1,15 +1,15 @@
-"""Control-protocol messages exchanged during vnode creation.
+"""Control-protocol messages exchanged during topology lifecycle events.
 
 The message classes exist to make the protocol simulation explicit and
-self-documenting: each creation is a sequence of typed messages whose sizes
-feed the network model.  Sizes are estimates of a compact wire encoding and
-only matter relative to each other.
+self-documenting: each lifecycle event — vnode creation or removal, snode
+crash recovery, replica sync, load rebalancing — is a sequence of typed
+messages whose sizes feed the network model.  Sizes are estimates of a
+compact wire encoding and only matter relative to each other.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,75 @@ class RecordSync(Message):
 @dataclass(frozen=True)
 class PartitionTransfer(Message):
     """Hand-over of one partition and the items stored under it."""
+
+    payload_bytes: float = 0.0
+
+    def size_bytes(self) -> float:
+        return float(self.BASE_SIZE_BYTES + self.payload_bytes)
+
+
+@dataclass(frozen=True)
+class RemoveVnodeRequest(Message):
+    """Request asking the destination snode to take part in a vnode removal.
+
+    Covers both graceful leaves and enrollment shrinks: the victim vnode's
+    partitions are drained to the surviving vnodes of its scope before the
+    record entry is dropped.
+    """
+
+    vnode: int = 0
+
+    def size_bytes(self) -> float:
+        return float(self.BASE_SIZE_BYTES + 16)
+
+
+@dataclass(frozen=True)
+class CrashNotice(Message):
+    """Failure notification: a snode crashed without a graceful drain.
+
+    Broadcast by the failure detector to every snode involved in the
+    recovery so they agree on the new ownership before replica rebuild
+    transfers start.
+    """
+
+    snode: int = 0
+
+    def size_bytes(self) -> float:
+        return float(self.BASE_SIZE_BYTES + 8)
+
+
+@dataclass(frozen=True)
+class ReplicaRebuildTransfer(Message):
+    """Bulk copy of surviving replica rows rebuilding a lost primary.
+
+    The payload is the surviving-replica rows that recovery promotes back
+    to primaries after a crash (``rows_restored`` of the recovery pass).
+    """
+
+    payload_bytes: float = 0.0
+
+    def size_bytes(self) -> float:
+        return float(self.BASE_SIZE_BYTES + self.payload_bytes)
+
+
+@dataclass(frozen=True)
+class ReplicaSyncTransfer(Message):
+    """Replica-sync fan-out: primary rows refilled into replica stores.
+
+    Sent once per replica rank after a topology change so every partition
+    regains its full complement of copies (``rows_refilled`` of the sync
+    pass).
+    """
+
+    payload_bytes: float = 0.0
+
+    def size_bytes(self) -> float:
+        return float(self.BASE_SIZE_BYTES + self.payload_bytes)
+
+
+@dataclass(frozen=True)
+class RebalanceTransfer(Message):
+    """Hand-over of one partition decided by the load-aware rebalancing plan."""
 
     payload_bytes: float = 0.0
 

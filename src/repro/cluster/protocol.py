@@ -1,4 +1,4 @@
-"""Discrete-event simulation of the vnode-creation control protocol.
+"""Discrete-event simulation of the DHT control protocol.
 
 This is the substrate behind the parallelism/scalability claims of the
 paper (sections 1, 3 and 6), which its evaluation argues only qualitatively:
@@ -12,37 +12,65 @@ paper (sections 1, 3 and 6), which its evaluation argues only qualitatively:
   the victim group (section 3.6), so creations targeting different groups
   overlap; the simulation uses one FIFO lock per group.
 
-The balance dynamics (which group receives a vnode, how many partitions are
-handed over, when groups split) come from the fast simulators of
-:mod:`repro.sim`; the protocol layer adds message costs from the network
-model and the per-snode record-processing cost, then lets the event engine
-resolve queueing.  The outcome (per-creation latency, makespan, message and
-byte counts) feeds the ``ablation_parallelism`` benchmark.
+Two simulators share this substrate:
 
-Simplification: the *identity* of the victim group does not depend on the
-request timing (it is drawn from the balance simulator in arrival order).
-This is the same independence assumption the paper makes when it evaluates
-balance quality separately from protocol concurrency.
+* :class:`CreationProtocolSimulator` — the paper's own scenario, a schedule
+  of vnode *creations*.  The balance dynamics (which group receives a vnode,
+  how many partitions are handed over, when groups split) come from the fast
+  count-level simulators of :mod:`repro.sim`; the protocol layer adds
+  message costs from the network model and the per-snode record-processing
+  cost, then lets the event engine resolve queueing.  The outcome feeds the
+  ``ablation_parallelism`` benchmark.
+* :class:`LifecycleProtocolSimulator` — the **full topology lifecycle**: a
+  churn trace (:mod:`repro.workloads.churn`) of snode joins, graceful
+  leaves, crashes with replica rebuild, enrollment changes and load-aware
+  rebalance passes is first replayed against a *live* DHT to learn what
+  every event actually did (vnodes created/removed, partitions and rows
+  migrated, surviving-replica rows promoted by crash recovery, replica-sync
+  fan-out volume, rebalance plan actions), and the resulting
+  :class:`EventProfile` per event is then priced through the network model
+  and queued under the same two lock structures.  The outcome feeds the
+  ``ablation_lifecycle`` experiment and ``bench_protocol_lifecycle``.
+
+Simplification: the *identity* of the victim group — and, for the lifecycle
+simulator, the effect of every event — does not depend on the request
+timing (events are profiled in trace order).  This is the same independence
+assumption the paper makes when it evaluates balance quality separately
+from protocol concurrency; the discrete-event layer only resolves the
+queueing that timing induces.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Optional, Sequence, Union
+from typing import Dict, List, Literal, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.cluster.messages import Ack, CreateVnodeRequest, PartitionTransfer, RecordSync
+from repro.cluster.messages import (
+    Ack,
+    CrashNotice,
+    CreateVnodeRequest,
+    PartitionTransfer,
+    RebalanceTransfer,
+    RecordSync,
+    RemoveVnodeRequest,
+    ReplicaRebuildTransfer,
+    ReplicaSyncTransfer,
+)
 from repro.cluster.network import NetworkModel
 from repro.cluster.simulator import EventScheduler, FifoResource
 from repro.core.config import DHTConfig
-from repro.core.errors import ProtocolError
+from repro.core.errors import ProtocolError, ReproError
 from repro.sim.global_ import GlobalBalanceSimulator
 from repro.sim.local import CreationRecord, LocalBalanceSimulator
 from repro.utils.rng import RngLike, ensure_rng
 from repro.workloads.arrivals import ArrivalEvent
 
 Approach = Literal["global", "local"]
+
+#: Lock key of the DHT-wide barrier (global approach / whole-DHT events).
+GLOBAL_LOCK = "global"
 
 
 @dataclass(frozen=True)
@@ -54,19 +82,64 @@ class ProtocolCosts:
     #: CPU time to process one record entry during the update/sort of a
     #: GPDR/LPDR replica (section 4.1.2 points out this grows with the table).
     record_entry_processing_s: float = 2e-6
-    #: Application data moved when one partition is handed over.
+    #: Application data moved when one partition is handed over.  Used by the
+    #: creation simulator, whose count-level substrate has no stored rows.
     partition_payload_bytes: float = 64 * 1024
+    #: Wire size of one stored row (key + value + envelope).  Used by the
+    #: lifecycle simulator, which prices transfers by actual row counts.
+    row_payload_bytes: float = 256.0
 
     def __post_init__(self) -> None:
         if self.record_entry_processing_s < 0:
             raise ValueError("record_entry_processing_s must be non-negative")
         if self.partition_payload_bytes < 0:
             raise ValueError("partition_payload_bytes must be non-negative")
+        if self.row_payload_bytes < 0:
+            raise ValueError("row_payload_bytes must be non-negative")
+
+
+@dataclass
+class KindStats:
+    """Latency/volume breakdown of one event kind in a lifecycle simulation."""
+
+    kind: str
+    count: int
+    applied: int
+    mean_latency_s: float
+    p95_latency_s: float
+    max_latency_s: float
+    messages: int
+    bytes: float
+    #: Total in-service (lock-held) seconds spent on events of this kind.
+    service_s: float
+
+    def throughput(self, makespan: float) -> float:
+        """Events of this kind completed per second of simulated time."""
+        return self.count / makespan if makespan > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, Union[str, int, float]]:
+        """JSON-serializable form."""
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "applied": self.applied,
+            "mean_latency_s": self.mean_latency_s,
+            "p95_latency_s": self.p95_latency_s,
+            "max_latency_s": self.max_latency_s,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "service_s": self.service_s,
+        }
 
 
 @dataclass
 class ProtocolStats:
-    """Outcome of a protocol simulation."""
+    """Outcome of a protocol simulation.
+
+    Creation simulations populate only the aggregate fields; lifecycle
+    simulations additionally fill :attr:`per_kind` (one entry per event
+    kind present in the trace) and :attr:`events_skipped`.
+    """
 
     approach: str
     n_snodes: int
@@ -75,10 +148,24 @@ class ProtocolStats:
     total_messages: int
     total_bytes: float
     lock_waits: int
+    #: Per-event-kind breakdown (lifecycle simulations only).
+    per_kind: Dict[str, KindStats] = field(default_factory=dict)
+    #: Events the model could not serve (recorded, priced as a rejected
+    #: request, but applying no topology change).
+    events_skipped: int = 0
+    #: Lock grants actually handed out (must equal the completed lock
+    #: acquisitions — requests still queued at the end of a run are not
+    #: grants).
+    lock_grants: int = 0
 
     @property
     def n_creations(self) -> int:
         """Number of vnode creations simulated."""
+        return len(self.latencies)
+
+    @property
+    def n_events(self) -> int:
+        """Number of control-plane events simulated (alias of ``n_creations``)."""
         return len(self.latencies)
 
     @property
@@ -96,9 +183,9 @@ class ProtocolStats:
         """Completed creations per second of simulated time."""
         return self.n_creations / self.makespan if self.makespan > 0 else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> Dict[str, Union[str, int, float, Dict]]:
         """Summary dict (for reports and benchmarks)."""
-        return {
+        out: Dict[str, Union[str, int, float, Dict]] = {
             "approach": self.approach,
             "n_snodes": self.n_snodes,
             "creations": self.n_creations,
@@ -110,6 +197,10 @@ class ProtocolStats:
             "bytes": self.total_bytes,
             "lock_waits": self.lock_waits,
         }
+        if self.per_kind:
+            out["events_skipped"] = self.events_skipped
+            out["per_kind"] = {kind: ks.as_dict() for kind, ks in self.per_kind.items()}
+        return out
 
 
 class CreationProtocolSimulator:
@@ -174,9 +265,10 @@ class CreationProtocolSimulator:
         events: List[ArrivalEvent] = []
         for index, item in enumerate(arrivals):
             if isinstance(item, ArrivalEvent):
-                if item.kind != "create":
+                if item.kind not in ("create", "remove"):
                     raise ProtocolError(
-                        "the creation-protocol simulator only supports 'create' events"
+                        f"unsupported arrival event kind {item.kind!r} "
+                        f"(expected 'create' or 'remove')"
                     )
                 events.append(item)
             else:
@@ -238,7 +330,23 @@ class CreationProtocolSimulator:
     # ------------------------------------------------------------------ running
 
     def run(self) -> ProtocolStats:
-        """Run the discrete-event simulation and return its statistics."""
+        """Run the discrete-event simulation and return its statistics.
+
+        Schedules that mix creations with ``remove`` events (e.g.
+        :class:`~repro.workloads.arrivals.ChurnSchedule`) are routed to the
+        lifecycle simulator, which replays them against a live DHT — the
+        count-level balance simulators model creations only.  Create-only
+        schedules keep the historical creation-protocol behaviour exactly.
+        """
+        if any(event.kind == "remove" for event in self.events):
+            return LifecycleProtocolSimulator.from_arrivals(
+                self.config,
+                self.n_snodes,
+                self.events,
+                approach=self.approach,  # type: ignore[arg-type]
+                costs=self.costs,
+                rng=self.rng,
+            ).run()
         # Drive the balance simulator in arrival order to learn what each
         # creation does (victim group, transfers, splits).
         if self.approach == "local":
@@ -310,4 +418,673 @@ class CreationProtocolSimulator:
             total_messages=total_messages,
             total_bytes=total_bytes,
             lock_waits=lock_waits,
+            lock_grants=sum(lock.total_grants for lock in locks.values()),
         )
+
+
+# --------------------------------------------------------------------- lifecycle
+
+
+@dataclass
+class EventProfile:
+    """What one control-plane event did, as input to the cost model.
+
+    Produced by :class:`LifecycleProtocolSimulator` replaying a trace
+    against a live DHT; priced by :func:`lifecycle_event_cost`.  All row
+    counts are physical rows actually moved by the live replay (migration
+    and replication statistics deltas), so the protocol costs scale with
+    the data the cluster really holds.
+    """
+
+    #: Event kind: a churn topology kind, ``"create"`` or ``"remove"``.
+    kind: str
+    #: Arrival time of the request (seconds).
+    time: float
+    #: False when the model rejected the event (priced as request + refusal).
+    applied: bool = True
+    #: Local approach only: the request is preceded by a scope-lookup RPC.
+    lookup_rpc: bool = False
+    #: Vnodes created / gracefully removed by the event.
+    vnodes_created: int = 0
+    vnodes_removed: int = 0
+    #: Snodes taking part in the event (all snodes for the global approach,
+    #: the snodes hosting vnodes of the touched groups for the local one).
+    involved_snodes: int = 1
+    #: Record entries synchronized across the involved snodes (GPDR size for
+    #: the global approach, the touched groups' LPDR sizes for the local).
+    record_entries: int = 0
+    #: Partition handovers and primary rows migrated gracefully.
+    partitions_moved: int = 0
+    rows_moved: int = 0
+    #: Crash recovery: rebuild transfers and surviving-replica rows promoted.
+    recovery_transfers: int = 0
+    rows_restored: int = 0
+    #: Replica-sync fan-out: replica ranks written and rows refilled.
+    sync_ranks: int = 0
+    rows_refilled: int = 0
+    #: Load-aware rebalance scope splits executed (each re-broadcasts records).
+    rebalance_splits: int = 0
+    #: FIFO locks the event must hold (sorted; chained in this order).
+    lock_keys: Tuple[object, ...] = ()
+    #: Optional remark from the live replay (skip reason, rebalance summary).
+    note: str = ""
+
+
+def lifecycle_event_cost(
+    costs: ProtocolCosts, profile: EventProfile
+) -> Tuple[float, int, float]:
+    """Service time of one lifecycle event once its locks are held.
+
+    Returns ``(duration_s, n_messages, n_bytes)``.  The model mirrors the
+    creation simulator's: request fan-out with acknowledgements, record
+    update/sort plus synchronization broadcast, then bulk data movement
+    serialized onto the coordinator's link.  Data volumes come from the
+    live replay: graceful migration is priced per partition handover with
+    the rows it actually moved, crash recovery by the surviving-replica
+    rows promoted back to primaries, the replica-sync fan-out by the rows
+    refilled per replica rank, and rebalance passes by the plan's
+    transfers (plus one extra record broadcast per scope split).
+    """
+    net = costs.network
+    peers = max(0, profile.involved_snodes - 1)
+    duration = 0.0
+    messages = 0
+    nbytes = 0.0
+
+    request: object
+    if profile.kind == "snode_crash":
+        request = CrashNotice(src=0, dst=0)
+    elif profile.kind in ("snode_leave", "remove"):
+        request = RemoveVnodeRequest(src=0, dst=0)
+    else:
+        request = CreateVnodeRequest(src=0, dst=0)
+
+    if not profile.applied:
+        # The request reaches the coordinating snode and is refused.
+        duration += net.rpc_time(request.size_bytes())
+        messages += 2
+        nbytes += request.size_bytes() + Ack.BASE_SIZE_BYTES
+        return duration, messages, nbytes
+
+    if profile.lookup_rpc:
+        # Local approach: locate the victim scope first (one RPC).
+        duration += net.rpc_time(request.size_bytes())
+        messages += 2
+        nbytes += request.size_bytes() + Ack.BASE_SIZE_BYTES
+
+    # Request fan-out + acknowledgements.  Crashes broadcast one failure
+    # notice; graceful events broadcast one creation request per vnode they
+    # create and one removal request per vnode they drop (an enrollment
+    # change issues one per touched vnode, of the matching type).
+    if profile.kind == "snode_crash":
+        fan_out = [(request, 1)]
+    else:
+        fan_out = [
+            (CreateVnodeRequest(src=0, dst=0), profile.vnodes_created),
+            (RemoveVnodeRequest(src=0, dst=0), profile.vnodes_removed),
+        ]
+    for message, rounds in fan_out:
+        for _ in range(rounds):
+            duration += net.broadcast_time(message.size_bytes(), peers) + net.latency_s
+            messages += 2 * peers
+            nbytes += peers * (message.size_bytes() + Ack.BASE_SIZE_BYTES)
+
+    # Record update/sort on every involved snode, then the synchronized
+    # record is distributed; each rebalance scope split re-broadcasts it.
+    sync = RecordSync(src=0, dst=0, n_entries=profile.record_entries)
+    duration += costs.record_entry_processing_s * profile.record_entries
+    for _ in range(1 + profile.rebalance_splits):
+        duration += net.broadcast_time(sync.size_bytes(), peers)
+        messages += peers
+        nbytes += peers * sync.size_bytes()
+
+    bandwidth = net.bandwidth_bytes_per_s
+
+    # Graceful data migration: one transfer message per partition handover,
+    # carrying the rows the replay actually moved.
+    if profile.partitions_moved:
+        transfer_cls = RebalanceTransfer if profile.kind == "rebalance" else PartitionTransfer
+        payload = (
+            profile.partitions_moved * transfer_cls.BASE_SIZE_BYTES
+            + profile.rows_moved * costs.row_payload_bytes
+        )
+        duration += profile.partitions_moved * net.latency_s + payload / bandwidth
+        messages += profile.partitions_moved
+        nbytes += payload
+
+    # Crash recovery: surviving-replica rows promoted back to primaries.
+    if profile.rows_restored or profile.recovery_transfers:
+        transfers = max(1, profile.recovery_transfers)
+        payload = (
+            transfers * ReplicaRebuildTransfer.BASE_SIZE_BYTES
+            + profile.rows_restored * costs.row_payload_bytes
+        )
+        duration += transfers * net.latency_s + payload / bandwidth
+        messages += transfers
+        nbytes += payload
+
+    # Replica-sync fan-out: primary rows refilled into the replica ranks.
+    if profile.rows_refilled:
+        ranks = max(1, profile.sync_ranks)
+        payload = (
+            ranks * ReplicaSyncTransfer.BASE_SIZE_BYTES
+            + profile.rows_refilled * costs.row_payload_bytes
+        )
+        duration += net.latency_s + payload / bandwidth
+        messages += ranks
+        nbytes += payload
+
+    return duration, messages, nbytes
+
+
+def staggered_arrival_times(n_events: int, batch_size: int, gap: float) -> List[float]:
+    """Arrival times for a burst-churn workload: batches every ``gap`` seconds.
+
+    The lifecycle analogue of :class:`~repro.workloads.arrivals.StaggeredBatches`:
+    event ``i`` arrives at ``(i // batch_size) * gap`` — concurrent batches
+    of topology events, the scenario where the global approach's DHT-wide
+    barrier hurts most.
+    """
+    if n_events < 0:
+        raise ValueError("n_events must be non-negative")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if gap < 0:
+        raise ValueError("gap must be non-negative")
+    return [(i // batch_size) * gap for i in range(n_events)]
+
+
+class LifecycleProtocolSimulator:
+    """Simulate the control-protocol cost of a full topology-lifecycle trace.
+
+    The simulation runs in two deterministic phases:
+
+    1. **Profiling** — the trace is replayed, in trace order, against a live
+       DHT (built exactly like the churn engine builds it, same seed, same
+       event semantics via
+       :func:`repro.workloads.churn.apply_topology_event`).  ``load`` events
+       populate the stores so data-dependent costs are real; each topology
+       event yields an :class:`EventProfile` capturing what it did — vnodes
+       created/removed, partitions and rows migrated, surviving-replica rows
+       promoted by crash recovery, replica-sync fan-out volume, rebalance
+       plan actions — plus the lock scope it needs (the DHT-wide barrier for
+       the global approach, the touched groups for the local one).
+    2. **Queueing** — each profile is priced by :func:`lifecycle_event_cost`
+       and scheduled on the discrete-event engine at its arrival time.
+       Events chain-acquire their locks in sorted order (deadlock-free) and
+       hold them for the whole service time, so concurrent events targeting
+       disjoint groups overlap under the local approach and serialize under
+       the global one.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`~repro.workloads.churn.ChurnSpec` describing the cluster
+        and the trace (churn mode).  Mutually exclusive with ``config``.
+    trace:
+        Optional explicit churn trace (defaults to
+        :func:`~repro.workloads.churn.make_churn_trace` on ``spec``).
+        ``lookup`` events are ignored (pure data plane); ``load`` events are
+        applied during profiling but not priced.
+    arrival_times:
+        Arrival time of each *topology* event of the trace, non-decreasing
+        and aligned with the trace's topology events (see
+        :func:`staggered_arrival_times`).  Defaults to all zero — one
+        maximally concurrent burst.
+    costs:
+        Network and processing cost parameters.
+    config, n_snodes, arrivals, approach, rng:
+        Arrival-schedule mode (used by
+        :meth:`from_arrivals` and the creation simulator's remove-event
+        routing): replay a create/remove
+        :class:`~repro.workloads.arrivals.ArrivalEvent` schedule against a
+        live DHT with ``n_snodes`` enrolled snodes and no initial vnodes.
+        Mutually exclusive with ``spec``.
+
+    Examples
+    --------
+    >>> from repro.workloads.churn import ChurnSpec
+    >>> spec = ChurnSpec(n_keys=2000, n_events=12, n_snodes=4,
+    ...                  vnodes_per_snode=2, pmin=8, vmin=8, seed=3)
+    >>> stats = LifecycleProtocolSimulator(spec).run()
+    >>> stats.n_events
+    12
+    """
+
+    def __init__(
+        self,
+        spec: Optional["ChurnSpec"] = None,
+        trace: Optional[Sequence["ChurnEvent"]] = None,
+        arrival_times: Optional[Sequence[float]] = None,
+        costs: Optional[ProtocolCosts] = None,
+        *,
+        config: Optional[DHTConfig] = None,
+        n_snodes: Optional[int] = None,
+        arrivals: Optional[Sequence[ArrivalEvent]] = None,
+        approach: Optional[Approach] = None,
+        rng: RngLike = None,
+    ):
+        from repro.workloads.churn import TOPOLOGY_KINDS, make_churn_trace
+
+        if (spec is None) == (config is None):
+            raise ValueError("pass exactly one of 'spec' (churn mode) or 'config'")
+        self.costs = costs if costs is not None else ProtocolCosts()
+        self.spec = spec
+        self._config = config
+        self._rng = ensure_rng(rng)
+        self._profiles: Optional[List[EventProfile]] = None
+
+        if spec is not None:
+            if arrivals is not None:
+                raise ValueError("'arrivals' requires config mode")
+            self.approach: str = spec.approach
+            self.n_snodes = spec.n_snodes
+            self.trace: List[object] = list(
+                trace if trace is not None else make_churn_trace(spec)
+            )
+            n_topology = sum(
+                1 for e in self.trace if getattr(e, "kind", None) in TOPOLOGY_KINDS
+            )
+            if arrival_times is None:
+                self._arrival_times = [0.0] * n_topology
+            else:
+                self._arrival_times = [float(t) for t in arrival_times]
+                if len(self._arrival_times) != n_topology:
+                    raise ValueError(
+                        f"arrival_times has {len(self._arrival_times)} entries but "
+                        f"the trace contains {n_topology} topology events"
+                    )
+                if any(t < 0 for t in self._arrival_times):
+                    raise ValueError("arrival times must be non-negative")
+                if any(
+                    b < a
+                    for a, b in zip(self._arrival_times, self._arrival_times[1:])
+                ):
+                    raise ValueError(
+                        "arrival times must be non-decreasing (events are "
+                        "profiled in trace order)"
+                    )
+            if n_topology == 0:
+                raise ValueError("the trace contains no topology events")
+        else:
+            if trace is not None or arrival_times is not None:
+                raise ValueError("'trace'/'arrival_times' require churn (spec) mode")
+            if n_snodes is None or n_snodes < 1:
+                raise ValueError("config mode requires n_snodes >= 1")
+            if approach not in ("global", "local"):
+                raise ValueError(
+                    f"approach must be 'global' or 'local', got {approach!r}"
+                )
+            events = sorted(arrivals or [], key=lambda e: e.time)
+            if not events:
+                raise ValueError("the arrival schedule is empty")
+            self.approach = approach
+            self.n_snodes = n_snodes
+            self.trace = list(events)
+            self._arrival_times = [float(e.time) for e in events]
+
+    @classmethod
+    def from_arrivals(
+        cls,
+        config: DHTConfig,
+        n_snodes: int,
+        arrivals: Sequence[ArrivalEvent],
+        approach: Approach = "local",
+        costs: Optional[ProtocolCosts] = None,
+        rng: RngLike = None,
+    ) -> "LifecycleProtocolSimulator":
+        """Lifecycle simulator for a create/remove arrival schedule.
+
+        This is the routing target for
+        :class:`CreationProtocolSimulator` schedules that contain
+        ``remove`` events (e.g.
+        :class:`~repro.workloads.arrivals.ChurnSchedule`): the count-level
+        balance simulators cannot model removals, so the schedule is
+        replayed against a live DHT instead.
+        """
+        return cls(
+            costs=costs,
+            config=config,
+            n_snodes=n_snodes,
+            arrivals=arrivals,
+            approach=approach,
+            rng=rng,
+        )
+
+    # ----------------------------------------------------------------- profiling
+
+    def _build_dht(self):
+        from repro.core.global_model import GlobalDHT
+        from repro.core.local_model import LocalDHT
+        from repro.workloads.driver import build_cluster
+
+        if self.spec is not None:
+            spec = self.spec
+            return build_cluster(
+                spec.approach,
+                spec.n_snodes,
+                spec.vnodes_per_snode,
+                pmin=spec.pmin,
+                vmin=spec.vmin,
+                replication_factor=spec.replication_factor,
+                seed=spec.seed,
+            )
+        if self.approach == "local":
+            dht = LocalDHT(self._config, rng=self._rng)
+        else:
+            dht = GlobalDHT(self._config, rng=self._rng)
+        dht.add_snodes(self.n_snodes)
+        return dht
+
+    def _make_keys(self):
+        from repro.workloads.keys import id_keys, uniform_keys
+
+        spec = self.spec
+        if spec is None:
+            return None
+        if spec.workload == "ids":
+            return id_keys(spec.n_keys, rng=spec.seed)
+        return uniform_keys(spec.n_keys, rng=spec.seed)
+
+    @staticmethod
+    def _snapshot(dht) -> Dict[object, Tuple[object, int]]:
+        """Per-vnode ``(group id, partition count)`` map of the live DHT."""
+        return {
+            ref: (vnode.group_id, vnode.partition_count)
+            for ref, vnode in dht.vnodes.items()
+        }
+
+    def profiles(self) -> List[EventProfile]:
+        """The per-event profiles (replaying the trace on first call)."""
+        if self._profiles is None:
+            self._profiles = self._profile_trace()
+        return self._profiles
+
+    def _profile_trace(self) -> List[EventProfile]:
+        from repro.workloads.churn import (
+            TOPOLOGY_KINDS,
+            TopologyOutcome,
+            apply_topology_event,
+        )
+
+        dht = self._build_dht()
+        keys = self._make_keys()
+        profiles: List[EventProfile] = []
+        topology_index = 0
+        for event in self.trace:
+            kind = getattr(event, "kind")
+            if kind == "lookup":
+                continue  # pure data plane: no control-protocol cost
+            if kind == "load":
+                if keys is not None and event.hi > event.lo:
+                    dht.bulk_load(keys[event.lo : event.hi])
+                continue
+            if kind in TOPOLOGY_KINDS:
+                time = self._arrival_times[topology_index]
+                topology_index += 1
+                target = event.snode
+
+                def apply(event=event):
+                    return apply_topology_event(dht, event)
+
+            elif kind in ("create", "remove"):
+                time = float(event.time)
+                target = event.snode
+
+                def apply(event=event):
+                    self._apply_arrival(dht, event)
+                    return TopologyOutcome()
+
+            else:  # pragma: no cover - defensive
+                raise ProtocolError(f"unknown lifecycle event kind {kind!r}")
+            profiles.append(self._profile_one(dht, kind, time, target, apply))
+        return profiles
+
+    @staticmethod
+    def _apply_arrival(dht, event: ArrivalEvent) -> None:
+        """Apply one create/remove arrival to the live DHT."""
+        ids = sorted(dht.snodes)
+        node = dht.snodes[ids[event.snode % len(ids)]]
+        if event.kind == "create":
+            dht.create_vnode(node)
+            return
+        candidates = list(node.vnodes) or list(dht.vnodes)
+        if not candidates:
+            raise ReproError("no vnode left to remove")
+        newest = max(candidates, key=lambda r: (r.vnode_index, r.snode))
+        dht.remove_vnode(newest)
+
+    def _profile_one(self, dht, kind, time, target_snode, apply) -> EventProfile:
+        from repro.core.ids import SnodeId
+
+        before = self._snapshot(dht)
+        snodes_before = len(dht.snodes)
+        stats = dht.storage.stats
+        replication = dht.storage.replication
+        rows0, partitions0 = stats.items_moved, stats.partitions_moved
+        restored0, refilled0 = replication.rows_restored, replication.rows_refilled
+
+        applied = True
+        note = ""
+        outcome = None
+        try:
+            outcome = apply()
+        except ReproError as exc:
+            applied = False
+            note = str(exc)
+        if outcome is not None and outcome.note:
+            note = outcome.note
+
+        after = self._snapshot(dht)
+        added = [ref for ref in after if ref not in before]
+        removed = [ref for ref in before if ref not in after]
+        changed = added + removed + [
+            ref
+            for ref, state in after.items()
+            if ref in before and before[ref] != state
+        ]
+        touched_groups = {
+            gid
+            for ref in changed
+            for gid, _ in (before.get(ref, (None, 0)), after.get(ref, (None, 0)))
+            if gid is not None
+        }
+
+        if self.approach == "global":
+            involved = max(snodes_before, len(dht.snodes))
+            record_entries = len(after) if changed else 0
+            lock_keys: Tuple[object, ...] = (GLOBAL_LOCK,)
+        else:
+            hosts = {
+                ref.snode
+                for snap in (before, after)
+                for ref, (gid, _) in snap.items()
+                if gid in touched_groups
+            }
+            if target_snode is not None and target_snode >= 0:
+                hosts.add(SnodeId(target_snode))
+            involved = max(1, len(hosts))
+            record_entries = len(
+                {
+                    ref
+                    for snap in (before, after)
+                    for ref, (gid, _) in snap.items()
+                    if gid in touched_groups
+                }
+            )
+            lock_keys = tuple(
+                sorted(("group", gid.depth, gid.value) for gid in touched_groups)
+            )
+
+        recovery_transfers = 0
+        sync_ranks = dht.config.replication_factor - 1
+        if outcome is not None and outcome.crash is not None:
+            crash = outcome.crash
+            if crash.recovery is not None:
+                recovery_transfers = crash.recovery.ranges_restored
+        rebalance_splits = 0
+        if outcome is not None and outcome.rebalance is not None:
+            rebalance_splits = outcome.rebalance.splits
+
+        return EventProfile(
+            kind=kind,
+            time=time,
+            applied=applied,
+            lookup_rpc=(self.approach == "local" and len(added) > 0),
+            vnodes_created=len(added),
+            vnodes_removed=len(removed),
+            involved_snodes=involved,
+            record_entries=record_entries,
+            partitions_moved=stats.partitions_moved - partitions0,
+            rows_moved=stats.items_moved - rows0,
+            recovery_transfers=recovery_transfers,
+            rows_restored=replication.rows_restored - restored0,
+            sync_ranks=sync_ranks,
+            rows_refilled=replication.rows_refilled - refilled0,
+            rebalance_splits=rebalance_splits,
+            lock_keys=lock_keys,
+            note=note,
+        )
+
+    # ------------------------------------------------------------------ running
+
+    def run(self) -> ProtocolStats:
+        """Run the discrete-event simulation and return its statistics."""
+        profiles = self.profiles()
+        scheduler = EventScheduler()
+        locks: Dict[object, FifoResource] = {}
+        n = len(profiles)
+        latencies = np.zeros(n, dtype=np.float64)
+        completion = np.zeros(n, dtype=np.float64)
+        durations = np.zeros(n, dtype=np.float64)
+        event_messages = np.zeros(n, dtype=np.int64)
+        event_bytes = np.zeros(n, dtype=np.float64)
+
+        def get_lock(key: object) -> FifoResource:
+            if key not in locks:
+                locks[key] = FifoResource(scheduler, name=str(key))
+            return locks[key]
+
+        for index, profile in enumerate(profiles):
+            duration, messages, nbytes = lifecycle_event_cost(self.costs, profile)
+            durations[index] = duration
+            event_messages[index] = messages
+            event_bytes[index] = nbytes
+
+            def make_handlers(i: int, dur: float, keys: Tuple[object, ...]):
+                def on_complete() -> None:
+                    completion[i] = scheduler.now
+                    latencies[i] = scheduler.now - profiles[i].time
+                    for key in reversed(keys):
+                        get_lock(key).release()
+
+                def acquire_from(j: int) -> None:
+                    if j >= len(keys):
+                        scheduler.schedule_after(dur, on_complete)
+                    else:
+                        get_lock(keys[j]).acquire(lambda: acquire_from(j + 1))
+
+                def on_arrival() -> None:
+                    acquire_from(0)
+
+                return on_arrival
+
+            scheduler.schedule_at(profile.time, make_handlers(index, duration, profile.lock_keys))
+
+        scheduler.run()
+        first_arrival = min(p.time for p in profiles)
+        makespan = float(completion.max() - first_arrival) if n else 0.0
+
+        per_kind: Dict[str, KindStats] = {}
+        for kind in dict.fromkeys(p.kind for p in profiles):
+            mask = np.asarray([p.kind == kind for p in profiles], dtype=bool)
+            kind_latencies = latencies[mask]
+            per_kind[kind] = KindStats(
+                kind=kind,
+                count=int(mask.sum()),
+                applied=sum(1 for p in profiles if p.kind == kind and p.applied),
+                mean_latency_s=float(kind_latencies.mean()),
+                p95_latency_s=float(np.percentile(kind_latencies, 95)),
+                max_latency_s=float(kind_latencies.max()),
+                messages=int(event_messages[mask].sum()),
+                bytes=float(event_bytes[mask].sum()),
+                service_s=float(durations[mask].sum()),
+            )
+
+        return ProtocolStats(
+            approach=self.approach,
+            n_snodes=self.n_snodes,
+            latencies=latencies,
+            makespan=makespan,
+            total_messages=int(event_messages.sum()),
+            total_bytes=float(event_bytes.sum()),
+            lock_waits=sum(lock.total_waits for lock in locks.values()),
+            per_kind=per_kind,
+            events_skipped=sum(1 for p in profiles if not p.applied),
+            lock_grants=sum(lock.total_grants for lock in locks.values()),
+        )
+
+
+@dataclass
+class LifecycleComparison:
+    """One churn trace replayed under several lock structures."""
+
+    #: The exact trace every approach replayed (same object, same order).
+    trace: List[object]
+    #: Arrival time of each topology event (shared by every approach).
+    arrival_times: List[float]
+    #: ``{approach: stats}`` for each simulated approach.
+    results: Dict[str, ProtocolStats]
+
+    @property
+    def n_topology_events(self) -> int:
+        """Topology events simulated per approach."""
+        return len(self.arrival_times)
+
+    @property
+    def makespan_speedup(self) -> float:
+        """How much faster local finishes than global (requires both runs)."""
+        return self.results["global"].makespan / self.results["local"].makespan
+
+
+def compare_lifecycle_protocols(
+    spec: "ChurnSpec",
+    trace: Optional[Sequence["ChurnEvent"]] = None,
+    batch_size: int = 1,
+    gap: float = 0.0,
+    arrival_times: Optional[Sequence[float]] = None,
+    costs: Optional[ProtocolCosts] = None,
+    approaches: Sequence[str] = ("local", "global"),
+) -> LifecycleComparison:
+    """Replay one churn trace under several lock structures, apples to apples.
+
+    The shared orchestration behind ``repro protocol-bench``, the
+    ``ablation_lifecycle`` experiment and ``bench_protocol_lifecycle``:
+    build the trace from ``spec`` (unless given), assign the topology
+    events to concurrent arrival batches
+    (:func:`staggered_arrival_times` with ``batch_size``/``gap``, unless
+    explicit ``arrival_times`` are given), and run one
+    :class:`LifecycleProtocolSimulator` per requested approach on the
+    *same* trace and times — only the lock structure (and the live DHT
+    model it prices) differs between the runs.
+    """
+    import dataclasses
+
+    from repro.workloads.churn import TOPOLOGY_KINDS, make_churn_trace
+
+    events = list(trace) if trace is not None else make_churn_trace(spec)
+    n_topology = sum(1 for e in events if getattr(e, "kind", None) in TOPOLOGY_KINDS)
+    if arrival_times is None:
+        times = staggered_arrival_times(n_topology, batch_size=batch_size, gap=gap)
+    else:
+        times = [float(t) for t in arrival_times]
+    results = {
+        approach: LifecycleProtocolSimulator(
+            dataclasses.replace(spec, approach=approach),
+            trace=events,
+            arrival_times=times,
+            costs=costs,
+        ).run()
+        for approach in approaches
+    }
+    return LifecycleComparison(trace=events, arrival_times=times, results=results)

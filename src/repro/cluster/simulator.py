@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Deque, List, Optional
 
 from repro.core.errors import ProtocolError
 
@@ -88,7 +88,10 @@ class FifoResource:
         self.scheduler = scheduler
         self.name = name
         self._busy = False
-        self._waiters: List[Callable[[], None]] = []
+        # A deque: release() hands over with popleft(), which is O(1).  A
+        # plain list's pop(0) is O(n) per release — quadratic drain under the
+        # global lock once thousands of requests queue behind it.
+        self._waiters: Deque[Callable[[], None]] = deque()
         self.total_waits = 0
         self.total_grants = 0
 
@@ -104,9 +107,9 @@ class FifoResource:
 
     def acquire(self, on_grant: Callable[[], None]) -> None:
         """Request the resource; ``on_grant`` runs (via the scheduler) when granted."""
-        self.total_grants += 1
         if not self._busy:
             self._busy = True
+            self.total_grants += 1
             self.scheduler.schedule_after(0.0, on_grant)
         else:
             self.total_waits += 1
@@ -117,7 +120,10 @@ class FifoResource:
         if not self._busy:
             raise ProtocolError(f"resource {self.name!r} released while not held")
         if self._waiters:
-            next_grant = self._waiters.pop(0)
+            # Counted here, not at request time: a request still queued when
+            # the simulation ends was never granted the resource.
+            self.total_grants += 1
+            next_grant = self._waiters.popleft()
             self.scheduler.schedule_after(0.0, next_grant)
         else:
             self._busy = False

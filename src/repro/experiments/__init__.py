@@ -29,6 +29,7 @@ from repro.experiments.figures import (
 from repro.experiments.ablations import (
     run_ablation_grid,
     run_ablation_heterogeneous,
+    run_ablation_lifecycle,
     run_ablation_parallelism,
 )
 from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments, run_experiment
@@ -60,6 +61,7 @@ __all__ = [
     "run_claim_8192",
     "run_ablation_grid",
     "run_ablation_parallelism",
+    "run_ablation_lifecycle",
     "run_ablation_heterogeneous",
     "EXPERIMENTS",
     "get_experiment",

@@ -1,11 +1,17 @@
 """Ablation experiments (library additions, clearly separated from the paper's figures).
 
-Three ablations substantiate claims the paper makes only in prose, or probe
+Four ablations substantiate claims the paper makes only in prose, or probe
 design choices its evaluation does not isolate:
 
 * ``ablation_parallelism`` — the serialization of the global approach vs the
   per-group concurrency of the local approach, measured as makespan and mean
   creation latency on the cluster protocol simulator (sections 1/3/6).
+* ``ablation_lifecycle`` — the same parallelism question for the **full
+  topology lifecycle**: a churn trace of joins, graceful leaves, crashes
+  with replica rebuild, enrollment changes and load-aware rebalance passes
+  replayed through the lifecycle protocol simulator
+  (:class:`repro.cluster.protocol.LifecycleProtocolSimulator`) under both
+  lock structures, across cluster sizes.
 * ``ablation_grid`` — the full (Pmin, Vmin) grid behind the statement that
   "increasing Pmin beyond the same value of Vmin decreases sigma by a very
   marginal amount" (section 4.1), which justifies figure 4 showing only the
@@ -21,7 +27,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.cluster.protocol import CreationProtocolSimulator, ProtocolCosts
+from repro.cluster.protocol import (
+    CreationProtocolSimulator,
+    ProtocolCosts,
+    compare_lifecycle_protocols,
+)
 from repro.core.config import DHTConfig
 from repro.experiments.base import ExperimentResult, Series
 from repro.experiments.runner import average_local_runs, default_runs
@@ -90,6 +100,85 @@ def run_ablation_parallelism(
         notes=(
             "The local approach's advantage grows with the cluster size because "
             "its locks cover only one group instead of the whole DHT."
+        ),
+        x_label="number of snodes",
+        y_label="seconds",
+    )
+
+
+def run_ablation_lifecycle(
+    n_snodes_values: Sequence[int] = (8, 12, 16, 20),
+    events_per_snode: int = 2,
+    n_keys: int = 3000,
+    batch_size: int = 8,
+    gap: float = 0.02,
+    pmin: int = 8,
+    vmin: int = 4,
+    replication_factor: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Makespan of concurrent full-lifecycle churn: global vs local protocol.
+
+    The lifecycle analogue of :func:`run_ablation_parallelism`: instead of a
+    creation-only burst, the workload is a churn trace mixing all five
+    topology event kinds (joins, graceful leaves, crashes with replica
+    rebuild, enrollment changes, load-aware rebalance passes), profiled on
+    a live replicated DHT and queued in concurrent arrival batches.  The
+    global approach synchronizes the GPDR across every snode per event and
+    serializes behind the DHT-wide barrier; the local approach locks only
+    the touched groups.
+    """
+    from repro.workloads.churn import ChurnSpec
+
+    makespans: Dict[str, List[float]] = {"global": [], "local": []}
+    latencies: Dict[str, List[float]] = {"global": [], "local": []}
+    for n_snodes in n_snodes_values:
+        spec = ChurnSpec(
+            name=f"lifecycle-{n_snodes}",
+            n_keys=n_keys,
+            n_events=n_snodes * events_per_snode,
+            approach="local",
+            n_snodes=n_snodes,
+            vnodes_per_snode=4,
+            min_snodes=max(2, n_snodes // 2),
+            max_snodes=2 * n_snodes,
+            pmin=pmin,
+            vmin=vmin,
+            replication_factor=replication_factor,
+            crash_weight=0.25,
+            rebalance_weight=0.15,
+            seed=derive_seed(seed, "lifecycle", n_snodes),
+        )
+        comparison = compare_lifecycle_protocols(spec, batch_size=batch_size, gap=gap)
+        for approach, stats in comparison.results.items():
+            makespans[approach].append(stats.makespan)
+            latencies[approach].append(stats.mean_latency)
+    x = np.asarray(n_snodes_values, dtype=np.float64)
+    return ExperimentResult(
+        experiment_id="ablation_lifecycle",
+        title="Concurrent churn makespan: global vs local protocol",
+        paper_reference="Sections 1, 3, 6 (parallelism claim, extended to the full lifecycle)",
+        series=[
+            Series("global makespan (s)", x, np.asarray(makespans["global"])),
+            Series("local makespan (s)", x, np.asarray(makespans["local"])),
+            Series("global mean latency (s)", x, np.asarray(latencies["global"])),
+            Series("local mean latency (s)", x, np.asarray(latencies["local"])),
+        ],
+        params={
+            "n_snodes_values": list(n_snodes_values),
+            "events_per_snode": events_per_snode,
+            "n_keys": n_keys,
+            "batch_size": batch_size,
+            "gap": gap,
+            "pmin": pmin,
+            "vmin": vmin,
+            "replication_factor": replication_factor,
+            "seed": seed,
+        },
+        notes=(
+            "Every event kind of the live DHT (join/leave/crash/enrollment/"
+            "rebalance) has a simulated control-plane cost; the local "
+            "approach overlaps events that touch disjoint groups."
         ),
         x_label="number of snodes",
         y_label="seconds",

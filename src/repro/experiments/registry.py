@@ -12,6 +12,7 @@ from typing import Callable, Dict, List
 from repro.experiments.ablations import (
     run_ablation_grid,
     run_ablation_heterogeneous,
+    run_ablation_lifecycle,
     run_ablation_parallelism,
 )
 from repro.experiments.base import ExperimentResult
@@ -39,6 +40,7 @@ EXPERIMENTS: Dict[str, ExperimentFn] = {
     "claim_doubling": run_claim_doubling,
     "claim_8192": run_claim_8192,
     "ablation_parallelism": run_ablation_parallelism,
+    "ablation_lifecycle": run_ablation_lifecycle,
     "ablation_grid": run_ablation_grid,
     "ablation_heterogeneous": run_ablation_heterogeneous,
 }

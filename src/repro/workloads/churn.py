@@ -55,6 +55,8 @@ import numpy as np
 
 from repro.core.base import BaseDHT
 from repro.core.errors import ReproError
+from repro.core.rebalance import LoadRebalanceReport
+from repro.core.replication import CrashReport
 from repro.metrics.balance import item_load_stats
 from repro.core.ids import SnodeId
 from repro.workloads.driver import APPROACHES, build_cluster
@@ -257,6 +259,71 @@ def make_churn_trace(spec: ChurnSpec) -> List[ChurnEvent]:
         taken = upto
     trace.extend(topology[taken:])
     return trace
+
+
+@dataclass
+class TopologyOutcome:
+    """What applying one topology event to a live DHT reported.
+
+    ``note`` is the human-readable remark for churn outcome rows; the crash
+    and rebalance reports are kept so cost models (the control-plane
+    protocol simulation of :mod:`repro.cluster.protocol`) can price the
+    event from what it actually did.
+    """
+
+    note: str = ""
+    crash: Optional[CrashReport] = None
+    rebalance: Optional[LoadRebalanceReport] = None
+
+
+def apply_topology_event(
+    dht: BaseDHT,
+    event: ChurnEvent,
+    rebalance_tolerance: float = 1.25,
+    rebalance_max_splits: int = 2,
+) -> TopologyOutcome:
+    """Apply one topology event to a live DHT and report what it did.
+
+    Shared by :class:`ChurnEngine` and the lifecycle protocol simulator
+    (:class:`repro.cluster.protocol.LifecycleProtocolSimulator`), so both
+    replay a trace with identical semantics.  Rebalance events run a
+    maintenance pass, not a full shatter: under churn the next join/leave
+    reshuffles load anyway, so the scope splits are capped (each doubles a
+    whole scope's partition count and taxes every later topology event) and
+    the tolerance is looser than a standalone rebalance.
+
+    Raises :class:`~repro.core.errors.ReproError` for events the model
+    cannot serve (callers record those as *skipped*).
+    """
+    if event.kind == "snode_join":
+        snode = dht.add_snode()
+        if snode.id.value != event.snode:  # pragma: no cover - defensive
+            raise AssertionError(
+                f"trace expected join of snode {event.snode}, DHT allocated {snode.id}"
+            )
+        dht.set_enrollment(snode, event.vnodes)
+        return TopologyOutcome()
+    if event.kind == "snode_leave":
+        dht.remove_snode(SnodeId(event.snode))
+        return TopologyOutcome()
+    if event.kind == "enrollment_change":
+        dht.set_enrollment(SnodeId(event.snode), event.vnodes)
+        return TopologyOutcome()
+    if event.kind == "snode_crash":
+        report = dht.crash_snode(SnodeId(event.snode))
+        note = ""
+        if report.vnodes_stuck:
+            note = (
+                f"vnodes {', '.join(report.vnodes_stuck)} could not leave the "
+                f"topology; wiped, kept enrolled and recovered in place"
+            )
+        return TopologyOutcome(note=note, crash=report)
+    if event.kind == "rebalance":
+        report = dht.rebalance_load(
+            tolerance=rebalance_tolerance, max_splits=rebalance_max_splits
+        )
+        return TopologyOutcome(note=report.summary(), rebalance=report)
+    raise ValueError(f"unknown topology event kind {event.kind!r}")
 
 
 @dataclass
@@ -646,33 +713,7 @@ class ChurnEngine:
         Returns an optional note for the outcome row (crashes report vnodes
         the model refused to drop; those stay enrolled with recovered data).
         """
-        if event.kind == "snode_join":
-            snode = dht.add_snode()
-            if snode.id.value != event.snode:  # pragma: no cover - defensive
-                raise AssertionError(
-                    f"trace expected join of snode {event.snode}, DHT allocated {snode.id}"
-                )
-            dht.set_enrollment(snode, event.vnodes)
-        elif event.kind == "snode_leave":
-            dht.remove_snode(SnodeId(event.snode))
-        elif event.kind == "enrollment_change":
-            dht.set_enrollment(SnodeId(event.snode), event.vnodes)
-        elif event.kind == "snode_crash":
-            report = dht.crash_snode(SnodeId(event.snode))
-            if report.vnodes_stuck:
-                return (
-                    f"vnodes {', '.join(report.vnodes_stuck)} could not leave the "
-                    f"topology; wiped, kept enrolled and recovered in place"
-                )
-        elif event.kind == "rebalance":
-            # A maintenance pass, not a full shatter: under churn the next
-            # join/leave reshuffles load anyway, so cap the scope splits (each
-            # doubles a whole scope's partition count and taxes every later
-            # topology event) and accept a looser tolerance.
-            return dht.rebalance_load(tolerance=1.25, max_splits=2).summary()
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown topology event kind {event.kind!r}")
-        return None
+        return apply_topology_event(dht, event).note or None
 
 
 def run_churn(spec: ChurnSpec) -> ChurnReport:

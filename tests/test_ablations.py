@@ -8,6 +8,7 @@ import pytest
 from repro.experiments import (
     run_ablation_grid,
     run_ablation_heterogeneous,
+    run_ablation_lifecycle,
     run_ablation_parallelism,
 )
 
@@ -56,3 +57,20 @@ class TestHeterogeneousAblation:
         assert 0.0 <= local < 100.0
         assert 0.0 <= ch < 100.0
         assert result.params["total_vnodes"] >= 12
+
+
+class TestAblationLifecycle:
+    def test_small_lifecycle_ablation(self):
+        result = run_ablation_lifecycle(
+            n_snodes_values=(6, 8), events_per_snode=2, n_keys=1200
+        )
+        assert result.experiment_id == "ablation_lifecycle"
+        for label in (
+            "global makespan (s)",
+            "local makespan (s)",
+            "global mean latency (s)",
+            "local mean latency (s)",
+        ):
+            series = result.get(label)
+            assert len(series.y) == 2
+            assert (series.y > 0).all()

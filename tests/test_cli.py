@@ -162,3 +162,39 @@ class TestParser:
         args = build_parser().parse_args(["demo"])
         assert args.approach == "local"
         assert args.vnodes == 32
+
+
+class TestProtocolBench:
+    def test_protocol_bench_both_approaches(self, capsys, tmp_path):
+        path = tmp_path / "protocol.json"
+        assert main(
+            ["protocol-bench", "--keys", "1500", "--events", "12", "--snodes", "6",
+             "--batch-size", "4", "--seed", "2", "--output", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "local finishes the churn burst" in out
+        assert "snode_join" in out
+        payload = json.loads(path.read_text())
+        assert set(payload["results"]) == {"local", "global"}
+        assert payload["makespan_speedup_local_over_global"] > 0
+        for stats in payload["results"].values():
+            assert stats["per_kind"]
+            assert stats["makespan_s"] > 0
+
+    def test_protocol_bench_single_approach(self, capsys):
+        assert main(
+            ["protocol-bench", "--keys", "1000", "--events", "8", "--snodes", "5",
+             "--approach", "global", "--replication", "1", "--crash-rate", "0",
+             "--rebalance-rate", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "global" in out
+        assert "faster than global" not in out
+
+    def test_protocol_bench_rejects_bad_rates(self, capsys):
+        assert main(["protocol-bench", "--crash-rate", "1.5"]) == 2
+        assert "protocol-bench" in capsys.readouterr().err
+        assert main(["protocol-bench", "--batch-size", "0"]) == 2
+        assert main(["protocol-bench", "--gap", "-1"]) == 2
+        assert main(["protocol-bench", "--crash-rate", "0.7",
+                     "--rebalance-rate", "0.5"]) == 2

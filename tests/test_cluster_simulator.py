@@ -117,3 +117,104 @@ class TestFifoResource:
         scheduler.run()
         assert done["a"] == pytest.approx(1.0)
         assert done["b"] == pytest.approx(1.0)
+
+
+class TestFifoRegressions:
+    def test_large_queue_drains_in_fifo_order(self):
+        # Regression: _waiters used list.pop(0) — O(n) per release, quadratic
+        # under the global lock.  A 10k-waiter queue must drain quickly and
+        # grant in exact arrival order.
+        scheduler = EventScheduler()
+        resource = FifoResource(scheduler, "global")
+        n = 10_000
+        grants = []
+
+        def holder(tag):
+            def on_grant():
+                grants.append(tag)
+                scheduler.schedule_after(0.001, resource.release)
+
+            return on_grant
+
+        for i in range(n):
+            scheduler.schedule_at(i * 1e-6, lambda i=i: resource.acquire(holder(i)))
+        scheduler.run()
+        assert grants == list(range(n))
+        assert resource.total_waits == n - 1
+        assert resource.total_grants == n
+        assert not resource.busy
+
+    def test_grants_counted_at_grant_time_not_request_time(self):
+        # Regression: total_grants was incremented in acquire(), so requests
+        # still waiting when the simulation ended were counted as grants.
+        scheduler = EventScheduler()
+        resource = FifoResource(scheduler, "lock")
+        completed = []
+
+        def job(tag, hold):
+            def on_grant():
+                completed.append(tag)
+                scheduler.schedule_after(hold, resource.release)
+
+            return on_grant
+
+        scheduler.schedule_at(0.0, lambda: resource.acquire(job("a", 10.0)))
+        scheduler.schedule_at(0.1, lambda: resource.acquire(job("b", 1.0)))
+        scheduler.schedule_at(0.2, lambda: resource.acquire(job("c", 1.0)))
+        # Stop while "b" and "c" are still queued behind "a".
+        scheduler.run(until=5.0)
+        assert completed == ["a"]
+        assert resource.total_grants == 1
+        assert resource.queue_length == 2
+        # Resuming drains the queue and the count converges to completions.
+        scheduler.run()
+        assert completed == ["a", "b", "c"]
+        assert resource.total_grants == 3
+
+
+class TestDeterminismAndResumability:
+    def _drive(self, scheduler, resource, n, log):
+        def holder(tag):
+            def on_grant():
+                log.append((tag, scheduler.now))
+                scheduler.schedule_after(0.5 + (tag % 3) * 0.25, resource.release)
+
+            return on_grant
+
+        for i in range(n):
+            scheduler.schedule_at((i % 5) * 0.1, lambda i=i: resource.acquire(holder(i)))
+
+    def test_same_program_is_bit_identical(self):
+        logs = []
+        for _ in range(2):
+            scheduler = EventScheduler()
+            resource = FifoResource(scheduler, "lock")
+            log = []
+            self._drive(scheduler, resource, 50, log)
+            end = scheduler.run()
+            logs.append((tuple(log), end, resource.total_grants, resource.total_waits))
+        assert logs[0] == logs[1]
+
+    def test_run_until_resume_matches_single_run(self):
+        # Stopping mid-simulation and resuming must reach the same final
+        # state as one uninterrupted run.
+        single_scheduler = EventScheduler()
+        single_resource = FifoResource(single_scheduler, "lock")
+        single_log = []
+        self._drive(single_scheduler, single_resource, 50, single_log)
+        single_end = single_scheduler.run()
+
+        chunked_scheduler = EventScheduler()
+        chunked_resource = FifoResource(chunked_scheduler, "lock")
+        chunked_log = []
+        self._drive(chunked_scheduler, chunked_resource, 50, chunked_log)
+        for until in (0.05, 0.3, 1.7, 9.4):
+            chunked_scheduler.run(until=until)
+            assert chunked_scheduler.now == until
+        chunked_end = chunked_scheduler.run()
+
+        assert chunked_log == single_log
+        assert chunked_end == single_end
+        assert chunked_scheduler.processed == single_scheduler.processed
+        assert chunked_resource.total_grants == single_resource.total_grants
+        assert chunked_resource.total_waits == single_resource.total_waits
