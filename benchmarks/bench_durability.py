@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Durable-tier cost: write amplification and restart-recovery throughput.
+
+Two measurements on identical clusters (``replication_factor=1`` — the
+disk is the only copy, the tier's headline guarantee):
+
+* **write amplification** — bulk-loading the same key population into a
+  RAM-only DHT and a durable one (WAL + checkpointed segments in a
+  temporary directory).  The batch path appends one WAL record per
+  columnar batch, not per row, so the durable load should cost a small
+  constant factor, not a per-row penalty; ``--max-write-amplification``
+  gates the wall-time ratio.
+
+* **restart-recovery throughput** — kill -9 the snode holding the most
+  rows (memory lost, disk kept) and time the restart pass that replays its
+  WAL/segment files back into the store.  The run fails if any
+  acknowledged write is lost; ``--min-recovery-rate`` gates the replayed
+  rows per second.
+
+All on-disk state lives in a ``tempfile.TemporaryDirectory`` (or the
+``durable_data_dir`` pytest fixture), never in the repository tree.
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py --keys 500000
+    PYTHONPATH=src python benchmarks/bench_durability.py --keys 200000 \
+        --max-write-amplification 3.0 --min-recovery-rate 50000 \
+        --output BENCH_durability.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+
+from repro.core.base import BaseDHT
+from repro.report import format_table
+from repro.workloads.driver import build_cluster
+from repro.workloads.keys import id_keys
+
+
+def build_and_load(args: argparse.Namespace, data_dir=None) -> tuple:
+    """One freshly built cluster plus its bulk-load wall time."""
+    dht = build_cluster(
+        "local",
+        args.snodes,
+        args.vnodes_per_snode,
+        pmin=args.pmin,
+        vmin=args.vmin,
+        replication_factor=1,
+        seed=args.seed,
+        data_dir=data_dir,
+    )
+    keys = id_keys(args.keys, rng=args.seed)
+    t0 = time.perf_counter()
+    dht.bulk_load(keys)
+    seconds = time.perf_counter() - t0
+    return dht, seconds
+
+
+def restart_one_snode(dht: BaseDHT) -> dict:
+    """Kill -9 and restart the snode holding the most rows; return numbers."""
+    victim = max(
+        dht.snodes.values(),
+        key=lambda s: sum(dht.storage.fast_item_count(ref) for ref in s.vnodes),
+    )
+    rows_at_victim = sum(dht.storage.fast_item_count(ref) for ref in victim.vnodes)
+    t0 = time.perf_counter()
+    report = dht.restart_snode(victim.id)
+    seconds = time.perf_counter() - t0
+    recovery = report.recovery
+    rows_replayed = recovery.rows_replayed if recovery else 0
+    return {
+        "restarted_snode": report.snode,
+        "rows_at_victim": rows_at_victim,
+        "rows_lost_in_memory": report.rows_lost_in_memory,
+        "disk_replays": recovery.disk_replays if recovery else 0,
+        "rows_replayed": rows_replayed,
+        "wal_records_replayed": recovery.wal_records_replayed if recovery else 0,
+        "recovery_seconds": seconds,
+        "recovery_rows_per_second": rows_replayed / seconds if seconds > 0 else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keys", type=int, default=500_000, help="keys to bulk-load")
+    parser.add_argument("--snodes", type=int, default=8, help="snodes to enroll")
+    parser.add_argument("--vnodes-per-snode", type=int, default=4)
+    parser.add_argument("--pmin", type=int, default=8)
+    parser.add_argument("--vmin", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-write-amplification", type=float, default=0.0,
+                        help="exit non-zero if durable/RAM load time exceeds "
+                             "this ratio (0 disables the gate)")
+    parser.add_argument("--min-recovery-rate", type=float, default=0.0,
+                        help="exit non-zero if restart recovery replays fewer "
+                             "rows per second than this (0 disables the gate)")
+    parser.add_argument("--output", default=None,
+                        help="write the results to this JSON file")
+    args = parser.parse_args(argv)
+
+    ram_dht, ram_seconds = build_and_load(args)
+    assert ram_dht.storage.fast_item_count() == args.keys
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-durable-") as data_dir:
+        durable_dht, durable_seconds = build_and_load(args, data_dir=data_dir)
+        assert durable_dht.storage.fast_item_count() == args.keys
+        stats = durable_dht.storage.durability
+
+        amplification = (
+            durable_seconds / ram_seconds if ram_seconds > 0 else float("inf")
+        )
+
+        restart = restart_one_snode(durable_dht)
+        assert durable_dht.storage.fast_item_count() == args.keys, (
+            "restart recovery lost acknowledged writes despite the durable tier"
+        )
+        assert restart["rows_replayed"] == restart["rows_lost_in_memory"], (
+            "disk replay did not reproduce every row the kill erased"
+        )
+        durable_dht.check_invariants()
+        durability_stats = stats.as_dict()
+
+    def rate(n: int, seconds: float) -> str:
+        return f"{n / seconds:,.0f}" if seconds > 0 else "inf"
+
+    print(f"bulk_load of {args.keys:,} int keys "
+          f"({args.snodes} snodes x {args.vnodes_per_snode} vnodes)\n")
+    print(format_table(
+        ["side", "seconds", "keys/s", "amplification"],
+        [
+            ["RAM only", f"{ram_seconds:.3f}", rate(args.keys, ram_seconds), "1.00x"],
+            ["durable (WAL + segments)", f"{durable_seconds:.3f}",
+             rate(args.keys, durable_seconds), f"{amplification:.2f}x"],
+        ],
+    ))
+    print(f"\nkill -9 of snode {restart['restarted_snode']} "
+          f"({restart['rows_lost_in_memory']:,} rows erased from memory)\n")
+    print(format_table(
+        ["recovery step", "value"],
+        [
+            ["vnode logs replayed", f"{restart['disk_replays']}"],
+            ["rows replayed from disk", f"{restart['rows_replayed']:,}"],
+            ["WAL records replayed", f"{restart['wal_records_replayed']:,}"],
+            ["recovery seconds", f"{restart['recovery_seconds']:.3f}"],
+            ["recovery rows/s",
+             rate(restart['rows_replayed'], restart['recovery_seconds'])],
+        ],
+    ))
+
+    if args.output:
+        payload = {
+            "keys": args.keys,
+            "snodes": args.snodes,
+            "vnodes_per_snode": args.vnodes_per_snode,
+            "ram_seconds": ram_seconds,
+            "durable_seconds": durable_seconds,
+            "write_amplification": amplification,
+            "restart": restart,
+            "durability_stats": durability_stats,
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nresults written to {args.output}")
+
+    failed = False
+    if args.max_write_amplification and amplification > args.max_write_amplification:
+        print(f"\nFAIL: durable load amplification {amplification:.2f}x > allowed "
+              f"{args.max_write_amplification:.2f}x", file=sys.stderr)
+        failed = True
+    if (
+        args.min_recovery_rate
+        and restart["recovery_rows_per_second"] < args.min_recovery_rate
+    ):
+        print(f"FAIL: recovery replayed "
+              f"{restart['recovery_rows_per_second']:,.0f} rows/s < required "
+              f"{args.min_recovery_rate:,.0f}", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

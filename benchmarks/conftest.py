@@ -16,6 +16,19 @@ from repro.experiments.base import ExperimentResult
 
 
 @pytest.fixture
+def durable_data_dir(tmp_path):
+    """A throwaway ``data_dir`` for durable-tier benchmark runs.
+
+    Benchmarks that enable ``DurabilityConfig`` must write their WAL and
+    segment files here (pytest cleans old ``tmp_path`` trees up
+    automatically), never into the repository tree.  The standalone bench
+    scripts (``python benchmarks/bench_*.py``) use
+    ``tempfile.TemporaryDirectory`` for the same guarantee.
+    """
+    return str(tmp_path / "durable")
+
+
+@pytest.fixture
 def show_result(capsys):
     """Fixture returning a printer that bypasses pytest's output capture.
 

@@ -128,6 +128,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of topology events that run a load-aware rebalance pass "
              "(0 <= P < 1, default 0)",
     )
+    churn.add_argument(
+        "--restart-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="fraction of topology events that kill -9 and restart a snode "
+             "(0 <= P < 1, default 0)",
+    )
+    churn.add_argument(
+        "--durable",
+        action="store_true",
+        help="enable the on-disk durable tier (per-vnode WAL + checkpointed "
+             "segments) in a temporary directory, so restarted snodes replay "
+             "their local disk instead of losing unreplicated data",
+    )
     churn.add_argument("--seed", type=int, default=0)
     churn.add_argument("--output", default=None, help="write the churn report to this JSON file")
 
@@ -277,52 +292,78 @@ def _cmd_bulk_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _event_weights(crash_rate: float, rebalance_rate: float) -> tuple:
-    """Crash/rebalance weights making those kinds exact trace fractions.
+def _event_weights(
+    crash_rate: float, rebalance_rate: float, restart_rate: float = 0.0
+) -> tuple:
+    """Crash/rebalance/restart weights making those kinds exact fractions.
 
     The three graceful-event weights sum to 1 by default, so weights of
-    ``p/(1-p-q)`` and ``q/(1-p-q)`` make crashes and rebalances exactly a
-    ``p``- and ``q``-fraction of events.  Raises ``ValueError`` for rates
-    outside ``[0, 1)`` or summing to 1 or more.
+    ``p/(1-p-q-r)``, ``q/(1-p-q-r)`` and ``r/(1-p-q-r)`` make crashes,
+    rebalances and restarts exactly a ``p``-, ``q``- and ``r``-fraction of
+    events.  Raises ``ValueError`` for rates outside ``[0, 1)`` or summing
+    to 1 or more.
     """
-    if not (0.0 <= crash_rate < 1.0):
-        raise ValueError(f"--crash-rate must be in [0, 1), got {crash_rate}")
-    if not (0.0 <= rebalance_rate < 1.0):
-        raise ValueError(f"--rebalance-rate must be in [0, 1), got {rebalance_rate}")
-    remainder = 1.0 - crash_rate - rebalance_rate
+    rates = {
+        "--crash-rate": crash_rate,
+        "--rebalance-rate": rebalance_rate,
+        "--restart-rate": restart_rate,
+    }
+    for flag, rate in rates.items():
+        if not (0.0 <= rate < 1.0):
+            raise ValueError(f"{flag} must be in [0, 1), got {rate}")
+    remainder = 1.0 - crash_rate - rebalance_rate - restart_rate
     if remainder <= 0.0:
-        raise ValueError("--crash-rate plus --rebalance-rate must stay below 1")
-    return crash_rate / remainder, rebalance_rate / remainder
+        raise ValueError(
+            "--crash-rate, --rebalance-rate and --restart-rate must sum to below 1"
+        )
+    return (
+        crash_rate / remainder,
+        rebalance_rate / remainder,
+        restart_rate / remainder,
+    )
 
 
 def _cmd_churn_bench(args: argparse.Namespace) -> int:
-    try:
-        crash_weight, rebalance_weight = _event_weights(
-            args.crash_rate, args.rebalance_rate
-        )
-        spec = ChurnSpec(
-            name=f"churn-{args.workload}",
-            workload=args.workload,
-            n_keys=args.keys,
-            n_events=args.events,
-            approach=args.approach,
-            n_snodes=args.snodes,
-            vnodes_per_snode=args.vnodes_per_snode,
-            pmin=args.pmin,
-            vmin=args.vmin,
-            replication_factor=args.replication,
-            crash_weight=crash_weight,
-            rebalance_weight=rebalance_weight,
-            seed=args.seed,
-        )
-    except ValueError as exc:
-        print(f"churn-bench: {exc}", file=sys.stderr)
-        return 2
-    try:
-        report = ChurnEngine(spec).run()
-    except ReproError as exc:
-        print(f"churn-bench FAILED: {exc}", file=sys.stderr)
-        return 1
+    import contextlib
+    import tempfile
+
+    # --durable writes WAL/segment files; keep them in a temp dir that is
+    # removed when the bench exits, never in the working tree.
+    with contextlib.ExitStack() as stack:
+        data_dir = None
+        if args.durable:
+            data_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-churn-durable-")
+            )
+        try:
+            crash_weight, rebalance_weight, restart_weight = _event_weights(
+                args.crash_rate, args.rebalance_rate, args.restart_rate
+            )
+            spec = ChurnSpec(
+                name=f"churn-{args.workload}",
+                workload=args.workload,
+                n_keys=args.keys,
+                n_events=args.events,
+                approach=args.approach,
+                n_snodes=args.snodes,
+                vnodes_per_snode=args.vnodes_per_snode,
+                pmin=args.pmin,
+                vmin=args.vmin,
+                replication_factor=args.replication,
+                crash_weight=crash_weight,
+                rebalance_weight=rebalance_weight,
+                restart_weight=restart_weight,
+                data_dir=data_dir,
+                seed=args.seed,
+            )
+        except ValueError as exc:
+            print(f"churn-bench: {exc}", file=sys.stderr)
+            return 2
+        try:
+            report = ChurnEngine(spec).run()
+        except ReproError as exc:
+            print(f"churn-bench FAILED: {exc}", file=sys.stderr)
+            return 1
     print(format_table(["property", "value"], report.as_rows()))
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
@@ -391,7 +432,7 @@ def _cmd_protocol_bench(args: argparse.Namespace) -> int:
     from repro.cluster.protocol import compare_lifecycle_protocols
 
     try:
-        crash_weight, rebalance_weight = _event_weights(
+        crash_weight, rebalance_weight, _ = _event_weights(
             args.crash_rate, args.rebalance_rate
         )
         if args.events < 1:

@@ -51,6 +51,7 @@ from repro.cluster.messages import (
     RemoveVnodeRequest,
     ReplicaRebuildTransfer,
     ReplicaSyncTransfer,
+    RestartNotice,
 )
 
 __all__ = [
@@ -63,6 +64,7 @@ __all__ = [
     "CreateVnodeRequest",
     "RemoveVnodeRequest",
     "CrashNotice",
+    "RestartNotice",
     "RecordSync",
     "PartitionTransfer",
     "ReplicaRebuildTransfer",

@@ -94,6 +94,22 @@ class CrashNotice(Message):
 
 
 @dataclass(frozen=True)
+class RestartNotice(Message):
+    """Rejoin notification: a killed snode came back with its disk intact.
+
+    Broadcast when a restarted snode re-announces itself so the cluster
+    agrees it kept its vnodes.  The data plane is local: the snode replays
+    its own WAL/segments from disk (priced per replayed record, no bulk
+    network transfer) unless recovery judges a replica rebuild cheaper.
+    """
+
+    snode: int = 0
+
+    def size_bytes(self) -> float:
+        return float(self.BASE_SIZE_BYTES + 8)
+
+
+@dataclass(frozen=True)
 class ReplicaRebuildTransfer(Message):
     """Bulk copy of surviving replica rows rebuilding a lost primary.
 

@@ -23,8 +23,9 @@ Two simulators share this substrate:
   ``ablation_parallelism`` benchmark.
 * :class:`LifecycleProtocolSimulator` — the **full topology lifecycle**: a
   churn trace (:mod:`repro.workloads.churn`) of snode joins, graceful
-  leaves, crashes with replica rebuild, enrollment changes and load-aware
-  rebalance passes is first replayed against a *live* DHT to learn what
+  leaves, crashes with replica rebuild, kill-9 restarts with WAL replay,
+  enrollment changes and load-aware rebalance passes is first replayed
+  against a *live* DHT to learn what
   every event actually did (vnodes created/removed, partitions and rows
   migrated, surviving-replica rows promoted by crash recovery, replica-sync
   fan-out volume, rebalance plan actions), and the resulting
@@ -57,6 +58,7 @@ from repro.cluster.messages import (
     RemoveVnodeRequest,
     ReplicaRebuildTransfer,
     ReplicaSyncTransfer,
+    RestartNotice,
 )
 from repro.cluster.network import NetworkModel
 from repro.cluster.simulator import EventScheduler, FifoResource
@@ -88,6 +90,9 @@ class ProtocolCosts:
     #: Wire size of one stored row (key + value + envelope).  Used by the
     #: lifecycle simulator, which prices transfers by actual row counts.
     row_payload_bytes: float = 256.0
+    #: CPU time to replay one WAL record during restart recovery (local-disk
+    #: sequential read + apply; no network transfer is involved).
+    wal_replay_record_s: float = 5e-7
 
     def __post_init__(self) -> None:
         if self.record_entry_processing_s < 0:
@@ -96,6 +101,8 @@ class ProtocolCosts:
             raise ValueError("partition_payload_bytes must be non-negative")
         if self.row_payload_bytes < 0:
             raise ValueError("row_payload_bytes must be non-negative")
+        if self.wal_replay_record_s < 0:
+            raise ValueError("wal_replay_record_s must be non-negative")
 
 
 @dataclass
@@ -459,6 +466,10 @@ class EventProfile:
     #: Crash recovery: rebuild transfers and surviving-replica rows promoted.
     recovery_transfers: int = 0
     rows_restored: int = 0
+    #: Restart recovery: rows and WAL records replayed from the local disk
+    #: tier (priced as CPU time, not network transfer).
+    rows_replayed: int = 0
+    wal_records_replayed: int = 0
     #: Replica-sync fan-out: replica ranks written and rows refilled.
     sync_ranks: int = 0
     rows_refilled: int = 0
@@ -494,6 +505,8 @@ def lifecycle_event_cost(
     request: object
     if profile.kind == "snode_crash":
         request = CrashNotice(src=0, dst=0)
+    elif profile.kind == "snode_restart":
+        request = RestartNotice(src=0, dst=0)
     elif profile.kind in ("snode_leave", "remove"):
         request = RemoveVnodeRequest(src=0, dst=0)
     else:
@@ -513,10 +526,11 @@ def lifecycle_event_cost(
         nbytes += request.size_bytes() + Ack.BASE_SIZE_BYTES
 
     # Request fan-out + acknowledgements.  Crashes broadcast one failure
-    # notice; graceful events broadcast one creation request per vnode they
-    # create and one removal request per vnode they drop (an enrollment
-    # change issues one per touched vnode, of the matching type).
-    if profile.kind == "snode_crash":
+    # notice and restarts one rejoin notice; graceful events broadcast one
+    # creation request per vnode they create and one removal request per
+    # vnode they drop (an enrollment change issues one per touched vnode,
+    # of the matching type).
+    if profile.kind in ("snode_crash", "snode_restart"):
         fan_out = [(request, 1)]
     else:
         fan_out = [
@@ -551,6 +565,11 @@ def lifecycle_event_cost(
         duration += profile.partitions_moved * net.latency_s + payload / bandwidth
         messages += profile.partitions_moved
         nbytes += payload
+
+    # Restart recovery: the rejoining snode replays its own WAL/segments
+    # from local disk.  Pure CPU time — no messages, no network bytes.
+    if profile.wal_records_replayed:
+        duration += costs.wal_replay_record_s * profile.wal_records_replayed
 
     # Crash recovery: surviving-replica rows promoted back to primaries.
     if profile.rows_restored or profile.recovery_transfers:
@@ -768,6 +787,7 @@ class LifecycleProtocolSimulator:
                 vmin=spec.vmin,
                 replication_factor=spec.replication_factor,
                 seed=spec.seed,
+                data_dir=spec.data_dir,
             )
         if self.approach == "local":
             dht = LocalDHT(self._config, rng=self._rng)
@@ -863,6 +883,8 @@ class LifecycleProtocolSimulator:
         replication = dht.storage.replication
         rows0, partitions0 = stats.items_moved, stats.partitions_moved
         restored0, refilled0 = replication.rows_restored, replication.rows_refilled
+        durability = dht.storage.durability
+        replayed0, wal0 = durability.rows_replayed, durability.wal_records_replayed
 
         applied = True
         note = ""
@@ -922,6 +944,10 @@ class LifecycleProtocolSimulator:
             crash = outcome.crash
             if crash.recovery is not None:
                 recovery_transfers = crash.recovery.ranges_restored
+        if outcome is not None and outcome.restart is not None:
+            restart = outcome.restart
+            if restart.recovery is not None:
+                recovery_transfers = restart.recovery.ranges_restored
         rebalance_splits = 0
         if outcome is not None and outcome.rebalance is not None:
             rebalance_splits = outcome.rebalance.splits
@@ -939,6 +965,8 @@ class LifecycleProtocolSimulator:
             rows_moved=stats.items_moved - rows0,
             recovery_transfers=recovery_transfers,
             rows_restored=replication.rows_restored - restored0,
+            rows_replayed=durability.rows_replayed - replayed0,
+            wal_records_replayed=durability.wal_records_replayed - wal0,
             sync_ranks=sync_ranks,
             rows_refilled=replication.rows_refilled - refilled0,
             rebalance_splits=rebalance_splits,

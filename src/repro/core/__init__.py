@@ -33,9 +33,11 @@ from repro.core.rebalance import (
     transfer_improves_balance,
 )
 from repro.core.config import DHTConfig, SimulationConfig, DEFAULT_BH
+from repro.core.durability import DurabilityConfig, DurabilityStats
 from repro.core.entities import Group, Snode, Vnode
 from repro.core.errors import (
     ConfigError,
+    DurabilityError,
     EmptyDHTError,
     InvariantViolation,
     KeyLookupError,
@@ -67,6 +69,7 @@ from repro.core.replication import (
     RecoveryReport,
     ReplicaPlacement,
     ReplicaPlacer,
+    RestartReport,
     SyncReport,
 )
 from repro.core.snapshot import restore_dht, snapshot_dht
@@ -131,6 +134,10 @@ __all__ = [
     "SyncReport",
     "RecoveryReport",
     "CrashReport",
+    "RestartReport",
+    "DurabilityConfig",
+    "DurabilityStats",
+    "DurabilityError",
     "ReplicationError",
     "ReproError",
     "ConfigError",

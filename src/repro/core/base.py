@@ -56,6 +56,7 @@ from repro.core.replication import (
     RecoveryReport,
     ReplicaPlacement,
     ReplicaPlacer,
+    RestartReport,
     SyncReport,
     recover_primaries,
     sync_replicas,
@@ -100,7 +101,7 @@ class BaseDHT(ABC):
         self.config = config
         self.rng = ensure_rng(rng)
         self.hash_space = HashSpace(config.bh)
-        self.storage = DHTStorage(self.hash_space)
+        self.storage = DHTStorage(self.hash_space, durability=config.durability)
         self.snodes: Dict[SnodeId, Snode] = {}
         self.vnodes: Dict[VnodeRef, Vnode] = {}
         self._router = PartitionRouter(self.hash_space)
@@ -518,19 +519,50 @@ class BaseDHT(ABC):
             notes=tuple(notes),
         )
 
+    def restart_snode(self, snode: SnodeLike) -> RestartReport:
+        """Hard-restart a live snode: RAM is lost, the disk (if any) is kept.
+
+        Models a kill -9 followed by a reboot.  The snode's vnodes stay
+        enrolled in the topology — no partitions change hands — but every
+        in-memory row they held (primary and replica tiers) is dropped.
+        Recovery then chooses per vnode between replaying its durable log
+        and rebuilding from surviving replicas
+        (:func:`repro.core.replication.recover_primaries`); without a
+        durable tier at ``replication_factor == 1`` the restart simply
+        loses the snode's data, exactly like a crash.
+        """
+        node = self.get_snode(snode)
+        refs = sorted(node.vnodes, key=lambda r: r.vnode_index)
+        rows_lost = 0
+        for ref in refs:
+            rows_lost += self.storage.lose_vnode_memory(ref)
+        self.storage.durability.restarts += 1
+        recovery, sync = self.recover()
+        return RestartReport(
+            snode=node.id.value,
+            vnodes=tuple(ref.canonical_name for ref in refs),
+            rows_lost_in_memory=rows_lost,
+            recovery=recovery,
+            sync=sync,
+        )
+
     def recover(self) -> Tuple[RecoveryReport, SyncReport]:
         """Rebuild empty primaries from surviving replicas, then re-sync.
 
         Safe to call at any time; both passes are no-ops on a consistent
         DHT (and skipped outright without replication — there are no
-        replica rows to recover from).  Returns the recovery and sync
-        reports.
+        replica rows to recover from, unless a durable log is pending
+        replay after a restart).  Returns the recovery and sync reports.
         """
-        if self.config.replica_ranks == 0:
+        if self.config.replica_ranks == 0 and not self.storage.has_pending_replay():
             return RecoveryReport(), SyncReport()
         placement = self._ensure_placement()
         recovery = recover_primaries(self.storage, placement)
-        sync = sync_replicas(self.storage, placement)
+        sync = (
+            sync_replicas(self.storage, placement)
+            if self.config.replica_ranks > 0
+            else SyncReport()
+        )
         return recovery, sync
 
     def verify_replication(self, deep: bool = False) -> None:
@@ -860,6 +892,7 @@ class BaseDHT(ABC):
             "items": self.storage.total_items(),
             "replication_factor": self.config.replication_factor,
             "replica_items": self.storage.replica_item_count(),
+            "durable": self.config.durability is not None,
             "sigma_qv": self.sigma_qv(),
             "sigma_qn": self.sigma_qn(),
         }

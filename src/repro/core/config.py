@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.core.durability import DurabilityConfig
 from repro.core.errors import ConfigError
 from repro.utils.validation import is_power_of_two
 
@@ -63,12 +64,23 @@ class DHTConfig:
         as the seed model did; ``k > 1`` additionally places ``k - 1``
         replicas of every partition on ring-successor vnodes hosted by
         distinct snodes (see :mod:`repro.core.replication`).
+    durability:
+        On-disk durability tier (a library extension — the paper's
+        persistence behaviour is unspecified; section 5 assumes
+        cluster-internal reliability).  ``None`` (default) keeps the
+        RAM-only seed model bit-identical; a
+        :class:`~repro.core.durability.DurabilityConfig` gives every
+        primary ``VnodeStore`` a write-ahead log plus checkpointed columnar
+        segment files under ``data_dir``, enabling
+        :meth:`~repro.core.base.BaseDHT.restart_snode` to recover
+        acknowledged writes even with no surviving replica.
     """
 
     bh: int = DEFAULT_BH
     pmin: int = 32
     vmin: Optional[int] = 32
     replication_factor: int = 1
+    durability: Optional[DurabilityConfig] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.bh, bool) or not isinstance(self.bh, int):
@@ -85,6 +97,13 @@ class DHTConfig:
         if self.replication_factor < 1:
             raise ConfigError(
                 f"replication_factor must be >= 1, got {self.replication_factor}"
+            )
+        if self.durability is not None and not isinstance(
+            self.durability, DurabilityConfig
+        ):
+            raise ConfigError(
+                f"durability must be a DurabilityConfig or None, got "
+                f"{type(self.durability).__name__}"
             )
         _check_pow2(self.pmin, "pmin")
         if self.pmin < 2:

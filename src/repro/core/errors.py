@@ -61,6 +61,14 @@ class ReplicationError(ReproError):
     """
 
 
+class DurabilityError(ReproError):
+    """Durable-store failure (bad WAL/segment file, misconfigured tier).
+
+    Torn WAL *tails* are expected after a kill and are truncated silently;
+    this error marks states recovery cannot interpret at all.
+    """
+
+
 class ProtocolError(ReproError):
     """Cluster protocol simulation error (bad message, unknown destination...)."""
 

@@ -172,7 +172,7 @@ class SyncReport:
 
 @dataclass
 class RecoveryReport:
-    """What one primary-recovery pass did after a crash."""
+    """What one primary-recovery pass did after a crash or restart."""
 
     #: Partition ranges whose primary was rebuilt from a surviving replica.
     ranges_restored: int = 0
@@ -182,6 +182,35 @@ class RecoveryReport:
     #: includes ranges that legitimately store nothing; actual data loss is
     #: judged by the caller from logical item counts (see the churn engine).
     ranges_without_source: int = 0
+    #: Vnodes recovered by replaying their durable log (disk was cheaper, or
+    #: the only option).
+    disk_replays: int = 0
+    #: Physical rows those replays brought back.
+    rows_replayed: int = 0
+    #: WAL records (the non-checkpointed tail) those replays applied.
+    wal_records_replayed: int = 0
+    #: Vnodes whose durable log was discarded because rebuilding from
+    #: surviving replicas was priced cheaper than a disk replay.
+    replica_rebuilds_chosen: int = 0
+
+
+@dataclass
+class RestartReport:
+    """Outcome of one snode restart (kill -9 + reboot: RAM lost, disk kept).
+
+    Unlike a crash, a restart leaves the topology untouched — every vnode of
+    the snode stays enrolled with wiped in-memory stores, and recovery
+    chooses per vnode between replaying its durable log and rebuilding from
+    surviving replicas (:func:`recover_primaries`).
+    """
+
+    snode: int
+    #: Vnodes hosted by the restarted snode (all stay in the topology).
+    vnodes: Tuple[str, ...]
+    #: Physical rows (primary + replica tiers) that vanished from memory.
+    rows_lost_in_memory: int
+    recovery: Optional[RecoveryReport] = None
+    sync: Optional[SyncReport] = None
 
 
 @dataclass
@@ -327,6 +356,16 @@ def recover_primaries(
     reaches all assigned replicas synchronously and copies are only ever
     taken from the primary — so picking the fullest survivor is safe.
 
+    When the storage runs a durable tier, vnodes flagged as *needing
+    replay* (restarted with an intact disk) are decided first, per vnode:
+    replaying the durable log costs ``replay_records ×
+    disk_record_replay_cost`` while rebuilding from surviving replicas
+    costs ``replica_rows × replica_row_fetch_cost``; the cheaper side wins
+    (disk on a tie, and always when some needy range of the vnode has no
+    replica coverage).  A vnode recovered from disk is skipped by the
+    replica-restore loop below; one rebuilt from replicas has its stale log
+    discarded first so the restored rows land on a clean WAL.
+
     ``pairs``/``primary_counts`` let :func:`sync_replicas` share its
     already-computed range columns instead of re-scanning.
     """
@@ -338,22 +377,27 @@ def recover_primaries(
     if primary_counts is None:
         primary_counts = _primary_counts(storage, placement, pairs)
     needy = [pos for pos in range(placement.n_positions) if primary_counts[pos] == 0]
-    if not needy:
+    if not needy and not storage.has_pending_replay():
         return report
 
     needy_pairs = [pairs[p] for p in needy]
-    starts, lasts = storage._range_arrays(needy_pairs)
     best_rows = np.zeros(len(needy), dtype=np.int64)
     best_source: List[Optional[VnodeRef]] = [None] * len(needy)
-    for ref, store in storage._replica_stores.items():
-        if store.fast_len() == 0:
-            continue
-        counts = store.count_buckets(starts, lasts)
-        for k in np.flatnonzero(counts > best_rows).tolist():
-            best_rows[k] = counts[k]
-            best_source[k] = ref
+    if needy:
+        starts, lasts = storage._range_arrays(needy_pairs)
+        for ref, store in storage._replica_stores.items():
+            if store.fast_len() == 0:
+                continue
+            counts = store.count_buckets(starts, lasts)
+            for k in np.flatnonzero(counts > best_rows).tolist():
+                best_rows[k] = counts[k]
+                best_source[k] = ref
+
+    replayed = _replay_pending_logs(storage, placement, needy, best_rows, report)
 
     for k, pos in enumerate(needy):
+        if replayed[k]:
+            continue
         source = best_source[k]
         if source is None:
             report.ranges_without_source += 1
@@ -367,6 +411,52 @@ def recover_primaries(
     storage.replication.rows_restored += report.rows_restored
     storage.replication.ranges_restored += report.ranges_restored
     return report
+
+
+def _replay_pending_logs(
+    storage: DHTStorage,
+    placement: ReplicaPlacement,
+    needy: List[int],
+    best_rows: np.ndarray,
+    report: RecoveryReport,
+) -> List[bool]:
+    """Decide disk replay vs replica rebuild for every pending durable log.
+
+    Returns a per-``needy``-position mask of ranges already recovered from
+    disk (the replica-restore loop must skip them).  Every pending log is
+    settled here one way or the other, so ``has_pending_replay`` is False
+    afterwards.
+    """
+    replayed = [False] * len(needy)
+    if not storage.has_pending_replay():
+        return replayed
+    config = storage.durable.config
+    by_primary: Dict[VnodeRef, List[int]] = {}
+    for k, pos in enumerate(needy):
+        by_primary.setdefault(placement.primaries[pos], []).append(k)
+    for ref in storage.durable.pending_refs():
+        log = storage.durable.log_for(ref)
+        ks = by_primary.get(ref, [])
+        # A replica rebuild is only sound when the placement actually covers
+        # every needy range of this vnode (the effective factor is capped by
+        # the distinct-snode count).  Replicas of a vnode's partitions never
+        # co-locate on its own snode, so after a single-snode restart the
+        # surviving copies are complete and ``best_rows`` is exact.
+        covered = bool(ks) and all(placement.replicas[needy[k]] for k in ks)
+        replica_rows = int(sum(best_rows[k] for k in ks))
+        if covered and log.replay_cost() > replica_rows * config.replica_row_fetch_cost:
+            # Rebuilding from replicas is cheaper: discard the stale log so
+            # the restored rows are re-logged onto a clean WAL by adopt_parts.
+            log.reset()
+            report.replica_rebuilds_chosen += 1
+            continue
+        state = storage.replay_vnode(ref)
+        report.disk_replays += 1
+        report.rows_replayed += state.rows
+        report.wal_records_replayed += state.wal_records
+        for k in ks:
+            replayed[k] = True
+    return replayed
 
 
 # --------------------------------------------------------------------------- checks

@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.config import DHTConfig
+from repro.core.durability import DurabilityConfig
 from repro.core.entities import Group, Snode, Vnode
 from repro.core.errors import KeyLookupError, ReproError
 from repro.core.global_model import GlobalDHT
@@ -74,6 +75,14 @@ def snapshot_dht(dht: AnyDHT, include_data: bool = True) -> Dict[str, Any]:
         "pmin": dht.config.pmin,
         "vmin": dht.config.vmin,
         "replication_factor": dht.config.replication_factor,
+        # Durable-tier settings round-trip, but the on-disk files do not:
+        # restoring over a live data_dir re-initialises every vnode's log
+        # from the restored in-memory rows (see DurableStoreManager.attach).
+        "durability": (
+            dht.config.durability.as_dict()
+            if dht.config.durability is not None
+            else None
+        ),
     }
     snodes = [
         {
@@ -240,11 +249,15 @@ def restore_dht(snapshot: Dict[str, Any], rng: RngLike = None) -> AnyDHT:
         raise ReproError(
             f"unsupported snapshot version {version!r} (expected {SNAPSHOT_VERSION})"
         )
+    durability_dict = snapshot["config"].get("durability")
     config = DHTConfig(
         bh=snapshot["config"]["bh"],
         pmin=snapshot["config"]["pmin"],
         vmin=snapshot["config"]["vmin"],
         replication_factor=snapshot["config"].get("replication_factor", 1),
+        durability=(
+            DurabilityConfig(**durability_dict) if durability_dict else None
+        ),
     )
     approach = snapshot.get("approach")
     if approach == "local":

@@ -60,6 +60,13 @@ from typing import Any, Dict, Hashable, Iterable, Iterator, List, NamedTuple, Op
 
 import numpy as np
 
+from repro.core.durability import (
+    DurabilityConfig,
+    DurabilityStats,
+    DurableStoreManager,
+    DurableVnodeStore,
+    RecoveredState,
+)
 from repro.core.errors import StorageError, UnknownVnodeError
 from repro.core.hashspace import HashSpace, Partition
 from repro.core.ids import VnodeRef
@@ -142,12 +149,24 @@ class VnodeStore:
     point access (see the module docstring for the two-tier design).
     """
 
-    __slots__ = ("vnode", "_items", "_segments")
+    __slots__ = ("vnode", "_items", "_segments", "durable")
 
-    def __init__(self, vnode: VnodeRef):
+    def __init__(self, vnode: VnodeRef, durable: Optional[DurableVnodeStore] = None):
         self.vnode = vnode
         self._items: Dict[Hashable, Tuple[int, Any]] = {}
         self._segments: List[_Segment] = []
+        #: Optional durability tier (WAL + checkpoint files) of this store.
+        #: ``None`` — the default, and always the case for replica stores —
+        #: leaves every mutation path bit-identical to the RAM-only model.
+        self.durable = durable
+
+    def _log(self, op: Tuple) -> None:
+        """Append one WAL record; checkpoint when the log grows past the
+        flush threshold (the live tiers are flushed shape-preserving)."""
+        durable = self.durable
+        durable.append(op)
+        if durable.should_checkpoint():
+            durable.checkpoint(self._items, self._segments)
 
     # -- segment tier ----------------------------------------------------------
 
@@ -166,6 +185,8 @@ class VnodeStore:
         """
         if len(keys):
             self._segments.append((keys, indexes, values))
+            if self.durable is not None:
+                self._log(("batch", keys, indexes, values))
 
     def pending_item_count(self) -> int:
         """Rows sitting in pending (unmerged) segments."""
@@ -204,6 +225,8 @@ class VnodeStore:
         if self._segments:
             self._merge_segments()
         self._items[key] = (index, value)
+        if self.durable is not None:
+            self._log(("put", key, index, value))
 
     def get(self, key: Hashable) -> StoredItem:
         """Fetch an item; raises :class:`KeyError` if absent."""
@@ -221,7 +244,10 @@ class VnodeStore:
         """Remove and return an item; raises :class:`KeyError` if absent."""
         if self._segments:
             self._merge_segments()
-        return StoredItem(*self._items.pop(key))
+        item = StoredItem(*self._items.pop(key))
+        if self.durable is not None:
+            self._log(("del", key))
+        return item
 
     def __contains__(self, key: Hashable) -> bool:
         if self._segments:
@@ -264,12 +290,20 @@ class VnodeStore:
         moving = [(k, item) for k, item in self._items.items() if start <= item[0] < end]
         for key, _ in moving:
             del self._items[key]
+        if moving and self.durable is not None:
+            self._log(("drop", [start], [end - 1]))
         return moving
 
     def _adopt_raw(self, pairs: Iterable[Tuple[Hashable, Tuple[int, Any]]]) -> None:
         """Bulk-ingest raw pairs produced by another store's ``_pop_range_raw``."""
         if self._segments:
             self._merge_segments()
+        if self.durable is not None:
+            pairs = list(pairs)
+            self._items.update(pairs)
+            if pairs:
+                self._log(("pairs", pairs))
+            return
         self._items.update(pairs)
 
     # -- segment-aware migration ------------------------------------------------
@@ -324,6 +358,8 @@ class VnodeStore:
                     kept.append(_segment_rows(segment, np.flatnonzero(~inside)))
             self._segments = kept
 
+        if self.durable is not None and any(p[0] or p[1] for p in buckets):
+            self._log(("drop", starts.tolist(), lasts.tolist()))
         return buckets
 
     def copy_buckets(self, starts: np.ndarray, lasts: np.ndarray) -> List[_Parts]:
@@ -402,16 +438,38 @@ class VnodeStore:
                     if keep_n:
                         kept.append(_segment_rows(segment, np.flatnonzero(inside)))
             self._segments = kept
+        if dropped and self.durable is not None:
+            self._log(("retain", starts.tolist(), lasts.tolist()))
         return dropped
 
     def wipe(self) -> int:
         """Discard every row (both tiers); returns the physical rows destroyed.
 
-        This is what a crash does to a store — no migration, no drain.
+        This is what a crash does to a store — no migration, no drain.  A
+        crash takes the machine's disk with it, so the durable state (if
+        any) is reset too; a *restart* — memory lost, disk intact — goes
+        through :meth:`lose_memory` instead.
         """
         n = self.fast_len()
         self._items = {}
         self._segments = []
+        if self.durable is not None:
+            self.durable.reset()
+        return n
+
+    def lose_memory(self) -> int:
+        """Drop both in-memory tiers but keep the durable state (kill -9).
+
+        Marks the durable log (when present) as *needing replay*: the disk
+        is now ahead of RAM, and recovery must either replay it or — when a
+        replica rebuild is chosen instead — discard it.  Returns the number
+        of physical rows that vanished from memory.
+        """
+        n = self.fast_len()
+        self._items = {}
+        self._segments = []
+        if self.durable is not None:
+            self.durable.needs_replay = True
         return n
 
     def adopt_parts(
@@ -430,6 +488,13 @@ class VnodeStore:
         compacted into one segment so later range passes stay O(rows), not
         O(adoptions).
         """
+        if self.durable is not None:
+            pairs = list(pairs)
+            segments = list(segments)
+            if pairs:
+                self._log(("pairs", pairs))
+            for seg_keys, seg_indexes, seg_values in segments:
+                self._log(("batch", seg_keys, seg_indexes, seg_values))
         self._items.update(pairs)
         self._segments.extend(segments)
         if len(self._segments) > _MAX_PENDING_SEGMENTS:
@@ -531,7 +596,11 @@ class DHTStorage:
     so the per-vnode stores are each touched exactly once per batch.
     """
 
-    def __init__(self, hash_space: HashSpace):
+    def __init__(
+        self,
+        hash_space: HashSpace,
+        durability: Optional[DurabilityConfig] = None,
+    ):
         self.hash_space = hash_space
         self._stores: Dict[VnodeRef, VnodeStore] = {}
         #: Per-vnode stores of *replica* rows: items this vnode holds as a
@@ -541,6 +610,17 @@ class DHTStorage:
         self._replica_stores: Dict[VnodeRef, VnodeStore] = {}
         self.stats = MigrationStats()
         self.replication = ReplicationStats()
+        #: Counters of the durable tier (zeros when durability is off).
+        self.durability = DurabilityStats()
+        #: Manager of the per-vnode durable logs, or ``None`` for the
+        #: RAM-only model.  Only *primary* stores are durable: replica rows
+        #: are soft copies the sync pass can always rebuild, while the WAL
+        #: covers acknowledged writes.
+        self.durable: Optional[DurableStoreManager] = (
+            DurableStoreManager(durability, self.durability)
+            if durability is not None
+            else None
+        )
         #: When True (default), partition migration filters pending segments
         #: with numpy masks and never merges them (:meth:`VnodeStore.pop_buckets`).
         #: When False, the legacy per-item scan path runs instead — kept for
@@ -553,7 +633,8 @@ class DHTStorage:
         """Create an empty store (and replica store) for a new vnode."""
         if ref in self._stores:
             raise StorageError(f"storage for vnode {ref} already exists")
-        self._stores[ref] = VnodeStore(ref)
+        log = self.durable.attach(ref) if self.durable is not None else None
+        self._stores[ref] = VnodeStore(ref, durable=log)
         self._replica_stores[ref] = VnodeStore(ref)
 
     def unregister_vnode(self, ref: VnodeRef) -> VnodeStore:
@@ -571,6 +652,8 @@ class DHTStorage:
             )
         replica = self._replica_stores.pop(ref)
         self.replication.rows_dropped += replica.fast_len()
+        if self.durable is not None:
+            self.durable.detach(ref)
         return self._stores.pop(ref)
 
     def has_vnode(self, ref: VnodeRef) -> bool:
@@ -732,6 +815,38 @@ class DHTStorage:
         wiped = self._store(ref).wipe() + self._replica(ref).wipe()
         self.replication.rows_wiped += wiped
         return wiped
+
+    # -- durability --------------------------------------------------------------
+
+    def lose_vnode_memory(self, ref: VnodeRef) -> int:
+        """Drop a vnode's in-memory rows (primary and replica) but keep disk.
+
+        This models a kill -9 followed by a reboot of the hosting machine:
+        RAM is gone, the WAL and checkpoint segments survive.  Returns the
+        number of physical rows that vanished from memory.
+        """
+        return self._store(ref).lose_memory() + self._replica(ref).lose_memory()
+
+    def has_pending_replay(self) -> bool:
+        """True when some durable log holds data its store has not replayed."""
+        return self.durable is not None and self.durable.has_pending()
+
+    def replay_vnode(self, ref: VnodeRef) -> RecoveredState:
+        """Recover a vnode's primary rows from its durable log.
+
+        The recovered columns are appended to the store's segment tier
+        *without* re-logging them — they are already on disk — so replay is
+        write-free and (for checkpoint segments with a ``uint64`` index
+        column) zero-copy via ``numpy.memmap``.
+        """
+        store = self._store(ref)
+        if store.durable is None:
+            raise StorageError(f"vnode {ref} has no durable log to replay")
+        state = store.durable.recover()
+        store._segments.extend(state.segments)
+        if len(store._segments) > _MAX_PENDING_SEGMENTS:
+            store._compact_segments()
+        return state
 
     # -- counting ----------------------------------------------------------------
 
@@ -907,6 +1022,8 @@ class DHTStorage:
             dst.adopt_parts(src._items.items(), src._segments)
             src._items = {}
             src._segments = []
+            if src.durable is not None:
+                src.durable.reset()
             self.stats.record(moved)
         return moved
 

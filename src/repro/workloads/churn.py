@@ -4,7 +4,8 @@ The paper's elastic DHT is defined by partitions changing hands as vnodes
 come and go, but the bulk scenario driver (:mod:`repro.workloads.driver`)
 only exercises *growth* against a static topology.  This module closes the
 gap: a churn trace interleaves **topology events** — ``snode_join``,
-``snode_leave``, ``enrollment_change``, ``snode_crash``, ``rebalance`` — with bulk
+``snode_leave``, ``enrollment_change``, ``snode_crash``, ``snode_restart``,
+``rebalance`` — with bulk
 ``load``/``lookup`` chunks, and :class:`ChurnEngine` replays the trace
 against a live :class:`~repro.core.global_model.GlobalDHT` or
 :class:`~repro.core.local_model.LocalDHT` with an **item-conservation
@@ -56,7 +57,7 @@ import numpy as np
 from repro.core.base import BaseDHT
 from repro.core.errors import ReproError
 from repro.core.rebalance import LoadRebalanceReport
-from repro.core.replication import CrashReport
+from repro.core.replication import CrashReport, RestartReport
 from repro.metrics.balance import item_load_stats
 from repro.core.ids import SnodeId
 from repro.workloads.driver import APPROACHES, build_cluster
@@ -70,6 +71,7 @@ TOPOLOGY_KINDS = (
     "snode_leave",
     "enrollment_change",
     "snode_crash",
+    "snode_restart",
     "rebalance",
 )
 
@@ -106,6 +108,8 @@ class ChurnEvent:
             return f"leave s{self.snode}"
         if self.kind == "snode_crash":
             return f"crash s{self.snode}"
+        if self.kind == "snode_restart":
+            return f"restart s{self.snode}"
         if self.kind == "rebalance":
             return "rebalance item load"
         return f"enroll s{self.snode} -> {self.vnodes} vnodes"
@@ -148,8 +152,17 @@ class ChurnSpec:
     #: (:meth:`~repro.core.base.BaseDHT.rebalance_load`).  Zero keeps older
     #: traces bit-identical.
     rebalance_weight: float = 0.0
+    #: Relative odds of a hard restart (kill -9 + reboot: RAM lost, disk —
+    #: when :attr:`data_dir` is set — kept, topology unchanged).  Zero keeps
+    #: older traces bit-identical.
+    restart_weight: float = 0.0
     #: Copies kept of every item (``1`` = no replication, the seed model).
     replication_factor: int = 1
+    #: Directory for the durable tier (WAL + checkpointed segments per
+    #: primary vnode); ``None`` runs the RAM-only model.  With a durable
+    #: tier, restarted snodes must serve every acknowledged write even at
+    #: ``replication_factor == 1``.
+    data_dir: Optional[str] = None
     #: Model parameters (small defaults keep 64-event traces fast).
     pmin: int = 8
     vmin: int = 8
@@ -181,6 +194,7 @@ class ChurnSpec:
             self.enroll_weight,
             self.crash_weight,
             self.rebalance_weight,
+            self.restart_weight,
         )
         if min(weights) < 0 or sum(weights) <= 0:
             raise ValueError("event weights must be non-negative and not all zero")
@@ -217,6 +231,9 @@ def make_churn_trace(spec: ChurnSpec) -> List[ChurnEvent]:
     if spec.rebalance_weight > 0:
         kinds.append("rebalance")
         raw_weights.append(spec.rebalance_weight)
+    if spec.restart_weight > 0:
+        kinds.append("snode_restart")
+        raw_weights.append(spec.restart_weight)
     weights = np.array(raw_weights, dtype=np.float64)
     weights /= weights.sum()
 
@@ -225,6 +242,12 @@ def make_churn_trace(spec: ChurnSpec) -> List[ChurnEvent]:
         kind = kinds[int(rng.choice(len(kinds), p=weights))]
         if kind == "rebalance":
             topology.append(ChurnEvent("rebalance"))
+            continue
+        if kind == "snode_restart":
+            # A restart leaves the cluster size unchanged, so no bounds
+            # substitution applies — any alive snode can be restarted.
+            pick = alive[int(rng.integers(0, len(alive)))]
+            topology.append(ChurnEvent("snode_restart", snode=pick))
             continue
         if kind in ("snode_leave", "snode_crash") and len(alive) <= spec.min_snodes:
             kind = "snode_join"
@@ -274,6 +297,7 @@ class TopologyOutcome:
     note: str = ""
     crash: Optional[CrashReport] = None
     rebalance: Optional[LoadRebalanceReport] = None
+    restart: Optional[RestartReport] = None
 
 
 def apply_topology_event(
@@ -318,6 +342,15 @@ def apply_topology_event(
                 f"topology; wiped, kept enrolled and recovered in place"
             )
         return TopologyOutcome(note=note, crash=report)
+    if event.kind == "snode_restart":
+        restart = dht.restart_snode(SnodeId(event.snode))
+        note = ""
+        if restart.recovery is not None and restart.recovery.disk_replays:
+            note = (
+                f"replayed {restart.recovery.rows_replayed} rows from disk "
+                f"({restart.recovery.disk_replays} vnode logs)"
+            )
+        return TopologyOutcome(note=note, restart=restart)
     if event.kind == "rebalance":
         report = dht.rebalance_load(
             tolerance=rebalance_tolerance, max_splits=rebalance_max_splits
@@ -355,7 +388,10 @@ class ChurnReport:
     crashes: int
     #: Load-aware rebalance passes executed (``rebalance`` events).
     rebalances: int
-    #: Logical items lost to crashes (always 0 when a replica survived).
+    #: Hard restarts executed (``snode_restart`` events: RAM lost, disk kept).
+    restarts: int
+    #: Logical items lost to crashes and restarts (always 0 when a replica
+    #: or — for restarts — the durable tier survived).
     items_lost: int
     #: Replica rows rebuilt by recovery + sync (replica->primary restores
     #: plus primary->replica refills) over the whole run.
@@ -419,6 +455,7 @@ class ChurnReport:
             "enrollment_changes": self.enrollment_changes,
             "crashes": self.crashes,
             "rebalances": self.rebalances,
+            "restarts": self.restarts,
             "items_lost": self.items_lost,
             "replica_rows_rebuilt": self.replica_rows_rebuilt,
             "keys_loaded": self.keys_loaded,
@@ -471,7 +508,8 @@ class ChurnReport:
                                 f"{self.events_skipped} skipped)"],
             ["event mix", f"{self.joins} joins / {self.leaves} leaves / "
                           f"{self.enrollment_changes} enrollment changes / "
-                          f"{self.crashes} crashes / {self.rebalances} rebalances"],
+                          f"{self.crashes} crashes / {self.rebalances} rebalances / "
+                          f"{self.restarts} restarts"],
             ["items lost to crashes", f"{self.items_lost:,}"],
             ["replica rows rebuilt", f"{self.replica_rows_rebuilt:,}"],
             ["keys loaded", f"{self.keys_loaded:,}"],
@@ -518,6 +556,7 @@ class ChurnEngine:
             vmin=spec.vmin,
             replication_factor=spec.replication_factor,
             seed=spec.seed,
+            data_dir=spec.data_dir,
         )
 
     def make_keys(self) -> Union[np.ndarray, List[str]]:
@@ -565,7 +604,7 @@ class ChurnEngine:
         topology_seconds = 0.0
         conservation_checks = 0
         applied = skipped = joins = leaves = enrollment_changes = crashes = 0
-        rebalances = 0
+        rebalances = restarts = 0
         items_lost = 0
         max_event_items = 0
         stats = dht.storage.stats
@@ -608,7 +647,7 @@ class ChurnEngine:
                 topology_seconds += dt
                 after = dht.storage.fast_primary_count()
                 conservation_checks += 1
-                if event.kind == "snode_crash":
+                if event.kind in ("snode_crash", "snode_restart"):
                     lost = before - after
                     if lost < 0:
                         raise ReproError(
@@ -621,6 +660,16 @@ class ChurnEngine:
                             f"despite replication_factor="
                             f"{spec.replication_factor} (recovery should have "
                             f"rebuilt them from surviving replicas)"
+                        )
+                    if (
+                        lost
+                        and event.kind == "snode_restart"
+                        and dht.storage.durable is not None
+                    ):
+                        raise ReproError(
+                            f"churn event '{event.describe()}' lost {lost} items "
+                            f"despite the durable tier (WAL replay should have "
+                            f"recovered every acknowledged write)"
                         )
                     items_lost += lost
                 elif after != before:
@@ -639,6 +688,7 @@ class ChurnEngine:
                     enrollment_changes += event.kind == "enrollment_change"
                     crashes += event.kind == "snode_crash"
                     rebalances += event.kind == "rebalance"
+                    restarts += event.kind == "snode_restart"
                 else:
                     skipped += 1
                 outcomes.append(
@@ -680,6 +730,7 @@ class ChurnEngine:
             enrollment_changes=enrollment_changes,
             crashes=crashes,
             rebalances=rebalances,
+            restarts=restarts,
             items_lost=items_lost,
             replica_rows_rebuilt=(
                 replication.rows_restored + replication.rows_refilled - base_rebuilt

@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core import DHTConfig, GlobalDHT, LocalDHT
+from repro.core import DHTConfig, DurabilityConfig, GlobalDHT, LocalDHT
 from repro.core.base import BaseDHT
 from repro.workloads.heterogeneity import enrollment_from_capacity
 from repro.workloads.keys import id_keys, uniform_keys, zipf_keys
@@ -46,6 +46,7 @@ def build_cluster(
     vmin: int = 32,
     replication_factor: int = 1,
     seed: int = 0,
+    data_dir: Optional[str] = None,
 ) -> BaseDHT:
     """Enroll a cluster (homogeneous or capacity-weighted) for a scenario.
 
@@ -55,17 +56,23 @@ def build_cluster(
     ``n_snodes`` snodes and grows each to its target enrollment
     (``vnodes_per_snode``, optionally scaled by the snode's relative
     capacity via :func:`~repro.workloads.heterogeneity.enrollment_from_capacity`).
+    ``data_dir`` turns on the durable tier (WAL + checkpointed segments per
+    primary vnode under that directory; see :mod:`repro.core.durability`).
     """
     if approach == "local":
         config = DHTConfig.for_local(
             pmin=pmin, vmin=vmin, replication_factor=replication_factor
         )
-        dht: BaseDHT = LocalDHT(config, rng=seed)
     elif approach == "global":
         config = DHTConfig.for_global(pmin=pmin, replication_factor=replication_factor)
-        dht = GlobalDHT(config, rng=seed)
     else:
         raise ValueError(f"approach must be one of {APPROACHES}, got {approach!r}")
+    if data_dir is not None:
+        config = config.with_(durability=DurabilityConfig(data_dir=data_dir))
+    if approach == "local":
+        dht: BaseDHT = LocalDHT(config, rng=seed)
+    else:
+        dht = GlobalDHT(config, rng=seed)
     snodes = dht.add_snodes(n_snodes)
     for i, snode in enumerate(snodes):
         if capacities is None:

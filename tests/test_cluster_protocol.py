@@ -36,7 +36,7 @@ def make_sim(approach="local", n_snodes=8, creations=32, vmin=4, **kwargs):
 
 
 def lifecycle_spec(**overrides):
-    """A small but group-rich churn spec exercising all five event kinds."""
+    """A small but group-rich churn spec exercising every event kind."""
     params = dict(
         n_keys=5000,
         n_events=24,
@@ -49,6 +49,7 @@ def lifecycle_spec(**overrides):
         replication_factor=2,
         crash_weight=0.25,
         rebalance_weight=0.15,
+        restart_weight=0.15,
         seed=5,
     )
     params.update(overrides)
@@ -193,7 +194,7 @@ class TestCreationGolden:
 
 
 class TestLifecycle:
-    def test_all_five_kinds_replay_end_to_end(self):
+    def test_all_kinds_replay_end_to_end(self):
         spec = lifecycle_spec()
         trace = make_churn_trace(spec)
         assert set(TOPOLOGY_KINDS) <= {e.kind for e in trace}
@@ -262,6 +263,25 @@ class TestLifecycle:
         # With replication on, a crash promotes surviving replica rows.
         assert any(p.rows_restored > 0 for p in crash_profiles)
 
+    def test_restart_events_priced_from_wal_replay(self, tmp_path):
+        # With the durable tier on, a restarted snode replays its own
+        # WAL/segments; the profile carries the replay volume.
+        spec = lifecycle_spec(data_dir=str(tmp_path))
+        sim = LifecycleProtocolSimulator(spec)
+        restart_profiles = [p for p in sim.profiles() if p.kind == "snode_restart"]
+        assert restart_profiles
+        assert any(p.wal_records_replayed > 0 for p in restart_profiles)
+        assert any(p.rows_replayed > 0 for p in restart_profiles)
+
+    def test_ram_only_restarts_replay_nothing(self):
+        sim = LifecycleProtocolSimulator(lifecycle_spec())
+        restart_profiles = [p for p in sim.profiles() if p.kind == "snode_restart"]
+        assert restart_profiles
+        assert all(p.wal_records_replayed == 0 for p in restart_profiles)
+        assert all(p.rows_replayed == 0 for p in restart_profiles)
+        # RAM-only restarts rebuild from surviving replicas instead.
+        assert any(p.rows_restored > 0 for p in restart_profiles)
+
     def test_arrival_times_validation(self):
         spec = lifecycle_spec()
         with pytest.raises(ValueError):
@@ -317,6 +337,18 @@ class TestLifecycleCostModel:
         )
         large = dataclasses.replace(small, rows_moved=100_000)
         assert lifecycle_event_cost(costs, large)[0] > lifecycle_event_cost(costs, small)[0]
+
+    def test_restart_cost_scales_with_wal_records_not_messages(self):
+        costs = ProtocolCosts()
+        base = EventProfile(
+            kind="snode_restart", time=0.0, involved_snodes=8, record_entries=32,
+        )
+        big = dataclasses.replace(base, wal_records_replayed=1_000_000)
+        d0, m0, b0 = lifecycle_event_cost(costs, base)
+        d1, m1, b1 = lifecycle_event_cost(costs, big)
+        assert d1 - d0 == pytest.approx(costs.wal_replay_record_s * 1_000_000)
+        # WAL replay is local disk work: it adds no messages and no bytes.
+        assert (m1, b1) == (m0, b0)
 
     def test_skipped_event_priced_as_rejected_request(self):
         from repro.cluster import RemoveVnodeRequest

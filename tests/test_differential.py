@@ -19,6 +19,13 @@ A second differential compares the two DHT approaches under *crash* churn
 with replication, where both must preserve the full population (the CH
 baseline keeps single copies, so it is exercised only under graceful
 churn).
+
+A third differential covers *kill -9 + restart*: the same trace with hard
+restarts interleaved runs against a durable GlobalDHT, a durable LocalDHT
+(both ``replication_factor=1`` — the disk is the only copy) and a
+RAM+replication reference.  Every restarted vnode's recovered store must
+be bit-for-bit identical to its pre-kill in-memory state, and all three
+models must conserve and agree on every key after every event.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ from typing import Dict, List
 import pytest
 
 from repro.baselines.consistent_hashing import ConsistentHashRing
-from repro.core import DHTConfig, GlobalDHT, LocalDHT
+from repro.core import DHTConfig, DurabilityConfig, GlobalDHT, LocalDHT
 from repro.core.ids import SnodeId
 from repro.workloads.keys import uniform_keys
 
@@ -105,11 +112,13 @@ class CHStorageModel:
         return key in self.stores.get(self.ring.lookup(key), {})
 
 
-def build_dht(cls, replication_factor: int = 1):
+def build_dht(cls, replication_factor: int = 1, data_dir=None):
     if cls is LocalDHT:
         config = DHTConfig.for_local(pmin=4, vmin=4, replication_factor=replication_factor)
     else:
         config = DHTConfig.for_global(pmin=4, replication_factor=replication_factor)
+    if data_dir is not None:
+        config = config.with_(durability=DurabilityConfig(data_dir=str(data_dir)))
     dht = cls(config, rng=0)
     for snode in dht.add_snodes(INITIAL_SNODES):
         dht.set_enrollment(snode, VNODES_PER_SNODE)
@@ -125,8 +134,32 @@ def apply_dht_event(dht, event) -> None:
         dht.remove_snode(SnodeId(event[1]))
     elif event[0] == "crash":
         dht.crash_snode(SnodeId(event[1]))
+    elif event[0] == "restart":
+        restart_bit_for_bit(dht, SnodeId(event[1]))
     else:  # pragma: no cover - defensive
         raise AssertionError(f"unknown event {event!r}")
+
+
+def restart_bit_for_bit(dht, snode_id) -> None:
+    """Kill -9 + restart ``snode_id``, verifying WAL replay exactness.
+
+    For a durable DHT, every vnode of the victim must come back bit-for-bit
+    identical to its pre-kill in-memory state (same keys, hash indexes and
+    values) — the differential harness's core durability check.
+    """
+    node = dht.get_snode(snode_id)
+    durable = dht.storage.durable is not None
+    pre = {
+        ref: dict(dht.storage._store(ref).raw_dict()) for ref in node.vnodes
+    }
+    report = dht.restart_snode(snode_id)
+    assert report.snode == snode_id.value
+    if durable:
+        for ref, want in pre.items():
+            got = dht.storage._store(ref).raw_dict()
+            assert got == want, (
+                f"vnode {ref} recovered {len(got)} rows != pre-kill {len(want)}"
+            )
 
 
 def assert_dht_agreement(dht, expected: Dict) -> None:
@@ -229,3 +262,107 @@ class TestCrashDifferential:
         assert local_dht.storage.item_count() == N_KEYS
         global_dht.check_invariants()
         local_dht.check_invariants()
+
+
+#: Kill -9/restart trace: hard restarts interleaved with loads and graceful
+#: churn.  A restart loses the snode's memory but keeps its disk, so a
+#: durable DHT must conserve everything even at ``replication_factor=1``.
+KILL_RESTART_TRACE = [
+    ("load", 0, 300),
+    ("restart", 1),
+    ("load", 300, 600),
+    ("join", 4),
+    ("restart", 0),
+    ("restart", 4),
+    ("load", 600, 1000),
+    ("leave", 2),
+    ("restart", 3),
+]
+
+
+class TestKillRestartDifferential:
+    def test_durable_factor_one_matches_ram_replicated_reference(self, tmp_path):
+        """Durable Global + Local (factor 1) vs a RAM+replication reference.
+
+        The durable models hold a *single* copy of every item — the disk is
+        the only thing standing between a kill -9 and data loss.  The
+        reference holds two RAM copies and recovers restarts from replicas.
+        All three must conserve and agree on every key after every event,
+        and every restarted vnode must replay bit-for-bit
+        (:func:`restart_bit_for_bit`).
+        """
+        keys, values = make_population()
+        global_dht = build_dht(GlobalDHT, replication_factor=1,
+                               data_dir=tmp_path / "global")
+        local_dht = build_dht(LocalDHT, replication_factor=1,
+                              data_dir=tmp_path / "local")
+        reference = build_dht(LocalDHT, replication_factor=2)
+        models = [global_dht, local_dht, reference]
+
+        expected: Dict = {}
+        for event in KILL_RESTART_TRACE:
+            if event[0] == "load":
+                lo, hi = event[1], event[2]
+                for dht in models:
+                    dht.bulk_load(keys[lo:hi], values[lo:hi])
+                expected.update(zip(keys[lo:hi], values[lo:hi]))
+            else:
+                for dht in models:
+                    apply_dht_event(dht, event)
+            for dht in models:
+                assert_dht_agreement(dht, expected)
+
+        # Cross-model: identical surviving key populations (nothing lost).
+        populations = [
+            {k for ref in dht.vnodes for k, _ in dht.storage.items_of(ref)}
+            for dht in models
+        ]
+        assert populations[0] == populations[1] == populations[2] == set(expected)
+        for dht in models:
+            assert not dht.storage.has_pending_replay()
+            dht.check_invariants()
+        reference.verify_replication(deep=True)
+
+    def test_durable_and_ram_agree_under_mixed_crash_restart(self, tmp_path):
+        """Factor-2 durable vs factor-2 RAM under crashes *and* restarts.
+
+        With a surviving replica for every partition, both models must keep
+        the full population through machine losses (crashes) and kill -9
+        restarts alike — durability must not change the outcome, only the
+        recovery source.
+        """
+        keys, values = make_population()
+        durable = build_dht(LocalDHT, replication_factor=2,
+                            data_dir=tmp_path / "durable")
+        ram = build_dht(LocalDHT, replication_factor=2)
+
+        trace = [
+            ("load", 0, 300),
+            ("restart", 2),
+            ("join", 4),
+            ("load", 300, 600),
+            ("crash", 1),
+            ("restart", 0),
+            ("load", 600, 1000),
+            ("crash", 4),
+            ("restart", 3),
+        ]
+        expected: Dict = {}
+        for event in trace:
+            if event[0] == "load":
+                lo, hi = event[1], event[2]
+                durable.bulk_load(keys[lo:hi], values[lo:hi])
+                ram.bulk_load(keys[lo:hi], values[lo:hi])
+                expected.update(zip(keys[lo:hi], values[lo:hi]))
+            else:
+                apply_dht_event(durable, event)
+                apply_dht_event(ram, event)
+            assert_dht_agreement(durable, expected)
+            assert_dht_agreement(ram, expected)
+            durable.verify_replication(deep=True)
+            ram.verify_replication(deep=True)
+
+        assert durable.storage.item_count() == N_KEYS
+        assert ram.storage.item_count() == N_KEYS
+        durable.check_invariants()
+        ram.check_invariants()

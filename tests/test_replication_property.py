@@ -24,8 +24,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import DHTConfig, LocalDHT, ReproError
+from repro.core import DHTConfig, DurabilityConfig, LocalDHT, ReproError
 from repro.workloads.churn import ChurnEngine, ChurnSpec
+from repro.workloads.keys import uniform_keys
 
 
 def run_crash_churn(seed: int, factor: int, n_keys: int, n_events: int):
@@ -95,6 +96,138 @@ class TestCrashChurnProperties:
         dht, report = run_crash_churn(seed, factor=3, n_keys=20_000, n_events=32)
         assert report.items_lost == 0
         assert_replication_invariants(dht, factor=3)
+
+
+def run_restart_churn(
+    seed: int,
+    factor: int,
+    n_keys: int,
+    n_events: int,
+    data_dir=None,
+    crash_weight: float = 0.0,
+):
+    """Build, replay and return (dht, report) for a crash/restart trace."""
+    spec = ChurnSpec(
+        name=f"restart-prop-{seed}",
+        n_keys=n_keys,
+        n_events=n_events,
+        approach="local" if seed % 2 == 0 else "global",
+        n_snodes=4 + seed % 3,
+        vnodes_per_snode=2 + seed % 2,
+        min_snodes=max(2, factor),
+        max_snodes=12,
+        crash_weight=crash_weight,
+        restart_weight=0.35,
+        replication_factor=factor,
+        data_dir=None if data_dir is None else str(data_dir),
+        seed=seed,
+    )
+    engine = ChurnEngine(spec)
+    dht = engine.build_dht()
+    report = engine.run(dht=dht)
+    return dht, report
+
+
+class TestRestartChurnProperties:
+    """Zero loss whenever the disk copy survives OR any replica survives."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_durable_factor_one_restarts_lose_nothing(self, seed, tmp_path):
+        # The disk is the only copy: every kill -9 must replay losslessly.
+        dht, report = run_restart_churn(
+            seed, factor=1, n_keys=4000, n_events=16, data_dir=tmp_path
+        )
+        assert report.restarts > 0, "trace should contain restarts"
+        assert report.items_lost == 0
+        assert report.final_items == report.keys_loaded
+        assert not dht.storage.has_pending_replay()
+        dht.check_invariants()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_factor_two_mixed_crash_restart_lossless(self, seed, tmp_path):
+        # Crashes lose the disk but a replica survives; restarts lose memory
+        # but the disk survives.  Either way: zero loss.
+        dht, report = run_restart_churn(
+            seed, factor=2, n_keys=4000, n_events=16,
+            data_dir=tmp_path, crash_weight=0.2,
+        )
+        assert report.restarts > 0
+        assert report.items_lost == 0
+        assert report.final_items == report.keys_loaded
+        assert_replication_invariants(dht, factor=2)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_ram_factor_two_restarts_recover_from_replicas(self, seed):
+        dht, report = run_restart_churn(seed, factor=2, n_keys=3000, n_events=12)
+        assert report.restarts > 0
+        assert report.items_lost == 0
+        assert dht.storage.durability.replays == 0  # no disk tier in play
+        assert_replication_invariants(dht, factor=2)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_crash_restart_sweep(self, seed, tmp_path):
+        dht, report = run_restart_churn(
+            seed, factor=2, n_keys=25_000, n_events=40,
+            data_dir=tmp_path, crash_weight=0.2,
+        )
+        assert report.items_lost == 0
+        assert report.final_items == report.keys_loaded
+        assert_replication_invariants(dht, factor=2)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(3))
+    def test_durable_factor_one_sweep(self, seed, tmp_path):
+        dht, report = run_restart_churn(
+            seed, factor=1, n_keys=20_000, n_events=32, data_dir=tmp_path
+        )
+        assert report.restarts > 0
+        assert report.items_lost == 0
+        assert report.final_items == report.keys_loaded
+
+
+class TestRecoveryDecision:
+    """``recover_primaries`` picks the cheaper of disk replay vs replicas."""
+
+    def _build(self, tmp_path, **durability_overrides):
+        config = DHTConfig.for_local(
+            pmin=4, vmin=4, replication_factor=2
+        ).with_(
+            durability=DurabilityConfig(
+                data_dir=str(tmp_path), **durability_overrides
+            )
+        )
+        dht = LocalDHT(config, rng=0)
+        for snode in dht.add_snodes(4):
+            dht.set_enrollment(snode, 2)
+        keys = uniform_keys(2000, rng=0)
+        values = [f"v{i}" for i in range(len(keys))]
+        dht.bulk_load(keys, values)
+        return dht, dict(zip(keys, values))
+
+    def test_disk_replay_chosen_when_cheaper(self, tmp_path):
+        # Default costs: a bulk load is few WAL records, so the disk's
+        # priced cost undercuts per-row replica fetches.
+        dht, expected = self._build(tmp_path)
+        report = dht.restart_snode(sorted(dht.snodes)[0])
+        assert report.recovery.disk_replays > 0
+        assert report.recovery.replica_rebuilds_chosen == 0
+        assert report.recovery.wal_records_replayed > 0
+        assert dht.get_many(list(expected)) == list(expected.values())
+        dht.verify_replication(deep=True)
+
+    def test_replica_rebuild_chosen_when_disk_expensive(self, tmp_path):
+        dht, expected = self._build(
+            tmp_path, disk_record_replay_cost=1e9, replica_row_fetch_cost=1e-9
+        )
+        report = dht.restart_snode(sorted(dht.snodes)[0])
+        assert report.recovery.replica_rebuilds_chosen > 0
+        assert report.recovery.disk_replays == 0
+        assert report.recovery.rows_replayed == 0
+        # Same outcome, different source: nothing lost either way.
+        assert dht.get_many(list(expected)) == list(expected.values())
+        dht.verify_replication(deep=True)
+        assert not dht.storage.has_pending_replay()
 
 
 class TestRandomOpsAgainstReference:
