@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Fail if the engine-boundary layering rules are violated.
+
+The engine core (:mod:`repro.core.engine`) is the transport-agnostic heart
+of the DHT; keeping its dependency arrows pointed the right way is what
+lets a future networked runtime reuse it unchanged.  This lint AST-walks
+every module under ``src/repro`` and enforces three rules:
+
+1. **engine isolation** — modules in ``repro.core.engine`` import nothing
+   from ``repro.sim``, ``repro.cluster``, ``repro.workloads``,
+   ``repro.experiments`` or ``repro.metrics`` (the engine serves those
+   layers, never the reverse);
+2. **numpy-free interfaces** — ``repro/core/engine/interfaces.py`` must
+   not import numpy (or any ``repro`` module) at runtime, so transport
+   code can type against the Protocols without pulling in the columnar
+   machinery (``TYPE_CHECKING``-guarded imports are allowed);
+3. **no cross-layer private reaches** — no module outside ``repro/core``
+   may access a ``_``-prefixed attribute on another object (``self._x``
+   and module-private helpers defined in the same file are fine): the
+   engine's state is reached through its public interfaces only.
+
+Run from the repository root (CI does)::
+
+    python scripts/check_layering.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Layers the engine core must never import from (rule 1).
+FORBIDDEN_IN_ENGINE = (
+    "repro.sim",
+    "repro.cluster",
+    "repro.workloads",
+    "repro.experiments",
+    "repro.metrics",
+)
+
+#: Runtime imports forbidden in the interface module (rule 2).
+FORBIDDEN_IN_INTERFACES = ("numpy", "repro")
+
+#: Dunder attributes are API, not private reaches (rule 3).
+_DUNDER_OK = ("__",)
+
+
+def _iter_modules() -> Iterator[Path]:
+    yield from sorted(SRC_ROOT.rglob("*.py"))
+
+
+def _imported_names(tree: ast.AST, runtime_only: bool = False) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, dotted module)`` for every import in ``tree``.
+
+    With ``runtime_only=True``, imports nested under an
+    ``if TYPE_CHECKING:`` block are skipped (they never execute).
+    """
+    type_checking_spans: List[Tuple[int, int]] = []
+    if runtime_only:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.If):
+                test = node.test
+                name = (
+                    test.id
+                    if isinstance(test, ast.Name)
+                    else test.attr if isinstance(test, ast.Attribute) else None
+                )
+                if name == "TYPE_CHECKING":
+                    end = max(n.end_lineno or n.lineno for n in node.body)
+                    type_checking_spans.append((node.lineno, end))
+
+    def _guarded(lineno: int) -> bool:
+        return any(lo <= lineno <= hi for lo, hi in type_checking_spans)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if not _guarded(node.lineno):
+                    yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            if not _guarded(node.lineno):
+                yield node.lineno, node.module
+
+
+def _module_private_names(tree: ast.AST) -> set:
+    """Top-level ``_``-prefixed definitions of a module (legal to use inside it)."""
+    names = set()
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return {n for n in names if n.startswith("_")}
+
+
+def _private_reaches(tree: ast.AST) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, "obj._attr")`` for private attribute access on
+    anything other than ``self`` / ``cls``."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        attr = node.attr
+        if not attr.startswith("_") or attr.startswith(_DUNDER_OK):
+            continue
+        base = node.value
+        if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+            continue
+        base_text = ast.unparse(base) if hasattr(ast, "unparse") else "<expr>"
+        yield node.lineno, f"{base_text}.{attr}"
+
+
+def check() -> List[str]:
+    errors: List[str] = []
+    for path in _iter_modules():
+        rel = path.relative_to(REPO_ROOT)
+        tree = ast.parse(path.read_text(), filename=str(rel))
+        in_engine = "core/engine" in rel.as_posix()
+        is_interfaces = rel.as_posix().endswith("core/engine/interfaces.py")
+        in_core = "repro/core" in rel.as_posix()
+
+        if in_engine:
+            for lineno, module in _imported_names(tree):
+                if any(
+                    module == layer or module.startswith(layer + ".")
+                    for layer in FORBIDDEN_IN_ENGINE
+                ):
+                    errors.append(
+                        f"{rel}:{lineno}: engine module imports {module} "
+                        f"(the engine core must not depend on higher layers)"
+                    )
+
+        if is_interfaces:
+            for lineno, module in _imported_names(tree, runtime_only=True):
+                if any(
+                    module == banned or module.startswith(banned + ".")
+                    for banned in FORBIDDEN_IN_INTERFACES
+                ):
+                    errors.append(
+                        f"{rel}:{lineno}: interfaces module imports {module} at "
+                        f"runtime (must stay numpy-free and dependency-free; "
+                        f"guard typing-only imports with TYPE_CHECKING)"
+                    )
+
+        if not in_core:
+            own_privates = _module_private_names(tree)
+            for lineno, reach in _private_reaches(tree):
+                attr = reach.rsplit(".", 1)[1]
+                # Module-private helpers used on the module's own objects
+                # (e.g. dataclass fields named by this file) stay legal.
+                if attr in own_privates:
+                    continue
+                errors.append(
+                    f"{rel}:{lineno}: private attribute reach {reach} outside "
+                    f"repro/core (promote it to an engine interface method)"
+                )
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    if errors:
+        print(f"check_layering: {len(errors)} violation(s)")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    n = sum(1 for _ in _iter_modules())
+    print(f"check_layering: OK ({n} modules checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,13 +6,19 @@ The package is layered:
   (partitions, hash space, canonical names, group identifiers);
 * :mod:`repro.core.records` / :mod:`repro.core.rebalance` — the *record
   layer*: GPDR/LPDR tables and the unified rebalancing engine (creation,
-  removal and load-aware policies; :mod:`repro.core.balancer` remains as
-  a compatibility facade);
+  removal and load-aware policies);
 * :mod:`repro.core.entities` / :mod:`repro.core.storage` /
   :mod:`repro.core.lookup` — the *entity layer*: vnodes, snodes, groups,
   stored items and key routing;
+* :mod:`repro.core.engine` — the transport-agnostic *engine core*: the
+  membership, placement, data and failure planes behind narrow Protocol
+  interfaces;
 * :mod:`repro.core.global_model` / :mod:`repro.core.local_model` — the two
-  DHT approaches tying everything together.
+  DHT approaches composing the engine subsystems.
+
+The ``repro.core.balancer`` compatibility facade was retired: accessing
+``repro.core.balancer`` resolves to :mod:`repro.core.rebalance` through a
+deprecation shim for one release.
 """
 
 from repro.core.rebalance import (
@@ -34,6 +40,12 @@ from repro.core.rebalance import (
 )
 from repro.core.config import DHTConfig, SimulationConfig, DEFAULT_BH
 from repro.core.durability import DurabilityConfig, DurabilityStats
+from repro.core.engine import (
+    PlacementService,
+    RecoveryManager,
+    StorageEngine,
+    TopologyManager,
+)
 from repro.core.entities import Group, Snode, Vnode
 from repro.core.errors import (
     ConfigError,
@@ -81,6 +93,29 @@ from repro.core.storage import (
     VnodeStore,
 )
 
+def __getattr__(name: str):
+    """Deprecation shims for retired deep-import paths.
+
+    ``repro.core.balancer`` (the PR-4 compatibility facade) was removed;
+    for one release its former contents keep resolving — with a
+    :class:`DeprecationWarning` — to :mod:`repro.core.rebalance`, which
+    re-exports every public name the facade carried.
+    """
+    if name == "balancer":
+        import warnings
+
+        warnings.warn(
+            "repro.core.balancer is deprecated and will be removed; "
+            "import from repro.core.rebalance instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core import rebalance
+
+        return rebalance
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "DEFAULT_BH",
     "DHTConfig",
@@ -118,6 +153,10 @@ __all__ = [
     "Group",
     "GlobalDHT",
     "LocalDHT",
+    "TopologyManager",
+    "PlacementService",
+    "StorageEngine",
+    "RecoveryManager",
     "ideal_group_count",
     "snapshot_dht",
     "restore_dht",

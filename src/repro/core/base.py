@@ -1,15 +1,24 @@
-"""Shared machinery of the global and local DHT models.
+"""The composition shell shared by the global and local DHT models.
 
-:class:`BaseDHT` owns everything the two approaches have in common:
+:class:`BaseDHT` used to implement the whole engine inline; since the
+engine-core extraction it *wires together* the four subsystems of
+:mod:`repro.core.engine` and keeps the public API of both approaches
+bit-identical:
 
-* the snode / vnode registries and canonical-name allocation;
-* the key/value storage layer and partition-to-vnode routing;
-* quota computation and the balance-quality metrics of section 2.3/3.5;
-* application of a :class:`~repro.core.balancer.RebalancePlan` to the entity
-  layer (moving actual partitions and migrating stored items);
-* enrollment management (growing/shrinking the number of vnodes a snode
-  contributes, which is how heterogeneity and dynamic enrollment levels of
-  section 2.1.2 are expressed).
+* :class:`~repro.core.engine.topology.TopologyManager` — snode/vnode
+  registries, canonical-name allocation and the topology version clock;
+* :class:`~repro.core.engine.placement.PlacementService` — partition
+  routing and replica placement behind one versioned-cache facade;
+* :class:`~repro.core.engine.storage.StorageEngine` — the replica-aware
+  data plane (scalar and columnar bulk paths) and sync orchestration;
+* :class:`~repro.core.engine.recovery.RecoveryManager` — snode
+  crash/restart recovery and replication verification.
+
+The shell still owns what is genuinely *model-level*: quota computation and
+the balance-quality metrics of section 2.3/3.5, application of a
+:class:`~repro.core.rebalance.RebalancePlan` to the entity layer, the
+load-aware rebalancing driver, and enrollment management (growing /
+shrinking the number of vnodes a snode contributes, section 2.1.2).
 
 The concrete subclasses (:class:`~repro.core.global_model.GlobalDHT` and
 :class:`~repro.core.local_model.LocalDHT`) implement vnode creation/removal
@@ -18,18 +27,19 @@ and the invariant checks specific to each approach.
 
 from __future__ import annotations
 
-import math
 import time
 from abc import ABC, abstractmethod
-from contextlib import contextmanager
 from fractions import Fraction
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.engine.placement import PlacementService
+from repro.core.engine.recovery import RecoveryManager
+from repro.core.engine.storage import StorageEngine, _position_runs  # noqa: F401  (compat re-export)
+from repro.core.engine.topology import SnodeLike, TopologyManager
 from repro.core.rebalance import (
     LoadRebalanceReport,
-    LoadSplitAction,
     RebalancePlan,
     ScopeKey,
     SplitAllAction,
@@ -40,14 +50,7 @@ from repro.core.rebalance import (
 )
 from repro.core.config import DHTConfig
 from repro.core.entities import Snode, Vnode
-from repro.core.errors import (
-    EmptyDHTError,
-    InvariantViolation,
-    ReplicationError,
-    ReproError,
-    UnknownSnodeError,
-    UnknownVnodeError,
-)
+from repro.core.errors import EmptyDHTError, InvariantViolation
 from repro.core.hashspace import HashSpace, Partition
 from repro.core.ids import SnodeId, VnodeRef
 from repro.core.lookup import BatchLookupResult, LookupResult, PartitionRouter
@@ -55,44 +58,15 @@ from repro.core.replication import (
     CrashReport,
     RecoveryReport,
     ReplicaPlacement,
-    ReplicaPlacer,
     RestartReport,
     SyncReport,
-    recover_primaries,
-    sync_replicas,
-    verify_placement,
-    verify_replica_consistency,
 )
 from repro.core.storage import DHTStorage
-from repro.utils.arrays import as_object_column
-from repro.utils.gcscope import deferred_gc
 from repro.utils.rng import RngLike, ensure_rng
-
-SnodeLike = Union[Snode, SnodeId, int]
-
-
-def _position_runs(positions: np.ndarray) -> Tuple[np.ndarray, List[Tuple[int, int, int]]]:
-    """Group a batch by routing-table position into contiguous runs.
-
-    Returns ``(order, runs)``: a stable argsort of ``positions`` (each
-    position's items form one contiguous run while keeping input order
-    inside the run, so duplicate keys stay last-write-wins) and, per
-    position present in the batch, a ``(position, lo, hi)`` slice of that
-    sorted order.  Shared by :meth:`BaseDHT.bulk_load` and
-    :meth:`BaseDHT.get_many`.
-    """
-    order = np.argsort(positions, kind="stable")
-    counts = np.bincount(positions)
-    bounds = np.concatenate(([0], np.cumsum(counts)))
-    runs = [
-        (pos, int(bounds[pos]), int(bounds[pos + 1]))
-        for pos in np.flatnonzero(counts).tolist()
-    ]
-    return order, runs
 
 
 class BaseDHT(ABC):
-    """Common state and behaviour of both DHT approaches."""
+    """Common composition shell of both DHT approaches."""
 
     #: Human-readable name of the approach (overridden by subclasses).
     approach = "abstract"
@@ -102,25 +76,45 @@ class BaseDHT(ABC):
         self.rng = ensure_rng(rng)
         self.hash_space = HashSpace(config.bh)
         self.storage = DHTStorage(self.hash_space, durability=config.durability)
-        self.snodes: Dict[SnodeId, Snode] = {}
-        self.vnodes: Dict[VnodeRef, Vnode] = {}
-        self._router = PartitionRouter(self.hash_space)
-        self._placer = ReplicaPlacer(config.replication_factor)
-        self._placement: Optional[ReplicaPlacement] = None
-        self._replica_sync_paused = False
-        self._topology_version = 0
-        self._next_snode_id = 0
-        self._removals_occurred = False
-        self._load_splits_occurred = False
+        #: Membership plane: registries, enrollment, version clock.
+        self.topology = TopologyManager()
+        #: Placement plane: routing + replica placement (versioned caches).
+        self.placement = PlacementService(
+            self.hash_space,
+            self.topology,
+            config.replication_factor,
+            config.replica_ranks,
+        )
+        #: Data plane: replica-aware reads/writes over ``self.storage``.
+        self.data = StorageEngine(
+            self.storage, self.placement, self.hash_space, config.replica_ranks
+        )
+        #: Failure plane: crash/restart recovery (delegates vnode removal
+        #: back to this shell, which knows the model-specific policy).
+        self.recovery = RecoveryManager(
+            topology=self.topology,
+            placement=self.placement,
+            data=self.data,
+            membership=self,
+            hash_space=self.hash_space,
+            replica_ranks=config.replica_ranks,
+        )
 
     # ------------------------------------------------------------------ snodes
 
+    @property
+    def snodes(self) -> Dict[SnodeId, Snode]:
+        """The live snode registry (owned by the topology manager)."""
+        return self.topology.snodes
+
+    @property
+    def vnodes(self) -> Dict[VnodeRef, Vnode]:
+        """The live vnode registry (owned by the topology manager)."""
+        return self.topology.vnodes
+
     def add_snode(self, cluster_node: Optional[str] = None) -> Snode:
         """Enroll a new snode in the DHT (it starts with zero vnodes)."""
-        snode = Snode(SnodeId(self._next_snode_id), cluster_node=cluster_node)
-        self._next_snode_id += 1
-        self.snodes[snode.id] = snode
-        return snode
+        return self.topology.allocate_snode(cluster_node)
 
     def add_snodes(self, n: int, cluster_nodes: Optional[Iterable[str]] = None) -> List[Snode]:
         """Enroll ``n`` snodes at once (convenience for simulations)."""
@@ -131,31 +125,20 @@ class BaseDHT(ABC):
 
     def get_snode(self, snode: SnodeLike) -> Snode:
         """Resolve an id / integer / Snode object to the registered Snode."""
-        if isinstance(snode, Snode):
-            if snode.id not in self.snodes or self.snodes[snode.id] is not snode:
-                raise UnknownSnodeError(f"snode {snode.id} is not enrolled in this DHT")
-            return snode
-        if isinstance(snode, int):
-            snode = SnodeId(snode)
-        if isinstance(snode, SnodeId):
-            try:
-                return self.snodes[snode]
-            except KeyError:
-                raise UnknownSnodeError(f"snode {snode} is not enrolled in this DHT") from None
-        raise TypeError(f"cannot resolve snode from {type(snode).__name__}")
+        return self.topology.resolve_snode(snode)
 
     def remove_snode(self, snode: SnodeLike) -> None:
         """Withdraw a snode from the DHT, removing each of its vnodes first."""
         node = self.get_snode(snode)
-        with self._deferred_replica_sync():
+        with self.data.deferred_sync():
             for ref in list(node.vnodes):
                 self.remove_vnode(ref)
-        del self.snodes[node.id]
+        self.topology.drop_snode(node.id)
 
     @property
     def n_snodes(self) -> int:
         """Number of snodes currently enrolled."""
-        return len(self.snodes)
+        return self.topology.n_snodes
 
     # ------------------------------------------------------------------ vnodes
 
@@ -169,20 +152,17 @@ class BaseDHT(ABC):
 
     def get_vnode(self, ref: VnodeRef) -> Vnode:
         """Resolve a vnode reference to its entity."""
-        try:
-            return self.vnodes[ref]
-        except KeyError:
-            raise UnknownVnodeError(f"vnode {ref} does not exist in this DHT") from None
+        return self.topology.resolve_vnode(ref)
 
     @property
     def n_vnodes(self) -> int:
         """Total number of vnodes in the DHT (``V``)."""
-        return len(self.vnodes)
+        return self.topology.n_vnodes
 
     @property
     def total_partitions(self) -> int:
         """Total number of partitions in the DHT (``P``)."""
-        return sum(v.partition_count for v in self.vnodes.values())
+        return self.topology.total_partitions
 
     def set_enrollment(self, snode: SnodeLike, target_vnodes: int) -> List[VnodeRef]:
         """Grow or shrink a snode's enrollment to ``target_vnodes`` vnodes.
@@ -196,7 +176,7 @@ class BaseDHT(ABC):
             raise ValueError("target_vnodes must be non-negative")
         node = self.get_snode(snode)
         created: List[VnodeRef] = []
-        with self._deferred_replica_sync():
+        with self.data.deferred_sync():
             while node.n_vnodes < target_vnodes:
                 created.append(self.create_vnode(node))
             while node.n_vnodes > target_vnodes:
@@ -207,23 +187,17 @@ class BaseDHT(ABC):
     # ------------------------------------------------------------- vnode helpers
 
     def _register_vnode(self, snode: Snode, vnode: Vnode) -> None:
-        """Attach a freshly created vnode to the snode/DHT registries."""
-        snode.attach_vnode(vnode)
-        self.vnodes[vnode.ref] = vnode
-        self.storage.register_vnode(vnode.ref)
-        self._bump_topology()
+        """Attach a freshly created vnode to the registries and its stores."""
+        self.topology.register_vnode(snode, vnode)
+        self.data.register_vnode(vnode.ref)
 
     def _unregister_vnode(self, ref: VnodeRef) -> Vnode:
-        """Detach a vnode from the snode/DHT registries (storage must be empty)."""
-        vnode = self.get_vnode(ref)
-        self.get_snode(ref.snode).detach_vnode(ref)
-        del self.vnodes[ref]
-        self.storage.unregister_vnode(ref)
-        self._bump_topology()
-        self._removals_occurred = True
+        """Detach a vnode from the registries (storage must be empty)."""
+        vnode = self.topology.unregister_vnode(ref)
+        self.data.unregister_vnode(ref)
         return vnode
 
-    def _apply_plan(self, plan: RebalancePlan, scope: Iterable[VnodeRef]) -> None:
+    def apply_plan(self, plan: RebalancePlan, scope: Iterable[VnodeRef]) -> None:
         """Mirror a rebalance plan onto the entity and storage layers.
 
         ``scope`` is the set of vnodes affected by split-all cascades: every
@@ -249,9 +223,9 @@ class BaseDHT(ABC):
                 self.storage.migrate_partition(partition, victim.ref, recipient.ref)
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown rebalance action {action!r}")
-        self._bump_topology()
+        self.topology.bump()
 
-    def _drain_vnode(self, ref: VnodeRef, recipients: List[VnodeRef]) -> None:
+    def drain_vnode(self, ref: VnodeRef, recipients: List[VnodeRef]) -> None:
         """Hand every partition of ``ref`` to the least-loaded recipient.
 
         Used by vnode removal.  The assignment is planned by the unified
@@ -276,12 +250,12 @@ class BaseDHT(ABC):
         # One storage pass for the whole drain: the hash tier is bucketed
         # once across all ranges instead of rescanned per partition.
         self.storage.migrate_partitions(ref, moves)
-        self._bump_topology()
+        self.topology.bump()
 
     # -------------------------------------------------------- load-aware rebalancing
 
     @abstractmethod
-    def _load_scopes(self) -> Dict[ScopeKey, Tuple[List[VnodeRef], int]]:
+    def load_scopes(self) -> Dict[ScopeKey, Tuple[List[VnodeRef], int]]:
         """Balancing scopes for the load-aware engine.
 
         Maps each scope key (``None`` for the global approach's single
@@ -356,7 +330,7 @@ class BaseDHT(ABC):
             return report
 
         boosts: Dict[ScopeKey, int] = {}
-        with self._deferred_replica_sync():
+        with self.data.deferred_sync():
             while report.rounds < max_rounds:
                 plan = plan_load_round(
                     snapshot,
@@ -385,8 +359,8 @@ class BaseDHT(ABC):
                     self._apply_scope_split(action.scope)
                     boosts[action.scope] = boosts.get(action.scope, 0) + 1
                     report.splits += 1
-                    self._load_splits_occurred = True
-                self._bump_topology()
+                    self.topology.load_splits_occurred = True
+                self.topology.bump()
                 snapshot = measure_loads(self)
 
         report.after_max = snapshot.max_snode_rows
@@ -399,18 +373,10 @@ class BaseDHT(ABC):
 
     # ------------------------------------------------------------------ routing
 
-    def _bump_topology(self) -> None:
-        self._topology_version += 1
-
-    def _iter_ownership(self) -> Iterator[Tuple[Partition, VnodeRef]]:
-        for ref, vnode in self.vnodes.items():
-            for partition in vnode.partitions:
-                yield partition, ref
-
-    def _ensure_router(self) -> PartitionRouter:
-        if self._router.is_stale(self._topology_version):
-            self._router.rebuild(self._iter_ownership(), self._topology_version)
-        return self._router
+    @property
+    def topology_version(self) -> int:
+        """The topology version clock (bumped on ownership changes)."""
+        return self.topology.version
 
     # --------------------------------------------------------------- replication
 
@@ -419,19 +385,9 @@ class BaseDHT(ABC):
         """Number of copies kept of every stored item (``k``, from config)."""
         return self.config.replication_factor
 
-    def _ensure_placement(self) -> ReplicaPlacement:
-        """The replica placement for the current topology (rebuilt lazily,
-        exactly like the partition router)."""
-        router = self._ensure_router()
-        if self._placement is None or self._placement.version != self._topology_version:
-            self._placement = self._placer.place(router.entries(), self._topology_version)
-        return self._placement
-
-    def _replicas_of(self, partition: Partition) -> Tuple[VnodeRef, ...]:
+    def replicas_of(self, partition: Partition) -> Tuple[VnodeRef, ...]:
         """Replica vnodes of a partition (empty when replication is off)."""
-        if self.config.replica_ranks == 0:
-            return ()
-        return self._ensure_placement().replicas_for(partition)
+        return self.placement.replicas_of(partition)
 
     def sync_replicas(self) -> SyncReport:
         """Reconcile every replica store with the current placement.
@@ -440,171 +396,48 @@ class BaseDHT(ABC):
         removal, enrollment changes, snode joins/leaves/crashes); exposed
         for callers that mutate topology through lower-level entry points.
         """
-        if self.config.replica_ranks == 0:
-            return SyncReport()
-        return sync_replicas(self.storage, self._ensure_placement())
-
-    def _sync_replicas_after_topology_change(self) -> None:
-        """Post-mutation hook: re-sync replicas unless paused or disabled."""
-        if self.config.replica_ranks == 0 or self._replica_sync_paused:
-            return
-        sync_replicas(self.storage, self._ensure_placement())
-
-    @contextmanager
-    def _deferred_replica_sync(self):
-        """Batch several topology mutations into one trailing sync pass."""
-        if self._replica_sync_paused:
-            yield
-            return
-        self._replica_sync_paused = True
-        try:
-            yield
-        finally:
-            self._replica_sync_paused = False
-            self._sync_replicas_after_topology_change()
+        return self.data.sync_replicas()
 
     def crash_snode(self, snode: SnodeLike) -> CrashReport:
         """Crash a live snode: its data is destroyed, not drained.
 
-        Every store of the snode's vnodes (primary and replica tiers) is
-        wiped, then the vnodes are dropped from the topology — partition
-        ownership moves to the survivors through the normal removal path,
-        but with nothing left to migrate — and a re-replication pass
-        rebuilds the lost primaries from surviving replicas
-        (:func:`repro.core.replication.recover_primaries`) and re-syncs
-        replica placement, so with ``replication_factor >= 2`` a
-        single-snode crash loses no data.  Crash and recovery are one
-        atomic operation: surviving replica rows are only ever consumed
-        under the same placement they were re-homed against, so no caller
-        can observe (or snapshot, or write into) a half-recovered state.
-
-        Vnodes the model refuses to remove (e.g. the last vnode of a group
-        in the local approach) stay enrolled with wiped stores — like a
-        machine rebooting after the crash — and recovery refills them too;
-        they are listed in :attr:`~repro.core.replication.CrashReport.vnodes_stuck`.
+        See :meth:`repro.core.engine.recovery.RecoveryManager.crash_snode`
+        for the full semantics (wipe, re-homing, re-replication; vnodes the
+        model refuses to remove stay enrolled with wiped stores and are
+        refilled by recovery).
         """
-        node = self.get_snode(snode)
-        refs = sorted(node.vnodes, key=lambda r: r.vnode_index, reverse=True)
-        rows_wiped = 0
-        for ref in refs:
-            rows_wiped += self.storage.wipe_vnode(ref)
-        self.storage.replication.crashes += 1
-
-        removed: List[str] = []
-        stuck: List[str] = []
-        notes: List[str] = []
-        previous = self._replica_sync_paused
-        self._replica_sync_paused = True  # survivors are the recovery sources
-        try:
-            for ref in refs:
-                try:
-                    self.remove_vnode(ref)
-                    removed.append(ref.canonical_name)
-                except ReproError as exc:
-                    stuck.append(ref.canonical_name)
-                    notes.append(f"{ref}: {exc}")
-        finally:
-            self._replica_sync_paused = previous
-        if not node.vnodes:
-            del self.snodes[node.id]
-
-        recovery, sync = self.recover()
-        return CrashReport(
-            snode=node.id.value,
-            vnodes_removed=tuple(removed),
-            vnodes_stuck=tuple(stuck),
-            rows_wiped=rows_wiped,
-            recovery=recovery,
-            sync=sync,
-            notes=tuple(notes),
-        )
+        return self.recovery.crash_snode(snode)
 
     def restart_snode(self, snode: SnodeLike) -> RestartReport:
         """Hard-restart a live snode: RAM is lost, the disk (if any) is kept.
 
-        Models a kill -9 followed by a reboot.  The snode's vnodes stay
-        enrolled in the topology — no partitions change hands — but every
-        in-memory row they held (primary and replica tiers) is dropped.
-        Recovery then chooses per vnode between replaying its durable log
-        and rebuilding from surviving replicas
-        (:func:`repro.core.replication.recover_primaries`); without a
-        durable tier at ``replication_factor == 1`` the restart simply
-        loses the snode's data, exactly like a crash.
+        See :meth:`repro.core.engine.recovery.RecoveryManager.restart_snode`:
+        models a kill -9 plus reboot; recovery then chooses per vnode
+        between replaying its durable log and copying from survivors.
         """
-        node = self.get_snode(snode)
-        refs = sorted(node.vnodes, key=lambda r: r.vnode_index)
-        rows_lost = 0
-        for ref in refs:
-            rows_lost += self.storage.lose_vnode_memory(ref)
-        self.storage.durability.restarts += 1
-        recovery, sync = self.recover()
-        return RestartReport(
-            snode=node.id.value,
-            vnodes=tuple(ref.canonical_name for ref in refs),
-            rows_lost_in_memory=rows_lost,
-            recovery=recovery,
-            sync=sync,
-        )
+        return self.recovery.restart_snode(snode)
 
     def recover(self) -> Tuple[RecoveryReport, SyncReport]:
         """Rebuild empty primaries from surviving replicas, then re-sync.
 
         Safe to call at any time; both passes are no-ops on a consistent
-        DHT (and skipped outright without replication — there are no
-        replica rows to recover from, unless a durable log is pending
-        replay after a restart).  Returns the recovery and sync reports.
+        DHT.  Returns the recovery and sync reports.
         """
-        if self.config.replica_ranks == 0 and not self.storage.has_pending_replay():
-            return RecoveryReport(), SyncReport()
-        placement = self._ensure_placement()
-        recovery = recover_primaries(self.storage, placement)
-        sync = (
-            sync_replicas(self.storage, placement)
-            if self.config.replica_ranks > 0
-            else SyncReport()
-        )
-        return recovery, sync
+        return self.recovery.recover()
 
     def verify_replication(self, deep: bool = False) -> None:
         """Check replica placement and replica/primary consistency.
 
-        Raises :class:`~repro.core.errors.ReplicationError` if replicas of a
-        partition co-locate on one snode, if any partition has fewer
-        replicas than the cluster allows, if a vnode's primary store holds
-        rows outside the partitions it owns, or if a replica store disagrees
-        with its primary (row counts always; contents with ``deep=True``).
+        Raises :class:`~repro.core.errors.ReplicationError` on co-located
+        replicas, under-replicated partitions, out-of-range primary rows or
+        replica stores disagreeing with their primaries (row counts always;
+        contents with ``deep=True``).
         """
-        if not self.vnodes:
-            return
-        # Merge-free sibling of verify_storage_consistency: every primary row
-        # must lie inside one of its vnode's owned partition ranges.
-        bh = self.hash_space.bh
-        for ref, vnode in self.vnodes.items():
-            store = self.storage._store(ref)
-            ranges = vnode.sorted_ranges(bh)
-            if not ranges:
-                if store.fast_len():
-                    raise ReplicationError(
-                        f"vnode {ref} owns no partitions but stores "
-                        f"{store.fast_len()} primary rows"
-                    )
-                continue
-            inside = int(self.storage.primary_range_counts(ref, ranges).sum())
-            if inside != store.fast_len():
-                raise ReplicationError(
-                    f"vnode {ref} holds {store.fast_len() - inside} primary rows "
-                    f"outside its owned partitions"
-                )
-        placement = self._ensure_placement()
-        hosting_snodes = len({ref.snode for ref in self.vnodes})
-        expected = min(self.config.replica_ranks, hosting_snodes - 1)
-        verify_placement(placement, expected)
-        verify_replica_consistency(self.storage, placement, deep=deep)
+        self.recovery.verify_replication(deep=deep)
 
     def find_owner(self, index: int) -> LookupResult:
         """Route a hash index to its partition, owning vnode and hosting snode."""
-        router = self._ensure_router()
-        partition, ref = router.locate(index)
+        partition, ref = self.placement.locate(index)
         vnode = self.get_vnode(ref)
         return LookupResult(
             index=index,
@@ -636,7 +469,7 @@ class BaseDHT(ABC):
                 positions=np.empty(0, dtype=np.int64),
             )
         indices = self.hash_space.hash_keys(keys)
-        router = self._ensure_router()
+        router = self.placement.router()
         positions = router.locate_batch(indices)
         route_table = {}
         for pos in np.unique(positions).tolist():
@@ -649,9 +482,7 @@ class BaseDHT(ABC):
     def put(self, key: Hashable, value: Any) -> LookupResult:
         """Store ``value`` under ``key`` at the owning vnode (and replicas)."""
         result = self.lookup(key)
-        self.storage.put(result.vnode, key, result.index, value)
-        for ref in self._replicas_of(result.partition):
-            self.storage.put_replica(ref, key, result.index, value)
+        self.data.write(result.vnode, result.partition, key, result.index, value)
         return result
 
     def get(self, key: Hashable) -> Any:
@@ -662,15 +493,7 @@ class BaseDHT(ABC):
         healed by the next :meth:`recover` / sync pass yet.
         """
         result = self.lookup(key)
-        try:
-            return self.storage.get(result.vnode, key)
-        except KeyError:
-            for ref in self._replicas_of(result.partition):
-                try:
-                    return self.storage.get_replica(ref, key)
-                except KeyError:
-                    continue
-            raise
+        return self.data.read(result.vnode, result.partition, key)
 
     def delete(self, key: Hashable) -> Any:
         """Delete and return the value stored under ``key`` (and its replicas).
@@ -682,21 +505,7 @@ class BaseDHT(ABC):
         be deleted, and no removed key is later resurrected by recovery.
         """
         result = self.lookup(key)
-        replicas = self._replicas_of(result.partition)
-        found = True
-        try:
-            value = self.storage.delete(result.vnode, key)
-        except KeyError:
-            found = False
-            value = None
-        for ref in replicas:
-            if not found and self.storage.contains_replica(ref, key):
-                value = self.storage.get_replica(ref, key)
-                found = True
-            self.storage.delete_replica(ref, key)
-        if not found:
-            raise KeyError(key)
-        return value
+        return self.data.discard(result.vnode, result.partition, key)
 
     def contains(self, key: Hashable) -> bool:
         """True if ``key`` is currently stored in the DHT (any copy)."""
@@ -704,12 +513,7 @@ class BaseDHT(ABC):
             result = self.lookup(key)
         except EmptyDHTError:
             return False
-        if self.storage.contains(result.vnode, key):
-            return True
-        return any(
-            self.storage.contains_replica(ref, key)
-            for ref in self._replicas_of(result.partition)
-        )
+        return self.data.holds(result.vnode, result.partition, key)
 
     # ------------------------------------------------------------------- bulk API
 
@@ -720,50 +524,12 @@ class BaseDHT(ABC):
     ) -> int:
         """Store a whole batch of items in one vectorized pass.
 
-        Equivalent to ``for k, v in zip(keys, values): self.put(k, v)`` —
-        same owners, same stored indices, later duplicates win — but the
-        pipeline is batch-first and columnar end to end: one
-        :meth:`HashSpace.hash_keys` call, one
-        :meth:`PartitionRouter.locate_batch` call, one stable counting sort
-        grouping the items by owning vnode, and one
-        :meth:`DHTStorage.put_batch` per touched vnode handing over array
-        slices (the storage engine merges them into its hash tier lazily;
-        see :mod:`repro.core.storage`).
-
-        ``values`` may be omitted to store ``None`` for every key (routing /
-        placement studies that don't care about payloads).  Returns the
-        number of items ingested.
+        See :meth:`repro.core.engine.storage.StorageEngine.bulk_load` — one
+        hash pass, one routing pass, one stable counting sort, one
+        ``put_batch`` per touched vnode (plus replica fan-out on the same
+        position runs).  Returns the number of items ingested.
         """
-        n = len(keys)
-        if values is not None and len(values) != n:
-            raise ValueError(f"bulk_load: {n} keys but {len(values)} values")
-        if n == 0:
-            return 0
-        with deferred_gc():
-            indices = self.hash_space.hash_keys(keys)
-            router = self._ensure_router()
-            positions = router.locate_batch(indices)
-            order, runs = _position_runs(positions)
-            keys_sorted = as_object_column(keys)[order]
-            indices_sorted = indices[order]
-            values_sorted = None if values is None else as_object_column(values)[order]
-
-            stored = 0
-            placement = self._ensure_placement() if self.config.replica_ranks else None
-            for pos, lo, hi in runs:
-                owner = router.entry_at(pos)[1]
-                vals = None if values_sorted is None else values_sorted[lo:hi]
-                stored += self.storage.put_batch(
-                    owner, keys_sorted[lo:hi], indices_sorted[lo:hi], vals
-                )
-                if placement is not None:
-                    # Replica fan-out rides the same position runs: the one
-                    # locate_batch pass above serves every replica rank.
-                    for ref in placement.replicas_at(pos):
-                        self.storage.put_replica_batch(
-                            ref, keys_sorted[lo:hi], indices_sorted[lo:hi], vals
-                        )
-            return stored
+        return self.data.bulk_load(keys, values)
 
     def get_many(self, keys: Union[Sequence[Hashable], np.ndarray]) -> List[Any]:
         """Fetch the values for a batch of keys, in input order.
@@ -772,26 +538,9 @@ class BaseDHT(ABC):
         :class:`KeyError` for absent keys) but routed in one vectorized pass
         with one :meth:`DHTStorage.get_batch` per owning vnode.
         """
-        n = len(keys)
-        if n == 0:
+        if len(keys) == 0:
             return []
-        batch = self.lookup_many(keys)
-        with deferred_gc():
-            order, runs = _position_runs(batch.positions)
-            keys_sorted = as_object_column(keys)[order]
-            out = np.empty(n, dtype=object)
-            for pos, lo, hi in runs:
-                owner = batch.route_table[pos][1]
-                keys_run = keys_sorted[lo:hi].tolist()
-                try:
-                    out[order[lo:hi]] = self.storage.get_batch(owner, keys_run)
-                except KeyError:
-                    if self.config.replica_ranks == 0:
-                        raise  # no replicas to consult: keep the fast-fail path
-                    # Primary miss (e.g. mid-crash): retry per key through the
-                    # replica-fallback scalar path; absent keys still raise.
-                    out[order[lo:hi]] = [self.get(k) for k in keys_run]
-            return out.tolist()
+        return self.data.get_many(self.lookup_many(keys), keys)
 
     def __contains__(self, key: Hashable) -> bool:
         return self.contains(key)
@@ -843,7 +592,7 @@ class BaseDHT(ABC):
         """Check invariant G1/G1': the partitions exactly tile the hash space."""
         if not self.vnodes:
             return
-        router = self._ensure_router()
+        router = self.placement.router()
         if not router.coverage_is_complete():
             raise InvariantViolation(
                 "G1", "the union of all partitions does not tile the hash space"
@@ -872,11 +621,6 @@ class BaseDHT(ABC):
         merging.
         """
 
-    def _effective_strict(self, strict: Optional[bool]) -> bool:
-        if strict is None:
-            return not (self._removals_occurred or self._load_splits_occurred)
-        return strict
-
     # ------------------------------------------------------------------- misc
 
     def describe(self) -> Dict[str, Any]:
@@ -902,3 +646,87 @@ class BaseDHT(ABC):
             f"{type(self).__name__}(snodes={self.n_snodes}, vnodes={self.n_vnodes}, "
             f"partitions={self.total_partitions})"
         )
+
+    # --------------------------------------------------- deprecated private surface
+    #
+    # Pre-engine spellings, kept for one release so downstream scripts and
+    # the existing test suite keep working.  New code should use the
+    # subsystem attributes (``topology``, ``placement``, ``data``,
+    # ``recovery``) or the public methods above.
+
+    def _bump_topology(self) -> None:
+        self.topology.bump()
+
+    def _iter_ownership(self) -> Iterator[Tuple[Partition, VnodeRef]]:
+        return self.topology.iter_ownership()
+
+    def _ensure_router(self) -> PartitionRouter:
+        return self.placement.router()
+
+    def _ensure_placement(self) -> ReplicaPlacement:
+        return self.placement.placement()
+
+    def _replicas_of(self, partition: Partition) -> Tuple[VnodeRef, ...]:
+        return self.placement.replicas_of(partition)
+
+    def _sync_replicas_after_topology_change(self) -> None:
+        self.data.sync_after_topology_change()
+
+    def _deferred_replica_sync(self):
+        return self.data.deferred_sync()
+
+    def _apply_plan(self, plan: RebalancePlan, scope: Iterable[VnodeRef]) -> None:
+        self.apply_plan(plan, scope)
+
+    def _drain_vnode(self, ref: VnodeRef, recipients: List[VnodeRef]) -> None:
+        self.drain_vnode(ref, recipients)
+
+    def _load_scopes(self) -> Dict[ScopeKey, Tuple[List[VnodeRef], int]]:
+        return self.load_scopes()
+
+    def _effective_strict(self, strict: Optional[bool]) -> bool:
+        if strict is None:
+            return not (
+                self.topology.removals_occurred or self.topology.load_splits_occurred
+            )
+        return strict
+
+    @property
+    def _topology_version(self) -> int:
+        return self.topology.version
+
+    @_topology_version.setter
+    def _topology_version(self, value: int) -> None:
+        self.topology.version = value
+
+    @property
+    def _next_snode_id(self) -> int:
+        return self.topology.next_snode_id
+
+    @_next_snode_id.setter
+    def _next_snode_id(self, value: int) -> None:
+        self.topology.next_snode_id = value
+
+    @property
+    def _removals_occurred(self) -> bool:
+        return self.topology.removals_occurred
+
+    @_removals_occurred.setter
+    def _removals_occurred(self, value: bool) -> None:
+        self.topology.removals_occurred = value
+
+    @property
+    def _load_splits_occurred(self) -> bool:
+        return self.topology.load_splits_occurred
+
+    @_load_splits_occurred.setter
+    def _load_splits_occurred(self, value: bool) -> None:
+        self.topology.load_splits_occurred = value
+
+    @property
+    def _replica_sync_paused(self) -> bool:
+        return self.data.sync_paused
+
+    @_replica_sync_paused.setter
+    def _replica_sync_paused(self, value: bool) -> None:
+        self.data.sync_paused = value

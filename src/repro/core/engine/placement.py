@@ -1,0 +1,69 @@
+"""The placement plane: routing and replica placement behind one facade.
+
+:class:`PlacementService` owns the two caches the former ``BaseDHT`` kept
+inline — the :class:`~repro.core.lookup.PartitionRouter` and the
+:class:`~repro.core.replication.ReplicaPlacement` — and rebuilds each
+lazily whenever it observes a topology version newer than the one the
+cache was built against.  Callers never invalidate anything explicitly;
+the membership plane's version clock is the only coupling.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.engine.interfaces import TopologyProtocol
+from repro.core.hashspace import HashSpace, Partition
+from repro.core.ids import VnodeRef
+from repro.core.lookup import PartitionRouter
+from repro.core.replication import ReplicaPlacement, ReplicaPlacer
+
+
+class PlacementService:
+    """Versioned-cache facade over the router and the replica placer."""
+
+    def __init__(
+        self,
+        hash_space: HashSpace,
+        topology: TopologyProtocol,
+        replication_factor: int,
+        replica_ranks: int,
+    ) -> None:
+        self._topology = topology
+        self._router = PartitionRouter(hash_space)
+        self._placer = ReplicaPlacer(replication_factor)
+        self._placement: "ReplicaPlacement | None" = None
+        self._replica_ranks = replica_ranks
+
+    def router(self) -> PartitionRouter:
+        """The partition router for the current topology (rebuilt lazily)."""
+        if self._router.is_stale(self._topology.version):
+            self._router.rebuild(self._topology.iter_ownership(), self._topology.version)
+        return self._router
+
+    def placement(self) -> ReplicaPlacement:
+        """The replica placement for the current topology (rebuilt lazily,
+        exactly like the partition router)."""
+        router = self.router()
+        if self._placement is None or self._placement.version != self._topology.version:
+            self._placement = self._placer.place(router.entries(), self._topology.version)
+        return self._placement
+
+    def replicas_of(self, partition: Partition) -> Tuple[VnodeRef, ...]:
+        """Replica vnodes of a partition (empty when replication is off)."""
+        if self._replica_ranks == 0:
+            return ()
+        return self.placement().replicas_for(partition)
+
+    def locate(self, index: int) -> Tuple[Partition, VnodeRef]:
+        """Route one hash index to its ``(partition, owning vnode)``."""
+        return self.router().locate(index)
+
+    def locate_batch(self, indices: np.ndarray) -> np.ndarray:
+        """Route a whole array of hash indexes to routing-table positions."""
+        return self.router().locate_batch(indices)
+
+
+__all__ = ["PlacementService"]

@@ -1,0 +1,200 @@
+"""The failure plane: snode crash/restart handling and verification.
+
+:class:`RecoveryManager` owns the failure semantics the former ``BaseDHT``
+implemented inline: crashing a snode (stores wiped, partitions re-homed,
+primaries rebuilt from surviving replicas), hard-restarting one (RAM lost,
+durable log kept, cheapest-of recovery between log replay and replica
+copy), and the replication verifier.
+
+Vnode removal is model-specific — the global approach drains into every
+survivor, the local approach within the victim's group — so the manager
+delegates it back through the narrow
+:class:`~repro.core.engine.interfaces.MembershipOps` protocol (implemented
+by the DHT shell) instead of knowing the models.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.core.engine.interfaces import MembershipOps, TopologyProtocol
+from repro.core.engine.placement import PlacementService
+from repro.core.engine.storage import StorageEngine
+from repro.core.errors import ReplicationError, ReproError
+from repro.core.hashspace import HashSpace
+from repro.core.replication import (
+    CrashReport,
+    RecoveryReport,
+    RestartReport,
+    SyncReport,
+    recover_primaries,
+    sync_replicas,
+    verify_placement,
+    verify_replica_consistency,
+)
+
+
+class RecoveryManager:
+    """Crash/restart recovery and replication verification."""
+
+    def __init__(
+        self,
+        topology: TopologyProtocol,
+        placement: PlacementService,
+        data: StorageEngine,
+        membership: MembershipOps,
+        hash_space: HashSpace,
+        replica_ranks: int,
+    ) -> None:
+        self._topology = topology
+        self._placement = placement
+        self._data = data
+        self._membership = membership
+        self._hash_space = hash_space
+        self._replica_ranks = replica_ranks
+
+    def crash_snode(self, snode: Any) -> CrashReport:
+        """Crash a live snode: its data is destroyed, not drained.
+
+        Every store of the snode's vnodes (primary and replica tiers) is
+        wiped, then the vnodes are dropped from the topology — partition
+        ownership moves to the survivors through the normal removal path,
+        but with nothing left to migrate — and a re-replication pass
+        rebuilds the lost primaries from surviving replicas
+        (:func:`repro.core.replication.recover_primaries`) and re-syncs
+        replica placement, so with ``replication_factor >= 2`` a
+        single-snode crash loses no data.  Crash and recovery are one
+        atomic operation: surviving replica rows are only ever consumed
+        under the same placement they were re-homed against, so no caller
+        can observe (or snapshot, or write into) a half-recovered state.
+
+        Vnodes the model refuses to remove (e.g. the last vnode of a group
+        in the local approach) stay enrolled with wiped stores — like a
+        machine rebooting after the crash — and recovery refills them too;
+        they are listed in :attr:`~repro.core.replication.CrashReport.vnodes_stuck`.
+        """
+        store = self._data.store
+        node = self._topology.resolve_snode(snode)
+        refs = sorted(node.vnodes, key=lambda r: r.vnode_index, reverse=True)
+        rows_wiped = 0
+        for ref in refs:
+            rows_wiped += store.wipe_vnode(ref)
+        store.replication.crashes += 1
+
+        removed: List[str] = []
+        stuck: List[str] = []
+        notes: List[str] = []
+        previous = self._data.sync_paused
+        self._data.sync_paused = True  # survivors are the recovery sources
+        try:
+            for ref in refs:
+                try:
+                    self._membership.remove_vnode(ref)
+                    removed.append(ref.canonical_name)
+                except ReproError as exc:
+                    stuck.append(ref.canonical_name)
+                    notes.append(f"{ref}: {exc}")
+        finally:
+            self._data.sync_paused = previous
+        if not node.vnodes:
+            self._topology.drop_snode(node.id)
+
+        recovery, sync = self.recover()
+        return CrashReport(
+            snode=node.id.value,
+            vnodes_removed=tuple(removed),
+            vnodes_stuck=tuple(stuck),
+            rows_wiped=rows_wiped,
+            recovery=recovery,
+            sync=sync,
+            notes=tuple(notes),
+        )
+
+    def restart_snode(self, snode: Any) -> RestartReport:
+        """Hard-restart a live snode: RAM is lost, the disk (if any) is kept.
+
+        Models a kill -9 followed by a reboot.  The snode's vnodes stay
+        enrolled in the topology — no partitions change hands — but every
+        in-memory row they held (primary and replica tiers) is dropped.
+        Recovery then chooses per vnode between replaying its durable log
+        and rebuilding from surviving replicas
+        (:func:`repro.core.replication.recover_primaries`); without a
+        durable tier at ``replication_factor == 1`` the restart simply
+        loses the snode's data, exactly like a crash.
+        """
+        store = self._data.store
+        node = self._topology.resolve_snode(snode)
+        refs = sorted(node.vnodes, key=lambda r: r.vnode_index)
+        rows_lost = 0
+        for ref in refs:
+            rows_lost += store.lose_vnode_memory(ref)
+        store.durability.restarts += 1
+        recovery, sync = self.recover()
+        return RestartReport(
+            snode=node.id.value,
+            vnodes=tuple(ref.canonical_name for ref in refs),
+            rows_lost_in_memory=rows_lost,
+            recovery=recovery,
+            sync=sync,
+        )
+
+    def recover(self) -> Tuple[RecoveryReport, SyncReport]:
+        """Rebuild empty primaries from surviving replicas, then re-sync.
+
+        Safe to call at any time; both passes are no-ops on a consistent
+        DHT (and skipped outright without replication — there are no
+        replica rows to recover from, unless a durable log is pending
+        replay after a restart).  Returns the recovery and sync reports.
+        """
+        store = self._data.store
+        if self._replica_ranks == 0 and not store.has_pending_replay():
+            return RecoveryReport(), SyncReport()
+        placement = self._placement.placement()
+        recovery = recover_primaries(store, placement)
+        sync = (
+            sync_replicas(store, placement)
+            if self._replica_ranks > 0
+            else SyncReport()
+        )
+        return recovery, sync
+
+    def verify_replication(self, deep: bool = False) -> None:
+        """Check replica placement and replica/primary consistency.
+
+        Raises :class:`~repro.core.errors.ReplicationError` if replicas of a
+        partition co-locate on one snode, if any partition has fewer
+        replicas than the cluster allows, if a vnode's primary store holds
+        rows outside the partitions it owns, or if a replica store disagrees
+        with its primary (row counts always; contents with ``deep=True``).
+        """
+        vnodes = self._topology.vnodes
+        if not vnodes:
+            return
+        store = self._data.store
+        # Merge-free sibling of verify_storage_consistency: every primary row
+        # must lie inside one of its vnode's owned partition ranges.
+        bh = self._hash_space.bh
+        for ref, vnode in vnodes.items():
+            primary = store.primary_store(ref)
+            ranges = vnode.sorted_ranges(bh)
+            if not ranges:
+                if primary.fast_len():
+                    raise ReplicationError(
+                        f"vnode {ref} owns no partitions but stores "
+                        f"{primary.fast_len()} primary rows"
+                    )
+                continue
+            inside = int(store.primary_range_counts(ref, ranges).sum())
+            if inside != primary.fast_len():
+                raise ReplicationError(
+                    f"vnode {ref} holds {primary.fast_len() - inside} primary rows "
+                    f"outside its owned partitions"
+                )
+        placement = self._placement.placement()
+        hosting_snodes = len({ref.snode for ref in vnodes})
+        expected = min(self._replica_ranks, hosting_snodes - 1)
+        verify_placement(placement, expected)
+        verify_replica_consistency(store, placement, deep=deep)
+
+
+__all__ = ["RecoveryManager"]

@@ -1,0 +1,271 @@
+"""The data plane: replica-fanout reads/writes and sync orchestration.
+
+:class:`StorageEngine` wraps the columnar :class:`~repro.core.storage.DHTStorage`
+(hash tier + segments + durable log) with everything the former ``BaseDHT``
+layered on top of it:
+
+* scalar reads/writes that fan out to (or fall back on) the partition's
+  replicas, given a routing decision made by the placement plane;
+* the batch-first bulk pipelines (:meth:`bulk_load`, :meth:`get_many`) —
+  one hash pass, one ``locate_batch`` pass, one stable counting sort, one
+  ``put_batch``/``get_batch`` per touched vnode;
+* replica-sync orchestration: the ``sync_paused`` flag and
+  :meth:`deferred_sync` batch several topology mutations into a single
+  trailing :func:`~repro.core.replication.sync_replicas` pass.
+
+The engine never inspects the topology registries; its only upstream
+dependency is the :class:`~repro.core.engine.placement.PlacementService`
+facade (and the hash space for key hashing).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import (
+    Any,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.engine.placement import PlacementService
+from repro.core.hashspace import HashSpace, Partition
+from repro.core.ids import VnodeRef
+from repro.core.lookup import BatchLookupResult
+from repro.core.replication import SyncReport, sync_replicas
+from repro.core.storage import DHTStorage
+from repro.utils.arrays import as_object_column
+from repro.utils.gcscope import deferred_gc
+
+
+def _position_runs(positions: np.ndarray) -> Tuple[np.ndarray, List[Tuple[int, int, int]]]:
+    """Group a batch by routing-table position into contiguous runs.
+
+    Returns ``(order, runs)``: a stable argsort of ``positions`` (each
+    position's items form one contiguous run while keeping input order
+    inside the run, so duplicate keys stay last-write-wins) and, per
+    position present in the batch, a ``(position, lo, hi)`` slice of that
+    sorted order.  Shared by :meth:`StorageEngine.bulk_load` and
+    :meth:`StorageEngine.get_many`.
+    """
+    order = np.argsort(positions, kind="stable")
+    counts = np.bincount(positions)
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    runs = [
+        (pos, int(bounds[pos]), int(bounds[pos + 1]))
+        for pos in np.flatnonzero(counts).tolist()
+    ]
+    return order, runs
+
+
+class StorageEngine:
+    """Replica-aware data plane over one :class:`DHTStorage` instance."""
+
+    def __init__(
+        self,
+        store: DHTStorage,
+        placement: PlacementService,
+        hash_space: HashSpace,
+        replica_ranks: int,
+    ) -> None:
+        self.store = store
+        self._placement = placement
+        self._hash_space = hash_space
+        self._replica_ranks = replica_ranks
+        #: While True, topology mutations skip their trailing replica sync
+        #: (one batched pass runs when the pause lifts; see
+        #: :meth:`deferred_sync`).
+        self.sync_paused = False
+
+    # --------------------------------------------------------------- registration
+
+    def register_vnode(self, ref: VnodeRef) -> None:
+        """Create the primary/replica stores backing a new vnode."""
+        self.store.register_vnode(ref)
+
+    def unregister_vnode(self, ref: VnodeRef) -> None:
+        """Drop the (empty) stores of a removed vnode."""
+        self.store.unregister_vnode(ref)
+
+    # ----------------------------------------------------------------- data plane
+
+    def write(
+        self, owner: VnodeRef, partition: Partition, key: Hashable, index: int, value: Any
+    ) -> None:
+        """Store one item at its owner and fan it out to the replicas."""
+        self.store.put(owner, key, index, value)
+        for ref in self._placement.replicas_of(partition):
+            self.store.put_replica(ref, key, index, value)
+
+    def read(self, owner: VnodeRef, partition: Partition, key: Hashable) -> Any:
+        """Fetch one item, falling back to the partition's replicas when the
+        primary misses — e.g. a primary store that lost rows in place and
+        has not been healed by the next recovery / sync pass yet."""
+        try:
+            return self.store.get(owner, key)
+        except KeyError:
+            for ref in self._placement.replicas_of(partition):
+                try:
+                    return self.store.get_replica(ref, key)
+                except KeyError:
+                    continue
+            raise
+
+    def discard(self, owner: VnodeRef, partition: Partition, key: Hashable) -> Any:
+        """Delete one item from its owner and every replica.
+
+        Mirrors :meth:`read`'s fallback: when the primary misses but a
+        replica still holds the key (an in-place damaged primary awaiting
+        the next recovery pass), the replica copies are deleted and the
+        value returned — anything :meth:`holds` reports as present can be
+        deleted, and no removed key is later resurrected by recovery.
+        """
+        replicas = self._placement.replicas_of(partition)
+        found = True
+        try:
+            value = self.store.delete(owner, key)
+        except KeyError:
+            found = False
+            value = None
+        for ref in replicas:
+            if not found and self.store.contains_replica(ref, key):
+                value = self.store.get_replica(ref, key)
+                found = True
+            self.store.delete_replica(ref, key)
+        if not found:
+            raise KeyError(key)
+        return value
+
+    def holds(self, owner: VnodeRef, partition: Partition, key: Hashable) -> bool:
+        """True if any copy of ``key`` (primary or replica) is stored."""
+        if self.store.contains(owner, key):
+            return True
+        return any(
+            self.store.contains_replica(ref, key)
+            for ref in self._placement.replicas_of(partition)
+        )
+
+    # ------------------------------------------------------------------- bulk API
+
+    def bulk_load(
+        self,
+        keys: Union[Sequence[Hashable], np.ndarray],
+        values: Optional[Union[Sequence[Any], np.ndarray]] = None,
+    ) -> int:
+        """Store a whole batch of items in one vectorized pass.
+
+        Equivalent to ``for k, v in zip(keys, values): dht.put(k, v)`` —
+        same owners, same stored indices, later duplicates win — but the
+        pipeline is batch-first and columnar end to end: one
+        :meth:`HashSpace.hash_keys` call, one
+        :meth:`~repro.core.lookup.PartitionRouter.locate_batch` call, one
+        stable counting sort grouping the items by owning vnode, and one
+        :meth:`DHTStorage.put_batch` per touched vnode handing over array
+        slices (the storage layer merges them into its hash tier lazily;
+        see :mod:`repro.core.storage`).
+
+        ``values`` may be omitted to store ``None`` for every key (routing /
+        placement studies that don't care about payloads).  Returns the
+        number of items ingested.
+        """
+        n = len(keys)
+        if values is not None and len(values) != n:
+            raise ValueError(f"bulk_load: {n} keys but {len(values)} values")
+        if n == 0:
+            return 0
+        with deferred_gc():
+            indices = self._hash_space.hash_keys(keys)
+            router = self._placement.router()
+            positions = router.locate_batch(indices)
+            order, runs = _position_runs(positions)
+            keys_sorted = as_object_column(keys)[order]
+            indices_sorted = indices[order]
+            values_sorted = None if values is None else as_object_column(values)[order]
+
+            stored = 0
+            placement = self._placement.placement() if self._replica_ranks else None
+            for pos, lo, hi in runs:
+                owner = router.entry_at(pos)[1]
+                vals = None if values_sorted is None else values_sorted[lo:hi]
+                stored += self.store.put_batch(
+                    owner, keys_sorted[lo:hi], indices_sorted[lo:hi], vals
+                )
+                if placement is not None:
+                    # Replica fan-out rides the same position runs: the one
+                    # locate_batch pass above serves every replica rank.
+                    for ref in placement.replicas_at(pos):
+                        self.store.put_replica_batch(
+                            ref, keys_sorted[lo:hi], indices_sorted[lo:hi], vals
+                        )
+            return stored
+
+    def get_many(
+        self, batch: BatchLookupResult, keys: Union[Sequence[Hashable], np.ndarray]
+    ) -> List[Any]:
+        """Fetch the values for an already-routed batch, in input order.
+
+        ``batch`` is the :class:`BatchLookupResult` routing ``keys`` (one
+        position per key).  Equivalent to ``[dht.get(k) for k in keys]``
+        (including raising :class:`KeyError` for absent keys) but with one
+        :meth:`DHTStorage.get_batch` per owning vnode.
+        """
+        n = len(keys)
+        with deferred_gc():
+            order, runs = _position_runs(batch.positions)
+            keys_sorted = as_object_column(keys)[order]
+            out = np.empty(n, dtype=object)
+            for pos, lo, hi in runs:
+                partition, owner = batch.route_table[pos][0], batch.route_table[pos][1]
+                keys_run = keys_sorted[lo:hi].tolist()
+                try:
+                    out[order[lo:hi]] = self.store.get_batch(owner, keys_run)
+                except KeyError:
+                    if self._replica_ranks == 0:
+                        raise  # no replicas to consult: keep the fast-fail path
+                    # Primary miss (e.g. mid-crash): retry per key through the
+                    # replica-fallback scalar path; absent keys still raise.
+                    out[order[lo:hi]] = [
+                        self.read(owner, partition, k) for k in keys_run
+                    ]
+            return out.tolist()
+
+    # ---------------------------------------------------------------- replica sync
+
+    def sync_replicas(self) -> SyncReport:
+        """Reconcile every replica store with the current placement.
+
+        Runs automatically after every topology change (vnode creation and
+        removal, enrollment changes, snode joins/leaves/crashes); exposed
+        for callers that mutate topology through lower-level entry points.
+        """
+        if self._replica_ranks == 0:
+            return SyncReport()
+        return sync_replicas(self.store, self._placement.placement())
+
+    def sync_after_topology_change(self) -> None:
+        """Post-mutation hook: re-sync replicas unless paused or disabled."""
+        if self._replica_ranks == 0 or self.sync_paused:
+            return
+        sync_replicas(self.store, self._placement.placement())
+
+    @contextmanager
+    def deferred_sync(self) -> Iterator[None]:
+        """Batch several topology mutations into one trailing sync pass."""
+        if self.sync_paused:
+            yield
+            return
+        self.sync_paused = True
+        try:
+            yield
+        finally:
+            self.sync_paused = False
+            self.sync_after_topology_change()
+
+
+__all__ = ["StorageEngine", "_position_runs"]

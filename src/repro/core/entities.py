@@ -5,7 +5,7 @@ paper): they own actual :class:`~repro.core.hashspace.Partition` objects and
 the key/value items stored under them.  The *record layer*
 (:mod:`repro.core.records`) holds only partition counts; the DHT classes in
 :mod:`repro.core.global_model` / :mod:`repro.core.local_model` keep the two
-layers consistent by applying every :class:`~repro.core.balancer.RebalancePlan`
+layers consistent by applying every :class:`~repro.core.rebalance.RebalancePlan`
 to both.
 """
 

@@ -70,15 +70,15 @@ class GlobalDHT(BaseDHT):
             self.splitlevel = self.config.initial_splitlevel
             for partition in iter_level_partitions(self.splitlevel):
                 vnode.add_partition(partition)
-            self._bump_topology()
-            self._sync_replicas_after_topology_change()
+            self.topology.bump()
+            self.data.sync_after_topology_change()
             return ref
 
         # Mirror the plan on the entity layer; split-all cascades raise the
         # global splitlevel (all partitions are split, G3 is preserved).
         self.splitlevel += len(plan.split_alls)
-        self._apply_plan(plan, scope=list(self.vnodes.keys()))
-        self._sync_replicas_after_topology_change()
+        self.apply_plan(plan, scope=list(self.vnodes.keys()))
+        self.data.sync_after_topology_change()
         return ref
 
     # ------------------------------------------------------------------ removal
@@ -104,18 +104,18 @@ class GlobalDHT(BaseDHT):
                 vnode.remove_partition(partition)
             self._unregister_vnode(ref)
             self.splitlevel = self.config.initial_splitlevel
-            self._sync_replicas_after_topology_change()
+            self.data.sync_after_topology_change()
             return
 
-        self._drain_vnode(ref, others)
+        self.drain_vnode(ref, others)
         self.gpdr.remove_vnode(ref)
         self._sync_record_counts(others)
         self._unregister_vnode(ref)
-        self._sync_replicas_after_topology_change()
+        self.data.sync_after_topology_change()
 
     # ------------------------------------------------------- rebalancing engine hooks
 
-    def _load_scopes(self) -> Dict[ScopeKey, Tuple[List[VnodeRef], int]]:
+    def load_scopes(self) -> Dict[ScopeKey, Tuple[List[VnodeRef], int]]:
         """The global approach is one balancing scope: every vnode, one splitlevel."""
         return {None: (list(self.vnodes), self.splitlevel)}
 

@@ -143,8 +143,8 @@ class LocalDHT(BaseDHT):
             plan_vnode_creation(group.lpdr, ref, self.config.pmin)
             for partition in iter_level_partitions(group.splitlevel):
                 vnode.add_partition(partition)
-            self._bump_topology()
-            self._sync_replicas_after_topology_change()
+            self.topology.bump()
+            self.data.sync_after_topology_change()
             return ref
 
         # Select the victim group by random lookup (probability = group quota).
@@ -162,8 +162,8 @@ class LocalDHT(BaseDHT):
 
         target_group.attach_entity(vnode)
         plan = plan_vnode_creation(target_group.lpdr, ref, self.config.pmin)
-        self._apply_plan(plan, scope=list(target_group.vnodes.keys()))
-        self._sync_replicas_after_topology_change()
+        self.apply_plan(plan, scope=list(target_group.vnodes.keys()))
+        self.data.sync_after_topology_change()
         return ref
 
     def _split_group(self, group: Group) -> Tuple[Group, Group]:
@@ -229,18 +229,18 @@ class LocalDHT(BaseDHT):
             group.remove_vnode(ref)
             del self.groups[group.id]
             self._unregister_vnode(ref)
-            self._sync_replicas_after_topology_change()
+            self.data.sync_after_topology_change()
             return
 
-        self._drain_vnode(ref, others)
+        self.drain_vnode(ref, others)
         group.remove_vnode(ref)
         self._sync_record_counts(others)
         self._unregister_vnode(ref)
-        self._sync_replicas_after_topology_change()
+        self.data.sync_after_topology_change()
 
     # ------------------------------------------------------- rebalancing engine hooks
 
-    def _load_scopes(self) -> Dict[ScopeKey, Tuple[List[VnodeRef], int]]:
+    def load_scopes(self) -> Dict[ScopeKey, Tuple[List[VnodeRef], int]]:
         """One balancing scope per group (L1: groups partition the vnode set)."""
         return {
             gid: (list(group.vnodes), group.splitlevel)

@@ -5,11 +5,11 @@ shared Plan/Action vocabulary, by three *policies*:
 
 * the **creation policy** (:func:`plan_vnode_creation`) — the algorithm of
   section 2.5, run whenever a vnode is created (it used to live in
-  :mod:`repro.core.balancer`, which now re-exports it);
+  the retired ``repro.core.balancer`` module);
 * the **removal policy** (:func:`plan_vnode_removal`) — the library's
   removal extension: hand each partition of a leaving vnode to the
   least-loaded recipient (previously an inline loop in
-  :meth:`repro.core.base.BaseDHT._drain_vnode`);
+  :meth:`repro.core.base.BaseDHT.drain_vnode`);
 * the **load-aware policy** (:func:`measure_loads` /
   :func:`plan_load_round`) — new with this engine: read the *measured*
   per-partition item loads (merge-free, via
@@ -563,7 +563,7 @@ def measure_loads(dht: "BaseDHT") -> LoadSnapshot:
     counts: Dict[VnodeRef, int] = {}
     scope_levels: Dict[ScopeKey, int] = {}
     scope_members: Dict[ScopeKey, Tuple[VnodeRef, ...]] = {}
-    for scope, (members, level) in dht._load_scopes().items():
+    for scope, (members, level) in dht.load_scopes().items():
         scope_levels[scope] = level
         scope_members[scope] = tuple(members)
         for ref in members:

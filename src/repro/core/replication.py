@@ -257,8 +257,8 @@ def _primary_counts(
     for pos, ref in enumerate(placement.primaries):
         by_primary.setdefault(ref, []).append(pos)
     for ref, positions in by_primary.items():
-        starts, lasts = storage._range_arrays([pairs[p] for p in positions])
-        counts[positions] = storage._store(ref).count_buckets(starts, lasts)
+        starts, lasts = storage.range_arrays([pairs[p] for p in positions])
+        counts[positions] = storage.primary_store(ref).count_buckets(starts, lasts)
     return counts
 
 
@@ -290,7 +290,7 @@ def sync_replicas(storage: DHTStorage, placement: ReplicaPlacement) -> SyncRepor
     stats.syncs += 1
 
     if placement.n_ranks == 0 or placement.n_positions == 0:
-        for store in storage._replica_stores.values():
+        for store in [s for _, s in storage.replica_store_items()]:
             report.rows_dropped += store.wipe()
         stats.rows_dropped += report.rows_dropped
         return report
@@ -298,7 +298,7 @@ def sync_replicas(storage: DHTStorage, placement: ReplicaPlacement) -> SyncRepor
     pairs = _range_pairs(storage, placement)
     primary_counts = _primary_counts(storage, placement, pairs)
     if bool(np.any(primary_counts == 0)) and any(
-        store.fast_len() for store in storage._replica_stores.values()
+        store.fast_len() for store in [s for _, s in storage.replica_store_items()]
     ):
         # Empty primaries with surviving replica rows anywhere: restore them
         # first, or the retain/refill below would destroy the last copies.
@@ -309,23 +309,23 @@ def sync_replicas(storage: DHTStorage, placement: ReplicaPlacement) -> SyncRepor
         if recovery.rows_restored:
             primary_counts = _primary_counts(storage, placement, pairs)
 
-    for ref, store in storage._replica_stores.items():
+    for ref, store in storage.replica_store_items():
         positions = placement.positions_of.get(ref)
         if not positions:
             report.rows_dropped += store.wipe()
             continue
-        starts, lasts = storage._range_arrays([pairs[p] for p in positions])
+        starts, lasts = storage.range_arrays([pairs[p] for p in positions])
         report.rows_dropped += store.drop_outside(starts, lasts)
         have = store.count_buckets(starts, lasts)
         for k, pos in enumerate(positions):
             need = int(primary_counts[pos])
             if int(have[k]) == need:
                 continue
-            single = storage._range_arrays([pairs[pos]])
+            single = storage.range_arrays([pairs[pos]])
             if int(have[k]):
                 report.rows_dropped += _parts_size(store.pop_buckets(*single)[0])
             if need:
-                source = storage._store(placement.primaries[pos])
+                source = storage.primary_store(placement.primaries[pos])
                 parts = source.copy_buckets(*single)[0]
                 store.adopt_parts(*parts)
                 report.rows_refilled += need
@@ -384,8 +384,8 @@ def recover_primaries(
     best_rows = np.zeros(len(needy), dtype=np.int64)
     best_source: List[Optional[VnodeRef]] = [None] * len(needy)
     if needy:
-        starts, lasts = storage._range_arrays(needy_pairs)
-        for ref, store in storage._replica_stores.items():
+        starts, lasts = storage.range_arrays(needy_pairs)
+        for ref, store in storage.replica_store_items():
             if store.fast_len() == 0:
                 continue
             counts = store.count_buckets(starts, lasts)
@@ -402,9 +402,9 @@ def recover_primaries(
         if source is None:
             report.ranges_without_source += 1
             continue
-        single = storage._range_arrays([needy_pairs[k]])
-        parts = storage._replica(source).pop_buckets(*single)[0]
-        storage._store(placement.primaries[pos]).adopt_parts(*parts)
+        single = storage.range_arrays([needy_pairs[k]])
+        parts = storage.replica_store(source).pop_buckets(*single)[0]
+        storage.primary_store(placement.primaries[pos]).adopt_parts(*parts)
         report.rows_restored += _parts_size(parts)
         report.ranges_restored += 1
 
@@ -512,7 +512,7 @@ def verify_replica_consistency(
     pairs = _range_pairs(storage, placement)
     primary_counts = _primary_counts(storage, placement, pairs)
 
-    for ref, store in storage._replica_stores.items():
+    for ref, store in storage.replica_store_items():
         positions = placement.positions_of.get(ref, ())
         if not positions:
             if store.fast_len():
@@ -521,7 +521,7 @@ def verify_replica_consistency(
                     f"placement assigns it none"
                 )
             continue
-        starts, lasts = storage._range_arrays([pairs[p] for p in positions])
+        starts, lasts = storage.range_arrays([pairs[p] for p in positions])
         have = store.count_buckets(starts, lasts)
         if int(have.sum()) != store.fast_len():
             raise ReplicationError(
@@ -531,7 +531,7 @@ def verify_replica_consistency(
         for k, pos in enumerate(positions):
             if int(have[k]) == int(primary_counts[pos]):
                 continue
-            primary_store = storage._store(placement.primaries[pos])
+            primary_store = storage.primary_store(placement.primaries[pos])
             if _merged_range_rows(store, pairs[pos]) == _merged_range_rows(
                 primary_store, pairs[pos]
             ):
@@ -547,9 +547,9 @@ def verify_replica_consistency(
 
     range_starts = [pair[0] for pair in pairs]
     primary_dicts = {
-        ref: storage._store(ref).raw_dict() for ref in set(placement.primaries)
+        ref: storage.primary_store(ref).raw_dict() for ref in set(placement.primaries)
     }
-    for ref, store in storage._replica_stores.items():
+    for ref, store in storage.replica_store_items():
         for key, item in store.raw_dict().items():
             pos = bisect.bisect_right(range_starts, item[0]) - 1
             if pos < 0 or not (pairs[pos][0] <= item[0] <= pairs[pos][1]):

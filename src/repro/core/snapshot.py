@@ -98,9 +98,9 @@ def snapshot_dht(dht: AnyDHT, include_data: bool = True) -> Dict[str, Any]:
         "version": SNAPSHOT_VERSION,
         "approach": dht.approach,
         "config": config,
-        "next_snode_id": dht._next_snode_id,
-        "removals_occurred": dht._removals_occurred,
-        "load_splits_occurred": dht._load_splits_occurred,
+        "next_snode_id": dht.topology.next_snode_id,
+        "removals_occurred": dht.topology.removals_occurred,
+        "load_splits_occurred": dht.topology.load_splits_occurred,
         "snodes": snodes,
         "vnodes": vnodes,
         "migration_stats": {
@@ -128,7 +128,7 @@ def snapshot_dht(dht: AnyDHT, include_data: bool = True) -> Dict[str, Any]:
         items: List[Dict[str, Any]] = []
         replica_items: List[Dict[str, Any]] = []
         for ref in dht.vnodes:
-            for key, item in dht.storage._store(ref).items():
+            for key, item in dht.storage.primary_rows(ref):
                 items.append(
                     {
                         "vnode": ref.canonical_name,
@@ -137,7 +137,7 @@ def snapshot_dht(dht: AnyDHT, include_data: bool = True) -> Dict[str, Any]:
                         "value": item.value,
                     }
                 )
-            for key, item in dht.storage._replica(ref).items():
+            for key, item in dht.storage.replica_rows(ref):
                 replica_items.append(
                     {
                         "vnode": ref.canonical_name,
@@ -189,7 +189,7 @@ def _routed_positions(dht: AnyDHT, ref: VnodeRef, triples: List[Tuple[Any, int, 
                 f"snapshot corrupt: item {key!r} at vnode {ref} has a "
                 f"non-integer hash index {index!r}"
             )
-    router = dht._ensure_router()
+    router = dht.placement.router()
     try:
         if dht.hash_space.bh <= 64:
             indexes = np.array([t[1] for t in triples], dtype=np.uint64)
@@ -212,7 +212,7 @@ def _verify_item_ownership(dht: AnyDHT, ref: VnodeRef, triples: List[Tuple[Any, 
     distinct routing-table position.
     """
     positions = _routed_positions(dht, ref, triples)
-    router = dht._ensure_router()
+    router = dht.placement.router()
     for pos in np.unique(positions).tolist():
         owner = router.entry_at(int(pos))[1]
         if owner != ref:
@@ -230,7 +230,7 @@ def _verify_replica_ownership(
     """Raise :class:`ReproError` unless ``ref`` legitimately replicates every
     item — i.e. the current placement assigns it the item's partition."""
     positions = _routed_positions(dht, ref, triples)
-    placement = dht._ensure_placement()
+    placement = dht.placement.placement()
     for pos in np.unique(positions).tolist():
         if ref not in placement.replicas_at(int(pos)):
             offender = int(np.flatnonzero(positions == pos)[0])
@@ -281,7 +281,7 @@ def restore_dht(snapshot: Dict[str, Any], rng: RngLike = None) -> AnyDHT:
             f"snapshot corrupt: next_snode_id {next_snode_id} collides with an "
             f"existing snode id (future enrollments would reuse it)"
         )
-    dht._next_snode_id = next_snode_id
+    dht.topology.next_snode_id = next_snode_id
 
     # Vnodes and their partitions (hosts and refs validated as we go).
     for entry in snapshot["vnodes"]:
@@ -329,9 +329,9 @@ def restore_dht(snapshot: Dict[str, Any], rng: RngLike = None) -> AnyDHT:
         for ref, vnode in dht.vnodes.items():
             dht.gpdr.add_vnode(ref, vnode.partition_count)
 
-    dht._removals_occurred = snapshot.get("removals_occurred", False)
-    dht._load_splits_occurred = snapshot.get("load_splits_occurred", False)
-    dht._bump_topology()
+    dht.topology.removals_occurred = snapshot.get("removals_occurred", False)
+    dht.topology.load_splits_occurred = snapshot.get("load_splits_occurred", False)
+    dht.topology.bump()
     if dht.vnodes:
         dht.verify_coverage()
 

@@ -660,19 +660,41 @@ class DHTStorage:
         """True if a store exists for the vnode."""
         return ref in self._stores
 
-    def _store(self, ref: VnodeRef) -> VnodeStore:
+    def primary_store(self, ref: VnodeRef) -> VnodeStore:
+        """The vnode's primary :class:`VnodeStore`.
+
+        Interface method for the engine subsystems (placement-aware sync,
+        recovery, snapshots) that need direct columnar access —
+        ``count_buckets`` / ``pop_buckets`` / ``adopt_parts`` — to one
+        vnode's primary tier.  Raises :class:`UnknownVnodeError` for vnodes
+        without registered storage.
+        """
         try:
             return self._stores[ref]
         except KeyError:
             raise UnknownVnodeError(f"no storage registered for vnode {ref}") from None
 
-    def _replica(self, ref: VnodeRef) -> VnodeStore:
+    def replica_store(self, ref: VnodeRef) -> VnodeStore:
+        """The vnode's replica-tier :class:`VnodeStore` (see :meth:`primary_store`)."""
         try:
             return self._replica_stores[ref]
         except KeyError:
             raise UnknownVnodeError(
                 f"no replica storage registered for vnode {ref}"
             ) from None
+
+    def replica_store_items(self) -> Iterator[Tuple[VnodeRef, VnodeStore]]:
+        """Iterate ``(vnode, replica store)`` pairs in registration order.
+
+        The replica-sync and recovery passes walk every replica tier; this
+        is their sanctioned way in (instead of reaching for the private
+        store dictionaries).
+        """
+        return iter(self._replica_stores.items())
+
+    # Internal aliases kept short for the hot paths below.
+    _store = primary_store
+    _replica = replica_store
 
     # -- client operations ---------------------------------------------------------
 
@@ -894,6 +916,18 @@ class DHTStorage:
         """All primary ``(key, value)`` pairs stored at a vnode."""
         return [(k, item[1]) for k, item in self._store(ref).raw_dict().items()]
 
+    def primary_rows(self, ref: VnodeRef) -> List[Tuple[Hashable, StoredItem]]:
+        """All primary ``(key, (index, value))`` rows stored at a vnode.
+
+        Unlike :meth:`items_of` this keeps the hash index, which snapshots
+        and the golden-equivalence harness need to round-trip rows exactly.
+        """
+        return list(self._store(ref).items())
+
+    def replica_rows(self, ref: VnodeRef) -> List[Tuple[Hashable, StoredItem]]:
+        """All replica-tier ``(key, (index, value))`` rows held by a vnode."""
+        return list(self._replica(ref).items())
+
     def primary_range_counts(
         self, ref: VnodeRef, ranges: Sequence[Tuple[int, int]]
     ) -> np.ndarray:
@@ -905,17 +939,19 @@ class DHTStorage:
         :meth:`~repro.core.base.BaseDHT.verify_replication`.  Ranges must
         be disjoint and sorted by start (``Vnode.sorted_ranges`` order).
         """
-        starts, lasts = self._range_arrays(ranges)
+        starts, lasts = self.range_arrays(ranges)
         return self._store(ref).count_buckets(starts, lasts)
 
     # -- migration --------------------------------------------------------------------
 
-    def _range_arrays(self, ranges: Sequence[Tuple[int, int]]) -> Tuple[np.ndarray, np.ndarray]:
+    def range_arrays(self, ranges: Sequence[Tuple[int, int]]) -> Tuple[np.ndarray, np.ndarray]:
         """``[start, last]`` (inclusive) range columns for :meth:`VnodeStore.pop_buckets`.
 
         Last-inclusive keeps the arrays inside ``uint64`` even when a range
         ends exactly at ``2**64``; hash spaces wider than 64 bits fall back to
-        object arrays of python ints.
+        object arrays of python ints.  Interface method: the replica-sync /
+        recovery passes and the rebalancing engine build their bucket
+        columns through it.
         """
         if self.hash_space.bh <= 64:
             starts = np.array([r[0] for r in ranges], dtype=np.uint64)
@@ -926,6 +962,9 @@ class DHTStorage:
             lasts = np.empty(len(ranges), dtype=object)
             lasts[:] = [r[1] for r in ranges]
         return starts, lasts
+
+    #: Deprecated spelling kept for one release (pre-engine callers).
+    _range_arrays = range_arrays
 
     def migrate_partition(
         self, partition: Partition, source: VnodeRef, target: VnodeRef
@@ -952,7 +991,7 @@ class DHTStorage:
             dst._adopt_raw(moving)
             self.stats.record(len(moving))
             return len(moving)
-        starts, lasts = self._range_arrays([(start, end - 1)])
+        starts, lasts = self.range_arrays([(start, end - 1)])
         pairs, segments = src.pop_buckets(starts, lasts)[0]
         moved = len(pairs) + sum(len(s[0]) for s in segments)
         dst.adopt_parts(pairs, segments)
@@ -983,7 +1022,7 @@ class DHTStorage:
         bh = self.hash_space.bh
         real.sort(key=lambda move: move[0].start(bh))
         targets = [self._store(t) for _, t in real]
-        starts, lasts = self._range_arrays(
+        starts, lasts = self.range_arrays(
             [(p.start(bh), p.end(bh) - 1) for p, _ in real]
         )
         buckets = src.pop_buckets(starts, lasts)

@@ -1,4 +1,4 @@
-"""Tests for repro.core.balancer (the creation-time rebalancing planner)."""
+"""Tests for the creation-time rebalancing planner (repro.core.rebalance)."""
 
 from __future__ import annotations
 
@@ -12,7 +12,7 @@ from repro.core import (
     plan_vnode_creation,
     transfer_improves_balance,
 )
-from repro.core.balancer import SplitAllAction, TransferAction, equalized_counts
+from repro.core.rebalance import SplitAllAction, TransferAction, equalized_counts
 from repro.core.errors import InvariantViolation
 
 

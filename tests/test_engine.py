@@ -1,0 +1,261 @@
+"""Unit tests for the engine core subsystems (repro.core.engine).
+
+The four planes must be independently constructible and testable — that is
+the point of the engine boundary.  These tests exercise each subsystem
+directly, without going through a ``GlobalDHT``/``LocalDHT`` shell wherever
+possible, plus the Protocol conformance of the concrete implementations
+and the composition contract of the shells.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DHTConfig, GlobalDHT, LocalDHT
+from repro.core.engine import (
+    MembershipOps,
+    PlacementService,
+    RecoveryManager,
+    StorageEngine,
+    TopologyManager,
+    TopologyProtocol,
+)
+from repro.core.entities import Snode, Vnode
+from repro.core.errors import UnknownSnodeError, UnknownVnodeError
+from repro.core.hashspace import HashSpace, Partition
+from repro.core.ids import SnodeId, VnodeRef
+from repro.core.storage import DHTStorage
+
+
+def _registered_vnode(topo: TopologyManager, partitions=()) -> Vnode:
+    snode = topo.allocate_snode()
+    vnode = Vnode(snode.new_vnode_ref())
+    topo.register_vnode(snode, vnode)
+    for partition in partitions:
+        vnode.add_partition(partition)
+    return vnode
+
+
+class TestTopologyManager:
+    def test_allocation_is_sequential_and_bumps_nothing(self):
+        topo = TopologyManager()
+        a, b = topo.allocate_snode(), topo.allocate_snode("host-1")
+        assert (a.id.value, b.id.value) == (0, 1)
+        assert b.cluster_node == "host-1"
+        assert topo.version == 0  # enrollment alone moves no partitions
+        assert topo.n_snodes == 2
+
+    def test_resolve_snode_accepts_id_int_and_entity(self):
+        topo = TopologyManager()
+        snode = topo.allocate_snode()
+        assert topo.resolve_snode(snode) is snode
+        assert topo.resolve_snode(snode.id) is snode
+        assert topo.resolve_snode(0) is snode
+        with pytest.raises(UnknownSnodeError):
+            topo.resolve_snode(99)
+        foreign = Snode(SnodeId(0))  # same id, different object: not enrolled
+        with pytest.raises(UnknownSnodeError):
+            topo.resolve_snode(foreign)
+
+    def test_register_unregister_roundtrip_bumps_and_flags(self):
+        topo = TopologyManager()
+        vnode = _registered_vnode(topo)
+        assert topo.version == 1
+        assert topo.resolve_vnode(vnode.ref) is vnode
+        assert not topo.removals_occurred
+
+        returned = topo.unregister_vnode(vnode.ref)
+        assert returned is vnode
+        assert topo.version == 2
+        assert topo.removals_occurred
+        assert topo.n_vnodes == 0
+        with pytest.raises(UnknownVnodeError):
+            topo.resolve_vnode(vnode.ref)
+
+    def test_iter_ownership_covers_every_partition(self):
+        topo = TopologyManager()
+        vnode = _registered_vnode(topo, [Partition(1, 0), Partition(1, 1)])
+        owned = dict(topo.iter_ownership())
+        assert owned == {Partition(1, 0): vnode.ref, Partition(1, 1): vnode.ref}
+        assert topo.total_partitions == 2
+
+    def test_conforms_to_protocol(self):
+        assert isinstance(TopologyManager(), TopologyProtocol)
+
+
+class TestPlacementService:
+    def _stack(self, replication_factor=1):
+        topo = TopologyManager()
+        space = HashSpace(64)
+        ranks = replication_factor - 1
+        placement = PlacementService(space, topo, replication_factor, ranks)
+        return topo, space, placement
+
+    def test_router_rebuilds_lazily_on_version_bump(self):
+        topo, _, placement = self._stack()
+        _registered_vnode(topo, [Partition(0, 0)])
+        router = placement.router()
+        assert router is placement.router()  # same topology: cached
+
+        # A bump invalidates; the facade rebuilds on next access only.
+        vnode = _registered_vnode(topo)
+        whole = Partition(0, 0)
+        rebuilt = placement.router()
+        assert not rebuilt.is_stale(topo.version)
+        assert rebuilt.locate(0)[0] == whole
+
+    def test_placement_cache_tracks_router_version(self):
+        topo, _, placement = self._stack(replication_factor=2)
+        _registered_vnode(topo, [Partition(1, 0)])
+        other = _registered_vnode(topo, [Partition(1, 1)])
+        first = placement.placement()
+        assert placement.placement() is first
+        topo.bump()
+        assert placement.placement() is not first
+
+    def test_replicas_of_empty_without_replication(self):
+        topo, _, placement = self._stack(replication_factor=1)
+        _registered_vnode(topo, [Partition(0, 0)])
+        assert placement.replicas_of(Partition(0, 0)) == ()
+
+    def test_replicas_avoid_the_primary_snode(self):
+        topo, _, placement = self._stack(replication_factor=2)
+        a = _registered_vnode(topo, [Partition(1, 0)])
+        b = _registered_vnode(topo, [Partition(1, 1)])
+        replicas = placement.replicas_of(Partition(1, 0))
+        assert replicas == (b.ref,)
+        assert replicas[0].snode != a.ref.snode
+
+
+class TestStorageEngine:
+    def _stack(self, replication_factor=2):
+        topo = TopologyManager()
+        space = HashSpace(64)
+        ranks = replication_factor - 1
+        placement = PlacementService(space, topo, replication_factor, ranks)
+        store = DHTStorage(space)
+        data = StorageEngine(store, placement, space, ranks)
+        a = _registered_vnode(topo, [Partition(1, 0)])
+        b = _registered_vnode(topo, [Partition(1, 1)])
+        data.register_vnode(a.ref)
+        data.register_vnode(b.ref)
+        return topo, space, placement, store, data, a, b
+
+    def _owner_of(self, space, placement, key):
+        index = space.hash_key(key)
+        partition, ref = placement.locate(index)
+        return index, partition, ref
+
+    def test_write_fans_out_to_replicas(self):
+        _, space, placement, store, data, a, b = self._stack()
+        index, partition, owner = self._owner_of(space, placement, "k")
+        data.write(owner, partition, "k", index, "v")
+        assert store.item_count(owner) == 1
+        (replica,) = placement.replicas_of(partition)
+        assert store.contains_replica(replica, "k")
+        assert data.read(owner, partition, "k") == "v"
+
+    def test_read_falls_back_to_replicas_on_primary_loss(self):
+        _, space, placement, store, data, a, b = self._stack()
+        index, partition, owner = self._owner_of(space, placement, "k")
+        data.write(owner, partition, "k", index, "v")
+        store.wipe_vnode(owner)
+        assert data.read(owner, partition, "k") == "v"  # replica copy
+        with pytest.raises(KeyError):
+            data.read(owner, partition, "missing")
+
+    def test_discard_removes_every_copy(self):
+        _, space, placement, store, data, a, b = self._stack()
+        index, partition, owner = self._owner_of(space, placement, "k")
+        data.write(owner, partition, "k", index, "v")
+        assert data.discard(owner, partition, "k") == "v"
+        assert not data.holds(owner, partition, "k")
+        with pytest.raises(KeyError):
+            data.discard(owner, partition, "k")
+
+    def test_deferred_sync_batches_to_one_trailing_pass(self):
+        _, space, placement, store, data, a, b = self._stack()
+        assert not data.sync_paused
+        with data.deferred_sync():
+            assert data.sync_paused
+            with data.deferred_sync():  # reentrant: inner is a no-op
+                assert data.sync_paused
+            assert data.sync_paused
+        assert not data.sync_paused
+
+    def test_bulk_load_matches_scalar_writes(self):
+        _, space, placement, store, data, a, b = self._stack()
+        keys = [f"key-{i}" for i in range(200)]
+        stored = data.bulk_load(keys, [i for i in range(200)])
+        assert stored == 200
+        assert store.total_items() == 200
+        for key in ("key-0", "key-123"):
+            index, partition, owner = self._owner_of(space, placement, key)
+            assert data.read(owner, partition, key) == int(key.split("-")[1])
+
+
+class TestRecoveryManager:
+    def test_crash_with_replication_loses_nothing(self):
+        dht = GlobalDHT(DHTConfig.for_global(pmin=4, replication_factor=2), rng=0)
+        for snode in dht.add_snodes(3):
+            dht.set_enrollment(snode, 2)
+        keys = [f"k{i}" for i in range(500)]
+        dht.bulk_load(keys, list(range(500)))
+        report = dht.recovery.crash_snode(0)
+        assert report.snode == 0
+        assert dht.storage.total_items() == 500
+        dht.recovery.verify_replication(deep=True)
+
+    def test_recover_is_a_noop_on_consistent_dht(self):
+        dht = GlobalDHT(DHTConfig.for_global(pmin=4, replication_factor=2), rng=0)
+        snode = dht.add_snode()
+        dht.set_enrollment(snode, 2)
+        dht.bulk_load(["a", "b"], [1, 2])
+        recovery, sync = dht.recovery.recover()
+        assert recovery.rows_restored == 0 and recovery.rows_replayed == 0
+        assert not sync.changed
+
+    def test_membership_delegation_uses_model_policy(self):
+        """RecoveryManager knows no model: removal is delegated back through
+        the MembershipOps protocol, so the local approach's group rules
+        (a group's last vnode cannot leave) show up as stuck vnodes."""
+        dht = LocalDHT(DHTConfig.for_local(pmin=4, vmin=2, replication_factor=2), rng=1)
+        for snode in dht.add_snodes(2):
+            dht.set_enrollment(snode, 1)
+        dht.bulk_load([f"k{i}" for i in range(100)], list(range(100)))
+        assert isinstance(dht, MembershipOps)
+        report = dht.recovery.crash_snode(0)
+        assert report.vnodes_removed or report.vnodes_stuck
+        assert dht.storage.total_items() == 100
+
+
+class TestShellComposition:
+    def test_shell_wires_the_four_subsystems(self):
+        dht = GlobalDHT(DHTConfig.for_global(pmin=4), rng=0)
+        assert isinstance(dht.topology, TopologyManager)
+        assert isinstance(dht.placement, PlacementService)
+        assert isinstance(dht.data, StorageEngine)
+        assert isinstance(dht.recovery, RecoveryManager)
+        # The registries the shell exposes ARE the topology manager's.
+        assert dht.snodes is dht.topology.snodes
+        assert dht.vnodes is dht.topology.vnodes
+
+    def test_shell_version_tracks_topology(self):
+        dht = GlobalDHT(DHTConfig.for_global(pmin=4), rng=0)
+        snode = dht.add_snode()
+        before = dht.topology_version
+        dht.create_vnode(snode)
+        assert dht.topology_version > before
+        assert dht.topology_version == dht.topology.version
+
+    def test_engine_surface_is_exported_from_core(self):
+        import repro.core
+
+        for name in (
+            "TopologyManager",
+            "PlacementService",
+            "StorageEngine",
+            "RecoveryManager",
+        ):
+            assert hasattr(repro.core, name)
+            assert name in repro.core.__all__

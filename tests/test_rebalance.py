@@ -25,7 +25,6 @@ from repro.core import (
     SnodeId,
     VnodeRef,
 )
-from repro.core import balancer as balancer_module
 from repro.core.hashspace import HashSpace, Partition, _splitmix64_vec, splitmix64_inverse
 from repro.core.rebalance import (
     Action,
@@ -63,7 +62,6 @@ class TestActionVocabulary:
         unified vocabulary must expose a usable ``typing.Union`` alias."""
         members = set(typing.get_args(Action))
         assert members == {SplitAllAction, TransferAction, LoadSplitAction}
-        assert balancer_module.Action is Action
 
     def test_transfer_partition_defaults_to_unset(self):
         action = TransferAction(victim=vref(0), recipient=vref(1))
@@ -73,10 +71,17 @@ class TestActionVocabulary:
         )
         assert explicit.partition == Partition(2, 1)
 
-    def test_balancer_facade_reexports(self):
-        assert balancer_module.plan_vnode_creation is plan_vnode_creation
-        assert balancer_module.SplitAllAction is SplitAllAction
-        assert balancer_module.TransferAction is TransferAction
+    def test_balancer_shim_resolves_to_rebalance(self):
+        """The retired ``repro.core.balancer`` facade resolves to the
+        rebalance engine through a deprecation shim for one release."""
+        import repro.core
+
+        with pytest.warns(DeprecationWarning, match="repro.core.balancer"):
+            shim = repro.core.balancer
+        assert shim.Action is Action
+        assert shim.plan_vnode_creation is plan_vnode_creation
+        assert shim.SplitAllAction is SplitAllAction
+        assert shim.TransferAction is TransferAction
 
 
 def _reference_creation_plan(counts, new_vnode, pmin):
