@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Differential oracle over the networked runtime: simulated vs measured.
+
+Boots a real :class:`repro.runtime.ClusterHarness` (one asyncio server per
+snode, or real OS processes with ``--processes``), replays a seeded churn
+trace — joins, leaves, enrollment changes, kill-9 crashes and restarts —
+through the coordinator's RPC protocol, and verifies after every topology
+event that no item was created or destroyed and (with replication) that
+every partition's replicas agree with its primary.
+
+The same trace is then replayed by the single-process
+:class:`~repro.cluster.protocol.LifecycleProtocolSimulator`, making the
+simulator a *differential oracle*: each event kind is reported with its
+cost-model duration next to the measured wall-clock of the real runtime.
+The report (p50/p99 RPC latency, events/s, per-kind simulated vs measured
+seconds) is written as JSON for CI artifacts.
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py --keys 20000
+    PYTHONPATH=src python benchmarks/bench_runtime.py --keys 5000 --processes
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+
+from repro.report import format_table
+from repro.runtime.harness import ClusterHarness, HarnessError
+from repro.workloads.churn import ChurnSpec
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keys", type=int, default=20_000, help="keys to bulk-load")
+    parser.add_argument("--events", type=int, default=16, help="topology events")
+    parser.add_argument("--snodes", type=int, default=4, help="initial snodes")
+    parser.add_argument("--vnodes-per-snode", type=int, default=2)
+    parser.add_argument("--pmin", type=int, default=8)
+    parser.add_argument("--vmin", type=int, default=8)
+    parser.add_argument("--replication", type=int, default=2)
+    parser.add_argument("--read-multiplier", type=float, default=0.02)
+    parser.add_argument("--processes", action="store_true",
+                        help="one real OS process per snode (unix sockets)")
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument("--output", default=None, help="write the report JSON here")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-runtime-") as tmp:
+        spec = ChurnSpec(
+            name="bench-runtime",
+            workload="ids",
+            n_keys=args.keys,
+            n_events=args.events,
+            approach="local",
+            n_snodes=args.snodes,
+            vnodes_per_snode=args.vnodes_per_snode,
+            load_chunks=2,
+            read_multiplier=args.read_multiplier,
+            join_weight=0.3,
+            leave_weight=0.2,
+            enroll_weight=0.1,
+            crash_weight=0.2,
+            restart_weight=0.2,
+            replication_factor=args.replication,
+            data_dir=None if args.processes else f"{tmp}/data",
+            pmin=args.pmin,
+            vmin=args.vmin,
+            seed=args.seed,
+        )
+
+        async def _run():
+            async with ClusterHarness(
+                spec,
+                processes=args.processes,
+                base_dir=tmp if args.processes else None,
+            ) as harness:
+                return await harness.run(oracle=True)
+
+        try:
+            report = asyncio.run(_run())
+        except HarnessError as exc:
+            print(f"FAIL: invariant violated under churn: {exc}", file=sys.stderr)
+            return 1
+
+    latency = report.latency_percentiles()
+    print(
+        f"runtime churn @ {report.loaded:,} keys, {report.applied} topology events "
+        f"applied ({report.skipped} skipped), {report.lookups:,} lookups, "
+        f"{'process' if report.processes else 'in-process'} mode\n"
+    )
+    rows = [
+        [
+            kind,
+            str(bucket["n"]),
+            f"{bucket['simulated_s']:.6f}",
+            f"{bucket['measured_s']:.6f}",
+        ]
+        for kind, bucket in sorted(report.oracle_by_kind().items())
+    ]
+    print(format_table(["event kind", "n", "simulated (s)", "measured (s)"], rows))
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["events/s", f"{report.events_per_second():,.1f}"],
+            ["RPC calls", f"{len(report.rpc_latencies_s):,}"],
+            ["RPC p50 (us)", f"{latency['p50_us']:,.0f}"],
+            ["RPC p99 (us)", f"{latency['p99_us']:,.0f}"],
+            ["conservation checks", str(report.conservation_checks)],
+            ["replication pair checks", str(report.replication_checks)],
+            ["items lost", str(report.items_lost)],
+        ],
+    ))
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(include_events=True), fh, indent=2)
+        print(f"\nreport written to {args.output}")
+
+    if report.items_lost:
+        print(f"\nFAIL: {report.items_lost} items lost under churn", file=sys.stderr)
+        return 1
+    if not rows:
+        print("\nFAIL: oracle produced no per-kind profiles", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

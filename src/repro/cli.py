@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Provides seven subcommands::
+Provides nine subcommands::
 
     python -m repro list                         # registered experiments
     python -m repro run fig4 [--runs N] [...]    # run one experiment
@@ -9,6 +9,8 @@ Provides seven subcommands::
     python -m repro churn-bench [--events N] [...]  # replay a topology churn trace
     python -m repro rebalance-bench [--keys N] [...]  # load-aware rebalancing run
     python -m repro protocol-bench [--events N] [...]  # control-plane cost of a churn trace
+    python -m repro serve --snode N [...]        # serve one snode over asyncio RPC
+    python -m repro cluster-bench [--events N] [...]  # churn over the networked runtime
 
 ``run`` prints the same checkpoint table / ASCII chart the benchmarks print
 and can persist the result to JSON (``--output``) for later comparison with
@@ -29,7 +31,13 @@ trace through the control-plane simulator
 (:class:`~repro.cluster.protocol.LifecycleProtocolSimulator`) under both
 the global barrier and the per-group locks, printing per-event-kind
 latency breakdowns and the global/local makespan ratio (the CI
-``BENCH_protocol.json`` artifact).
+``BENCH_protocol.json`` artifact).  ``serve`` hosts a single snode as an
+asyncio RPC endpoint (the process-mode worker the cluster harness spawns);
+``cluster-bench`` boots a whole served cluster
+(:class:`~repro.runtime.harness.ClusterHarness`), replays a churn trace
+over real RPC with conservation and replica verification after every
+event, and reports measured wall-clock against the simulator's cost model
+(the CI ``BENCH_runtime.json`` artifact).
 """
 
 from __future__ import annotations
@@ -216,6 +224,67 @@ def build_parser() -> argparse.ArgumentParser:
     proto.add_argument("--seed", type=int, default=0)
     proto.add_argument("--output", default=None,
                        help="write the protocol report to this JSON file")
+
+    serve = sub.add_parser(
+        "serve", help="serve one snode as an asyncio RPC endpoint"
+    )
+    serve.add_argument("--snode", type=int, required=True, help="snode id to host")
+    serve.add_argument("--bh", type=int, default=32, help="hash-space bits")
+    serve.add_argument("--replication-factor", type=int, default=1)
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral, printed at startup)")
+    serve.add_argument("--unix", default=None, metavar="PATH",
+                       help="serve on a unix socket instead of TCP")
+    serve.add_argument("--data-dir", default=None,
+                       help="enable the durable tier under this directory")
+
+    cluster = sub.add_parser(
+        "cluster-bench",
+        help="replay a churn trace over the networked snode runtime",
+    )
+    cluster.add_argument("--keys", type=int, default=10_000, help="distinct keys to load")
+    cluster.add_argument("--events", type=int, default=12, help="topology events in the trace")
+    cluster.add_argument("--approach", choices=("local", "global"), default="local")
+    cluster.add_argument("--workload", choices=("ids", "uniform"), default="ids")
+    cluster.add_argument("--snodes", type=int, default=3, help="initial snodes")
+    cluster.add_argument("--vnodes-per-snode", type=int, default=2)
+    cluster.add_argument("--pmin", type=int, default=8)
+    cluster.add_argument("--vmin", type=int, default=8)
+    cluster.add_argument(
+        "--replication", type=int, default=2, metavar="N",
+        help="copies kept of every item (default 2: crashes are survivable)",
+    )
+    cluster.add_argument(
+        "--crash-rate", type=float, default=0.0, metavar="P",
+        help="fraction of topology events that crash a served snode",
+    )
+    cluster.add_argument(
+        "--restart-rate", type=float, default=0.0, metavar="P",
+        help="fraction of topology events that kill -9 and reboot a snode",
+    )
+    cluster.add_argument(
+        "--read-multiplier", type=float, default=0.1, metavar="X",
+        help="lookup RPCs per loaded key (default 0.1; lookups are "
+             "one-key-per-RPC over the wire)",
+    )
+    cluster.add_argument(
+        "--processes", action="store_true",
+        help="host each snode in a real OS process (unix sockets) instead "
+             "of in-process asyncio servers",
+    )
+    cluster.add_argument(
+        "--durable", action="store_true",
+        help="give each node an on-disk durable tier in a temporary "
+             "directory (always on with --processes)",
+    )
+    cluster.add_argument(
+        "--no-oracle", action="store_true",
+        help="skip the differential cost-model oracle annotation",
+    )
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--output", default=None,
+                         help="write the runtime report to this JSON file")
     return parser
 
 
@@ -504,6 +573,123 @@ def _cmd_protocol_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runtime.node import SnodeNode, SnodeServer
+
+    node = SnodeNode(
+        args.snode,
+        bh=args.bh,
+        replication_factor=args.replication_factor,
+        data_dir=args.data_dir,
+    )
+    if args.unix is not None:
+        server = SnodeServer(node, unix_path=args.unix)
+    else:
+        server = SnodeServer(node, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"snode {args.snode} serving on {server.address}", flush=True)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+    import tempfile
+
+    from repro.runtime.harness import ClusterHarness, HarnessError
+
+    with contextlib.ExitStack() as stack:
+        base_dir = None
+        data_dir = None
+        if args.processes:
+            base_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-cluster-")
+            )
+        elif args.durable:
+            data_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-cluster-durable-")
+            )
+        try:
+            crash_weight, _, restart_weight = _event_weights(
+                args.crash_rate, 0.0, args.restart_rate
+            )
+            spec = ChurnSpec(
+                name=f"cluster-{args.workload}",
+                workload=args.workload,
+                n_keys=args.keys,
+                n_events=args.events,
+                approach=args.approach,
+                n_snodes=args.snodes,
+                vnodes_per_snode=args.vnodes_per_snode,
+                pmin=args.pmin,
+                vmin=args.vmin,
+                replication_factor=args.replication,
+                crash_weight=crash_weight,
+                restart_weight=restart_weight,
+                read_multiplier=args.read_multiplier,
+                data_dir=data_dir,
+                seed=args.seed,
+            )
+        except ValueError as exc:
+            print(f"cluster-bench: {exc}", file=sys.stderr)
+            return 2
+
+        async def _run():
+            async with ClusterHarness(
+                spec, processes=args.processes, base_dir=base_dir
+            ) as harness:
+                return await harness.run(oracle=not args.no_oracle)
+
+        try:
+            report = asyncio.run(_run())
+        except HarnessError as exc:
+            print(f"cluster-bench FAILED: {exc}", file=sys.stderr)
+            return 1
+
+    latency = report.latency_percentiles()
+    rows = [
+        ["mode", "processes" if report.processes else "in-process"],
+        ["events", f"{report.n_events} ({report.skipped} skipped)"],
+        ["items loaded", f"{report.loaded:,}"],
+        ["lookups", f"{report.lookups:,}"],
+        ["items lost", str(report.items_lost)],
+        ["conservation checks", str(report.conservation_checks)],
+        ["replication checks", str(report.replication_checks)],
+        ["wall (s)", f"{report.wall_s:.3f}"],
+        ["events/s", f"{report.events_per_second():,.1f}"],
+        ["RPC calls", f"{len(report.rpc_latencies_s):,}"],
+        ["RPC p50 (us)", f"{latency['p50_us']:,.0f}"],
+        ["RPC p99 (us)", f"{latency['p99_us']:,.0f}"],
+    ]
+    for kind, bucket in sorted(report.oracle_by_kind().items()):
+        rows.append(
+            [
+                f"  {kind}",
+                f"{bucket['n']} events, simulated {bucket['simulated_s']:.6f}s, "
+                f"measured {bucket['measured_s']:.6f}s",
+            ]
+        )
+    print(format_table(["property", "value"], rows))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(include_events=True), fh, indent=2)
+        print(f"\nreport written to {args.output}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -521,6 +707,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_rebalance_bench(args)
     if args.command == "protocol-bench":
         return _cmd_protocol_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "cluster-bench":
+        return _cmd_cluster_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -1,15 +1,43 @@
-"""Control-protocol messages exchanged during topology lifecycle events.
+"""Protocol messages: the cost model's vocabulary *and* the wire format.
 
-The message classes exist to make the protocol simulation explicit and
-self-documenting: each lifecycle event — vnode creation or removal, snode
-crash recovery, replica sync, load rebalancing — is a sequence of typed
-messages whose sizes feed the network model.  Sizes are estimates of a
-compact wire encoding and only matter relative to each other.
+The message classes started as cost-model artifacts: each lifecycle event —
+vnode creation or removal, snode crash recovery, replica sync, load
+rebalancing — is a sequence of typed messages whose ``size_bytes`` feed the
+network model.  Sizes of those control messages are estimates of a compact
+wire encoding and only matter relative to each other.
+
+Since the networked runtime (:mod:`repro.runtime`) the same classes are
+also the *actual* protocol: every message knows how to :meth:`~Message.encode`
+itself to bytes and the module-level :func:`decode` turns bytes back into
+the typed message.  The body encoding is a 2-byte type code (assigned from
+the registration order of the subclasses, identical on every process
+running the same code) followed by the pickled tuple of field values;
+length-prefix framing on a stream is the transport's job
+(:mod:`repro.runtime.codec`).
+
+The data-plane messages (:class:`PutRequest`, :class:`GetRequest`,
+:class:`BulkLoadChunk`, :class:`LookupRequest`, the range-transfer family)
+report their **actual** encoded length as ``size_bytes`` — real traffic is
+measured, not estimated.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import pickle
+import struct
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional, Tuple, Type
+
+#: Wire prefix of an encoded message body: the subclass' type code.
+_TYPE_CODE = struct.Struct("!H")
+
+#: ``type code -> message class``, filled by ``Message.__init_subclass__``
+#: in definition order (deterministic across processes running this module).
+MESSAGE_TYPES: Dict[int, Type["Message"]] = {}
+
+
+class WireError(ValueError):
+    """An encoded message could not be decoded."""
 
 
 @dataclass(frozen=True)
@@ -22,9 +50,45 @@ class Message:
     #: Estimated wire size of the fixed part of any message (headers, ids).
     BASE_SIZE_BYTES = 64
 
+    #: Wire type code of the concrete class (set by ``__init_subclass__``).
+    TYPE_CODE = 0
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        code = len(MESSAGE_TYPES) + 1
+        cls.TYPE_CODE = code
+        MESSAGE_TYPES[code] = cls
+
     def size_bytes(self) -> float:
         """Wire size of the message."""
         return float(self.BASE_SIZE_BYTES)
+
+    # -- wire encoding --------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Encode to bytes: 2-byte type code + pickled field-value tuple."""
+        values = tuple(getattr(self, f.name) for f in fields(self))
+        return _TYPE_CODE.pack(type(self).TYPE_CODE) + pickle.dumps(
+            values, protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+
+def decode(data: bytes) -> Message:
+    """Decode one message encoded by :meth:`Message.encode`."""
+    if len(data) < _TYPE_CODE.size:
+        raise WireError(f"message body too short ({len(data)} bytes)")
+    (code,) = _TYPE_CODE.unpack_from(data)
+    try:
+        cls = MESSAGE_TYPES[code]
+    except KeyError:
+        raise WireError(f"unknown message type code {code}") from None
+    try:
+        values = pickle.loads(data[_TYPE_CODE.size :])
+        return cls(*values)
+    except WireError:
+        raise
+    except Exception as exc:
+        raise WireError(f"cannot decode {cls.__name__} body: {exc!r}") from exc
 
 
 @dataclass(frozen=True)
@@ -150,4 +214,255 @@ class RebalanceTransfer(Message):
 
 @dataclass(frozen=True)
 class Ack(Message):
-    """Acknowledgement closing a request/response exchange."""
+    """Acknowledgement closing a request/response exchange.
+
+    A bare ``Ack`` (no payload, no error) is the minimal reply and its size
+    is exactly :attr:`~Message.BASE_SIZE_BYTES` — the cost model's
+    :meth:`~repro.cluster.network.NetworkModel.rpc_time` depends on that.
+    The networked runtime reuses the same class as its generic response
+    envelope: ``payload`` carries the result value of the request and
+    ``error`` carries the exception kind (e.g. ``"KeyError"``) when the
+    handler failed, so the client can re-raise a typed error.
+    """
+
+    payload: Any = None
+    error: Optional[str] = None
+
+    def size_bytes(self) -> float:
+        if self.payload is None and self.error is None:
+            return float(self.BASE_SIZE_BYTES)
+        return float(max(self.BASE_SIZE_BYTES, len(self.encode())))
+
+
+def _measured_size(message: Message) -> float:
+    """Actual encoded length of a data-plane message, floored at the header."""
+    return float(max(Message.BASE_SIZE_BYTES, len(message.encode())))
+
+
+@dataclass(frozen=True)
+class PingRequest(Message):
+    """Liveness/readiness probe; the reply is a bare :class:`Ack`."""
+
+
+@dataclass(frozen=True)
+class PutRequest(Message):
+    """Data-plane write of one item into a vnode's primary or replica tier.
+
+    ``ref`` is the canonical vnode name (``"s0.1"``); ``tier`` selects the
+    store (``"primary"`` or ``"replica"``).  ``index`` is the precomputed
+    hash index so the server does not need to re-hash the key.
+    """
+
+    ref: str = ""
+    tier: str = "primary"
+    key: Any = None
+    index: int = 0
+    value: Any = None
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class GetRequest(Message):
+    """Data-plane read of one key from a vnode tier; replies ``Ack(payload=value)``."""
+
+    ref: str = ""
+    tier: str = "primary"
+    key: Any = None
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class DeleteRequest(Message):
+    """Data-plane delete of one key from a vnode tier."""
+
+    ref: str = ""
+    tier: str = "primary"
+    key: Any = None
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class LookupRequest(Message):
+    """Route a key through the server's local placement view.
+
+    Replies ``Ack(payload=(level, partition_index, ref_name, snode_id))`` —
+    enough for the client to address the owning vnode without holding the
+    full routing table itself.
+    """
+
+    key: Any = None
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class BulkLoadChunk(Message):
+    """Columnar batch write into one vnode tier.
+
+    ``keys``/``indexes``/``values`` are parallel sequences (typically numpy
+    arrays) — the row-transfer unit of the bulk-load path.
+    """
+
+    ref: str = ""
+    tier: str = "primary"
+    keys: Any = None
+    indexes: Any = None
+    values: Any = None
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class RangeExtract(Message):
+    """Extract the rows of a vnode tier falling inside absolute hash ranges.
+
+    ``ranges`` is a tuple of ``(start, last_inclusive)`` pairs.  With
+    ``pop=True`` the rows are removed from the source (a migration);
+    otherwise they are copied (a replica rebuild read).  Replies
+    ``Ack(payload=parts)`` where ``parts`` is the ``(pairs, segments)``
+    columnar transfer unit of :mod:`repro.core.storage`.
+    """
+
+    ref: str = ""
+    tier: str = "primary"
+    ranges: Tuple[Tuple[int, int], ...] = ()
+    pop: bool = True
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class RangeAdopt(Message):
+    """Adopt extracted rows (``(pairs, segments)`` parts) into a vnode tier."""
+
+    ref: str = ""
+    tier: str = "primary"
+    parts: Any = None
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class RangeCount(Message):
+    """Count the rows of a vnode tier inside absolute hash ranges.
+
+    Replies ``Ack(payload=[counts...])``, one count per range — the
+    conservation/verification primitive of the cluster harness.
+    """
+
+    ref: str = ""
+    tier: str = "primary"
+    ranges: Tuple[Tuple[int, int], ...] = ()
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class RangeDrop(Message):
+    """Drop every row of a vnode tier *inside* the given absolute ranges.
+
+    Replies ``Ack(payload=n_dropped)``.  The idempotent prelude of a
+    replica refill: the target range is cleared before the fresh copy is
+    adopted, so partial previous copies can never double-count.
+    """
+
+    ref: str = ""
+    tier: str = "primary"
+    ranges: Tuple[Tuple[int, int], ...] = ()
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class RangeRetain(Message):
+    """Drop every row of a vnode tier *outside* the given absolute ranges.
+
+    Replies ``Ack(payload=n_dropped)``.  Used after ownership shrinks so a
+    node does not keep serving rows it no longer owns.
+    """
+
+    ref: str = ""
+    tier: str = "primary"
+    ranges: Tuple[Tuple[int, int], ...] = ()
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class VnodeCreate(Message):
+    """Runtime order to host a vnode: register primary + replica stores.
+
+    ``fresh=False`` tells a rebooted server process to re-adopt the vnode's
+    existing on-disk WAL/segments (marking them for replay) instead of
+    starting from an empty directory.
+    """
+
+    ref: str = ""
+    fresh: bool = True
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class VnodeDrop(Message):
+    """Runtime order to stop hosting a vnode (stores must already be empty)."""
+
+    ref: str = ""
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class WalReplay(Message):
+    """Order a restarted node to replay one vnode's WAL/segments from disk.
+
+    Replies ``Ack(payload=rows_recovered)``.
+    """
+
+    ref: str = ""
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class TopologySnapshot(Message):
+    """Coordinator-pushed routing state: the full ownership table.
+
+    ``entries`` is a tuple of ``(level, partition_index, ref_name)``
+    triples.  Each node rebuilds its local router and replica placement
+    from the snapshot deterministically, so placement never has to be
+    shipped explicitly.
+    """
+
+    version: int = 0
+    entries: Tuple[Tuple[int, int, str], ...] = ()
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class NodeStatsRequest(Message):
+    """Ask a node for its per-vnode row counts and durability counters.
+
+    Replies ``Ack(payload=stats_dict)``.
+    """
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)

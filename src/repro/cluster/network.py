@@ -10,6 +10,9 @@ per-message latency and a bandwidth; message delivery time is
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.messages import Ack
 
 
 @dataclass(frozen=True)
@@ -35,8 +38,16 @@ class NetworkModel:
             raise ValueError("size_bytes must be non-negative")
         return self.latency_s + size_bytes / self.bandwidth_bytes_per_s
 
-    def rpc_time(self, request_bytes: float, reply_bytes: float = 64.0) -> float:
-        """Round-trip time of a request/reply exchange."""
+    def rpc_time(self, request_bytes: float, reply_bytes: Optional[float] = None) -> float:
+        """Round-trip time of a request/reply exchange.
+
+        The default reply is a bare acknowledgement, sized from the actual
+        :class:`~repro.cluster.messages.Ack` message (not a hardcoded copy
+        of its header size), so the cost model cannot drift if the message
+        header ever changes.
+        """
+        if reply_bytes is None:
+            reply_bytes = Ack(src=0, dst=0).size_bytes()
         return self.message_time(request_bytes) + self.message_time(reply_bytes)
 
     def broadcast_time(self, size_bytes: float, n_destinations: int) -> float:

@@ -30,7 +30,7 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from fractions import Fraction
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -53,11 +53,10 @@ from repro.core.entities import Snode, Vnode
 from repro.core.errors import EmptyDHTError, InvariantViolation
 from repro.core.hashspace import HashSpace, Partition
 from repro.core.ids import SnodeId, VnodeRef
-from repro.core.lookup import BatchLookupResult, LookupResult, PartitionRouter
+from repro.core.lookup import BatchLookupResult, LookupResult
 from repro.core.replication import (
     CrashReport,
     RecoveryReport,
-    ReplicaPlacement,
     RestartReport,
     SyncReport,
 )
@@ -647,86 +646,17 @@ class BaseDHT(ABC):
             f"partitions={self.total_partitions})"
         )
 
-    # --------------------------------------------------- deprecated private surface
-    #
-    # Pre-engine spellings, kept for one release so downstream scripts and
-    # the existing test suite keep working.  New code should use the
-    # subsystem attributes (``topology``, ``placement``, ``data``,
-    # ``recovery``) or the public methods above.
-
-    def _bump_topology(self) -> None:
-        self.topology.bump()
-
-    def _iter_ownership(self) -> Iterator[Tuple[Partition, VnodeRef]]:
-        return self.topology.iter_ownership()
-
-    def _ensure_router(self) -> PartitionRouter:
-        return self.placement.router()
-
-    def _ensure_placement(self) -> ReplicaPlacement:
-        return self.placement.placement()
-
-    def _replicas_of(self, partition: Partition) -> Tuple[VnodeRef, ...]:
-        return self.placement.replicas_of(partition)
-
-    def _sync_replicas_after_topology_change(self) -> None:
-        self.data.sync_after_topology_change()
-
-    def _deferred_replica_sync(self):
-        return self.data.deferred_sync()
-
-    def _apply_plan(self, plan: RebalancePlan, scope: Iterable[VnodeRef]) -> None:
-        self.apply_plan(plan, scope)
-
-    def _drain_vnode(self, ref: VnodeRef, recipients: List[VnodeRef]) -> None:
-        self.drain_vnode(ref, recipients)
-
-    def _load_scopes(self) -> Dict[ScopeKey, Tuple[List[VnodeRef], int]]:
-        return self.load_scopes()
+    # ------------------------------------------------------- subclass helpers
 
     def _effective_strict(self, strict: Optional[bool]) -> bool:
+        """Resolve the ``strict=None`` default of :meth:`check_invariants`.
+
+        Balanced-state invariants (G5/G5'/L2 lower bound) only hold while no
+        vnode was ever removed and no load-driven scope split fired; the
+        concrete models call this to decide whether to enforce them.
+        """
         if strict is None:
             return not (
                 self.topology.removals_occurred or self.topology.load_splits_occurred
             )
         return strict
-
-    @property
-    def _topology_version(self) -> int:
-        return self.topology.version
-
-    @_topology_version.setter
-    def _topology_version(self, value: int) -> None:
-        self.topology.version = value
-
-    @property
-    def _next_snode_id(self) -> int:
-        return self.topology.next_snode_id
-
-    @_next_snode_id.setter
-    def _next_snode_id(self, value: int) -> None:
-        self.topology.next_snode_id = value
-
-    @property
-    def _removals_occurred(self) -> bool:
-        return self.topology.removals_occurred
-
-    @_removals_occurred.setter
-    def _removals_occurred(self, value: bool) -> None:
-        self.topology.removals_occurred = value
-
-    @property
-    def _load_splits_occurred(self) -> bool:
-        return self.topology.load_splits_occurred
-
-    @_load_splits_occurred.setter
-    def _load_splits_occurred(self, value: bool) -> None:
-        self.topology.load_splits_occurred = value
-
-    @property
-    def _replica_sync_paused(self) -> bool:
-        return self.data.sync_paused
-
-    @_replica_sync_paused.setter
-    def _replica_sync_paused(self, value: bool) -> None:
-        self.data.sync_paused = value

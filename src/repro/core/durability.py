@@ -52,6 +52,7 @@ import os
 import pickle
 import shutil
 import struct
+import warnings
 import zlib
 from bisect import bisect_right
 from dataclasses import dataclass, field
@@ -135,6 +136,9 @@ class DurabilityStats:
     rows_replayed: int = 0
     wal_records_replayed: int = 0
     torn_records_discarded: int = 0
+    #: Corrupt/unreadable MANIFEST files encountered during recovery (each
+    #: falls back to WAL-only replay instead of recovering silently empty).
+    manifests_corrupt: int = 0
     resets: int = 0
     restarts: int = 0
 
@@ -148,6 +152,7 @@ class DurabilityStats:
             "rows_replayed": self.rows_replayed,
             "wal_records_replayed": self.wal_records_replayed,
             "torn_records_discarded": self.torn_records_discarded,
+            "manifests_corrupt": self.manifests_corrupt,
             "resets": self.resets,
             "restarts": self.restarts,
         }
@@ -541,7 +546,20 @@ class DurableVnodeStore:
     # -- recovery --------------------------------------------------------------
 
     def _read_manifest(self) -> None:
-        """Point this log at the generation installed on disk (if any)."""
+        """Point this log at the generation installed on disk (if any).
+
+        A *missing* manifest is the legitimate fresh-vnode case (nothing was
+        ever checkpointed) and points at generation 0.  A manifest that
+        exists but cannot be read — torn by a mid-``os.replace`` kill,
+        bit-rotted, or otherwise malformed — is a real fault: it is counted
+        in :attr:`DurabilityStats.manifests_corrupt`, reported with a
+        :class:`RuntimeWarning`, and recovery falls back to **WAL-only
+        replay** of the newest WAL generation on disk.  The checkpoint
+        segment files cannot be trusted without the manifest naming the
+        committed generation, but the WAL still holds every acknowledged
+        write since that checkpoint — strictly better than recovering
+        silently empty as if the vnode were fresh.
+        """
         self.generation = 0
         self.segment_names = []
         try:
@@ -549,8 +567,40 @@ class DurableVnodeStore:
                 manifest = pickle.load(fh)
             self.generation = int(manifest["generation"])
             self.segment_names = list(manifest["segments"])
-        except (FileNotFoundError, pickle.UnpicklingError, KeyError, EOFError):
-            pass
+        except FileNotFoundError:
+            pass  # fresh vnode: nothing checkpointed yet
+        except Exception as exc:
+            self.generation = self._newest_wal_generation()
+            self.segment_names = []
+            self.stats.manifests_corrupt += 1
+            warnings.warn(
+                f"corrupt manifest in {self.directory} ({exc!r}); checkpoint "
+                f"segments are untrusted, falling back to WAL-only replay of "
+                f"generation {self.generation}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _newest_wal_generation(self) -> int:
+        """Highest generation with a ``wal-<gen>.log`` on disk (0 if none).
+
+        Used by the corrupt-manifest fallback: checkpointing deletes the
+        previous generation's WAL only *after* the manifest swap commits, so
+        the newest WAL on disk always belongs to the last generation whose
+        manifest was (or was being) installed.
+        """
+        generations = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for name in names:
+            if name.startswith("wal-") and name.endswith(".log"):
+                try:
+                    generations.append(int(name[len("wal-") : -len(".log")]))
+                except ValueError:
+                    continue
+        return max(generations, default=0)
 
     def _read_wal(self) -> Tuple[List[Tuple], int]:
         """All intact WAL records; truncate and count a torn/corrupt tail."""
@@ -639,12 +689,15 @@ class DurableStoreManager:
         self._logs: Dict[Any, DurableVnodeStore] = {}
         os.makedirs(config.data_dir, exist_ok=True)
 
-    def attach(self, ref) -> DurableVnodeStore:
+    def attach(self, ref, fresh: bool = True) -> DurableVnodeStore:
         """Create the durable store for a newly registered vnode.
 
-        Registration is always a *fresh* vnode in this model (restart keeps
-        the vnode registered), so any leftover directory from a previous
-        life of the name is discarded.
+        In the single-process model registration is always a *fresh* vnode
+        (restart keeps the vnode registered), so any leftover directory from
+        a previous life of the name is discarded.  A rebooted server
+        *process* re-registering the vnodes it hosted before being killed
+        passes ``fresh=False``: the on-disk WAL/segments are kept and the
+        store is marked as needing replay (disk is ahead of the empty RAM).
         """
         if ref in self._logs:
             raise DurabilityError(f"durable store for {ref} already attached")
@@ -653,7 +706,10 @@ class DurableStoreManager:
             self.config,
             self.stats,
         )
-        log.reset()
+        if fresh:
+            log.reset()
+        else:
+            log.needs_replay = True
         self._logs[ref] = log
         return log
 

@@ -96,7 +96,13 @@ def _locate_ranges(
     (``searchsorted`` on the range starts) and a boolean mask telling whether
     the index actually falls inside that range.  Works for ``uint64`` arrays
     (``bh <= 64``) and object arrays of python ints (wider spaces) alike.
+    An empty range set matches nothing (every index is outside).
     """
+    if len(starts) == 0:
+        return (
+            np.full(len(indexes), -1, dtype=np.int64),
+            np.zeros(len(indexes), dtype=bool),
+        )
     pos = np.searchsorted(starts, indexes, side="right") - 1
     safe = np.where(pos < 0, 0, pos)
     inside = np.asarray((pos >= 0) & (indexes <= lasts[safe]), dtype=bool)
@@ -629,11 +635,16 @@ class DHTStorage:
 
     # -- vnode lifecycle -------------------------------------------------------
 
-    def register_vnode(self, ref: VnodeRef) -> None:
-        """Create an empty store (and replica store) for a new vnode."""
+    def register_vnode(self, ref: VnodeRef, fresh: bool = True) -> None:
+        """Create an empty store (and replica store) for a new vnode.
+
+        ``fresh=False`` keeps any existing durable state of the vnode on
+        disk and marks it for replay instead of resetting it — the path a
+        rebooted server process takes to re-adopt the vnodes it hosted.
+        """
         if ref in self._stores:
             raise StorageError(f"storage for vnode {ref} already exists")
-        log = self.durable.attach(ref) if self.durable is not None else None
+        log = self.durable.attach(ref, fresh=fresh) if self.durable is not None else None
         self._stores[ref] = VnodeStore(ref, durable=log)
         self._replica_stores[ref] = VnodeStore(ref)
 
@@ -962,9 +973,6 @@ class DHTStorage:
             lasts = np.empty(len(ranges), dtype=object)
             lasts[:] = [r[1] for r in ranges]
         return starts, lasts
-
-    #: Deprecated spelling kept for one release (pre-engine callers).
-    _range_arrays = range_arrays
 
     def migrate_partition(
         self, partition: Partition, source: VnodeRef, target: VnodeRef

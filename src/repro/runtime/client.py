@@ -1,0 +1,232 @@
+"""Cluster client: routing plus Dynamo-style replica fan-out over RPC.
+
+The client holds its own :class:`~repro.runtime.node.NodeTopologyView` and
+:class:`~repro.core.engine.placement.PlacementService` — the same pushed
+snapshot every node gets — so it routes without asking anyone.  Writes go
+to the primary owner and fan out to every replica; reads try the primary
+first and fall back to the replicas when the primary is unreachable (a
+crash the coordinator has not yet healed), which is exactly the
+availability story replication pays for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.messages import (
+    BulkLoadChunk,
+    DeleteRequest,
+    GetRequest,
+    PutRequest,
+)
+from repro.core.engine.placement import PlacementService
+from repro.core.hashspace import HashSpace, Partition
+from repro.core.ids import VnodeRef
+from repro.runtime.node import NodeTopologyView
+from repro.runtime.rpc import RpcClient, RpcError
+
+#: ``src`` id the coordinator/client stamps on its messages.
+COORDINATOR_ID = -1
+
+
+class ClusterClient:
+    """Data-plane client of a served cluster."""
+
+    def __init__(self, *, bh: int, replication_factor: int = 1):
+        self.hash_space = HashSpace(bh)
+        self.replication_factor = replication_factor
+        self.view = NodeTopologyView()
+        self.placement = PlacementService(
+            self.hash_space, self.view, replication_factor, replication_factor - 1
+        )
+        self._rpc: Dict[int, RpcClient] = {}
+
+    # -- membership ------------------------------------------------------------
+
+    def connect(self, snode_id: int, rpc: RpcClient) -> None:
+        self._rpc[snode_id] = rpc
+
+    def disconnect(self, snode_id: int) -> Optional[RpcClient]:
+        return self._rpc.pop(snode_id, None)
+
+    def rpc_for(self, snode_id: int) -> RpcClient:
+        return self._rpc[snode_id]
+
+    def update_topology(
+        self, version: int, entries: List[Tuple[Partition, VnodeRef]]
+    ) -> None:
+        self.view.update(version, entries)
+
+    # -- single-key operations -------------------------------------------------
+
+    async def put(self, key: Hashable, value: Any) -> None:
+        """Write one item to its primary owner, fanning out to every replica."""
+        index = self.hash_space.hash_key(key)
+        partition, ref = self.placement.locate(index)
+        await self._call_vnode(
+            ref,
+            PutRequest(
+                src=COORDINATOR_ID,
+                dst=ref.snode.value,
+                ref=ref.canonical_name,
+                key=key,
+                index=index,
+                value=value,
+            ),
+        )
+        for replica in self.placement.replicas_of(partition):
+            await self._call_vnode(
+                replica,
+                PutRequest(
+                    src=COORDINATOR_ID,
+                    dst=replica.snode.value,
+                    ref=replica.canonical_name,
+                    tier="replica",
+                    key=key,
+                    index=index,
+                    value=value,
+                ),
+            )
+
+    async def get(self, key: Hashable) -> Any:
+        """Read one item; replicas answer when the primary is unreachable.
+
+        Raises :class:`KeyError` if the key is genuinely absent and an
+        :class:`~repro.runtime.rpc.RpcError` when no holder responded.
+        """
+        index = self.hash_space.hash_key(key)
+        partition, ref = self.placement.locate(index)
+        try:
+            response = await self._call_vnode(
+                ref,
+                GetRequest(
+                    src=COORDINATOR_ID,
+                    dst=ref.snode.value,
+                    ref=ref.canonical_name,
+                    key=key,
+                ),
+            )
+            return response.payload
+        except RpcError as primary_error:
+            last: Exception = primary_error
+            for replica in self.placement.replicas_of(partition):
+                try:
+                    response = await self._call_vnode(
+                        replica,
+                        GetRequest(
+                            src=COORDINATOR_ID,
+                            dst=replica.snode.value,
+                            ref=replica.canonical_name,
+                            tier="replica",
+                            key=key,
+                        ),
+                    )
+                    return response.payload
+                except RpcError as exc:
+                    last = exc
+            raise last
+
+    async def delete(self, key: Hashable) -> Any:
+        """Delete one item from its primary and every replica."""
+        index = self.hash_space.hash_key(key)
+        partition, ref = self.placement.locate(index)
+        response = await self._call_vnode(
+            ref,
+            DeleteRequest(
+                src=COORDINATOR_ID,
+                dst=ref.snode.value,
+                ref=ref.canonical_name,
+                key=key,
+            ),
+        )
+        for replica in self.placement.replicas_of(partition):
+            await self._call_vnode(
+                replica,
+                DeleteRequest(
+                    src=COORDINATOR_ID,
+                    dst=replica.snode.value,
+                    ref=replica.canonical_name,
+                    tier="replica",
+                    key=key,
+                ),
+            )
+        return response.payload
+
+    # -- bulk operations -------------------------------------------------------
+
+    async def bulk_load(
+        self,
+        keys: Sequence[Hashable],
+        values: Optional[Sequence[Any]] = None,
+    ) -> int:
+        """Columnar bulk load: one chunk RPC per target vnode (plus replicas).
+
+        Keys are hashed and routed client-side, grouped by owning vnode with
+        one argsort, and shipped as :class:`~repro.cluster.messages.BulkLoadChunk`
+        messages — the networked twin of the engine's ``bulk_load``.
+        """
+        key_column = np.asarray(keys) if not isinstance(keys, np.ndarray) else keys
+        if len(key_column) == 0:
+            return 0
+        value_column = None
+        if values is not None:
+            value_column = np.asarray(values, dtype=object)
+        indexes = self.hash_space.hash_keys(key_column)
+        positions = self.placement.locate_batch(indexes)
+        order = np.argsort(positions, kind="stable")
+        sorted_positions = positions[order]
+        boundaries = np.nonzero(np.diff(sorted_positions))[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(sorted_positions)]))
+        router = self.placement.router()
+        replicated = self.replication_factor > 1
+        placement = self.placement.placement() if replicated else None
+        loaded = 0
+        for lo, hi in zip(starts, ends):
+            rows = order[lo:hi]
+            position = int(sorted_positions[lo])
+            partition, ref = router.entry_at(position)
+            chunk_keys = key_column[rows]
+            chunk_indexes = indexes[rows]
+            chunk_values = value_column[rows] if value_column is not None else None
+            response = await self._call_vnode(
+                ref,
+                BulkLoadChunk(
+                    src=COORDINATOR_ID,
+                    dst=ref.snode.value,
+                    ref=ref.canonical_name,
+                    keys=chunk_keys,
+                    indexes=chunk_indexes,
+                    values=chunk_values,
+                ),
+            )
+            loaded += int(response.payload)
+            if placement is not None:
+                for replica in placement.replicas_at(position):
+                    await self._call_vnode(
+                        replica,
+                        BulkLoadChunk(
+                            src=COORDINATOR_ID,
+                            dst=replica.snode.value,
+                            ref=replica.canonical_name,
+                            tier="replica",
+                            keys=chunk_keys,
+                            indexes=chunk_indexes,
+                            values=chunk_values,
+                        ),
+                    )
+        return loaded
+
+    # -- plumbing --------------------------------------------------------------
+
+    async def _call_vnode(self, ref: VnodeRef, message):
+        try:
+            rpc = self._rpc[ref.snode.value]
+        except KeyError:
+            raise RpcError(f"no connection to snode {ref.snode.value}") from None
+        return await rpc.call(message)
+
+
+__all__ = ["COORDINATOR_ID", "ClusterClient"]

@@ -1,0 +1,79 @@
+"""Length-prefixed framing of protocol messages over asyncio streams.
+
+A frame is::
+
+    !I  length of the rest of the frame (request id + flags + body)
+    !Q  request id (matches a response to its request on one connection)
+    !B  flags (bit 0: this frame is a response)
+    ..  message body — 2-byte type code + pickled fields
+        (:meth:`repro.cluster.messages.Message.encode`)
+
+The frame layer is deliberately dumb: request/response correlation and
+error signalling live in the message layer (:class:`~repro.cluster.messages.Ack`
+carries ``error``), the frame only delimits bytes on the stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Tuple
+
+from repro.cluster.messages import Message, WireError, decode
+
+_FRAME_HEADER = struct.Struct("!QB")
+_FRAME_LENGTH = struct.Struct("!I")
+
+#: Upper bound on one frame's size; a peer announcing more is protocol
+#: garbage (or an attack) and the connection is dropped.  Generous enough
+#: for the largest columnar bulk-load chunk the harness ships.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+FLAG_RESPONSE = 0x01
+
+
+def encode_frame(request_id: int, message: Message, *, response: bool = False) -> bytes:
+    """One wire frame for ``message`` under the given request id."""
+    body = message.encode()
+    flags = FLAG_RESPONSE if response else 0
+    return (
+        _FRAME_LENGTH.pack(_FRAME_HEADER.size + len(body))
+        + _FRAME_HEADER.pack(request_id, flags)
+        + body
+    )
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[int, bool, Message]:
+    """Read one frame; returns ``(request_id, is_response, message)``.
+
+    Raises :class:`asyncio.IncompleteReadError` on clean EOF and
+    :class:`~repro.cluster.messages.WireError` on garbage.
+    """
+    (length,) = _FRAME_LENGTH.unpack(await reader.readexactly(_FRAME_LENGTH.size))
+    if length < _FRAME_HEADER.size or length > MAX_FRAME_BYTES:
+        raise WireError(f"invalid frame length {length}")
+    payload = await reader.readexactly(length)
+    request_id, flags = _FRAME_HEADER.unpack_from(payload)
+    message = decode(payload[_FRAME_HEADER.size :])
+    return request_id, bool(flags & FLAG_RESPONSE), message
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    request_id: int,
+    message: Message,
+    *,
+    response: bool = False,
+) -> None:
+    """Write one frame and drain the transport's buffer."""
+    writer.write(encode_frame(request_id, message, response=response))
+    await writer.drain()
+
+
+__all__ = [
+    "FLAG_RESPONSE",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,810 @@
+"""Cluster harness: boot K served snodes, replay churn, oracle against the sim.
+
+The harness is the runtime's coordinator.  It keeps a **metadata twin** — a
+regular single-process :class:`~repro.core.base.BaseDHT` holding *zero
+items* — as the control-plane authority: every topology event of a churn
+trace is applied to the twin first (same code path as the simulation,
+:func:`repro.workloads.churn.apply_topology_event`), and the resulting
+ownership/placement *diff* is translated into RPCs that move real rows
+between the served nodes:
+
+- primary ownership changes become ``RangeExtract(pop=True)`` →
+  ``RangeAdopt`` pairs between the old and new owners;
+- a crash destroys the victim's state (fault injector) and the lost ranges
+  are rebuilt from the replicas the *pre-event* placement says survived;
+- a restart kills and reboots the node (memory lost, disk kept) and the
+  primaries come back via WAL replay — or, without durability, from
+  surviving replicas;
+- replica placement changes become drop+copy refills sourced from the
+  post-move primaries, plus retention passes that clear rows a vnode no
+  longer replicates.
+
+After every topology event the harness checks **conservation** (the summed
+primary rows across nodes must equal the rows loaded, crash-with-no-replica
+being the only sanctioned loss) and, when replication is on, a
+``verify_replication`` analogue over RPC (per-partition primary and replica
+range counts must agree).
+
+Finally the :class:`~repro.cluster.protocol.LifecycleProtocolSimulator`
+doubles as a **differential oracle**: the same trace is profiled and priced
+by the cost model, and the report pairs each applied topology event's
+simulated duration with its measured wall-clock.
+
+Known limitation: the twin holds no data, so load-*aware* ``rebalance``
+events are no-ops on it (nothing to measure); traces driven through the
+harness should keep the rebalance weight at zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.cluster.messages import (
+    NodeStatsRequest,
+    PingRequest,
+    RangeAdopt,
+    RangeCount,
+    RangeDrop,
+    RangeExtract,
+    RangeRetain,
+    TopologySnapshot,
+    VnodeCreate,
+    VnodeDrop,
+    WalReplay,
+)
+from repro.cluster.protocol import (
+    LifecycleProtocolSimulator,
+    ProtocolCosts,
+    lifecycle_event_cost,
+)
+from repro.core.errors import ReproError
+from repro.core.ids import VnodeRef
+from repro.runtime.client import COORDINATOR_ID, ClusterClient
+from repro.runtime.faults import FaultInjector, NodeHandle
+from repro.runtime.node import SnodeNode, SnodeServer
+from repro.runtime.rpc import RpcClient
+from repro.workloads.churn import (
+    ChurnEvent,
+    ChurnSpec,
+    apply_topology_event,
+    make_churn_trace,
+)
+from repro.workloads.driver import build_cluster
+from repro.workloads.keys import id_keys, uniform_keys
+
+#: ``(start, end, ref)`` half-open ownership interval.
+_Interval = Tuple[int, int, VnodeRef]
+
+
+class HarnessError(ReproError):
+    """The served cluster violated conservation or replication invariants."""
+
+
+@dataclass
+class _TwinState:
+    """Range-level snapshot of the twin's ownership and placement."""
+
+    version: int
+    ownership: List[_Interval]
+    #: ``(start, end, primary_ref, replica_refs)`` per partition.
+    partitions: List[Tuple[int, int, VnodeRef, Tuple[VnodeRef, ...]]]
+    hosted: Dict[int, Set[VnodeRef]]
+
+
+@dataclass
+class EventRecord:
+    """One replayed event: what happened and how long it took."""
+
+    kind: str
+    describe: str
+    applied: bool
+    measured_s: float
+    note: str = ""
+    simulated_s: Optional[float] = None
+
+
+@dataclass
+class HarnessReport:
+    """Outcome of one churn replay over the served cluster."""
+
+    name: str
+    processes: bool
+    n_events: int
+    applied: int
+    skipped: int
+    loaded: int
+    lookups: int
+    items_lost: int
+    conservation_checks: int
+    replication_checks: int
+    wall_s: float
+    events: List[EventRecord] = field(default_factory=list)
+    rpc_latencies_s: List[float] = field(default_factory=list)
+    faults: List[tuple] = field(default_factory=list)
+
+    def events_per_second(self) -> float:
+        return self.n_events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        if not self.rpc_latencies_s:
+            return {"p50_us": 0.0, "p99_us": 0.0}
+        column = np.asarray(self.rpc_latencies_s)
+        return {
+            "p50_us": float(np.percentile(column, 50) * 1e6),
+            "p99_us": float(np.percentile(column, 99) * 1e6),
+        }
+
+    def oracle_by_kind(self) -> Dict[str, Dict[str, float]]:
+        """Simulated vs measured seconds per topology event kind."""
+        out: Dict[str, Dict[str, float]] = {}
+        for record in self.events:
+            if record.simulated_s is None:
+                continue
+            bucket = out.setdefault(
+                record.kind, {"n": 0, "simulated_s": 0.0, "measured_s": 0.0}
+            )
+            bucket["n"] += 1
+            bucket["simulated_s"] += record.simulated_s
+            bucket["measured_s"] += record.measured_s
+        return out
+
+    def as_dict(self, include_events: bool = False) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "processes": self.processes,
+            "n_events": self.n_events,
+            "applied": self.applied,
+            "skipped": self.skipped,
+            "loaded": self.loaded,
+            "lookups": self.lookups,
+            "items_lost": self.items_lost,
+            "conservation_checks": self.conservation_checks,
+            "replication_checks": self.replication_checks,
+            "wall_s": self.wall_s,
+            "events_per_second": self.events_per_second(),
+            "rpc_calls": len(self.rpc_latencies_s),
+            "rpc_latency": self.latency_percentiles(),
+            "oracle_by_kind": self.oracle_by_kind(),
+            "faults": [list(entry) for entry in self.faults],
+        }
+        if include_events:
+            out["events"] = [
+                {
+                    "kind": record.kind,
+                    "describe": record.describe,
+                    "applied": record.applied,
+                    "measured_s": record.measured_s,
+                    "simulated_s": record.simulated_s,
+                    "note": record.note,
+                }
+                for record in self.events
+            ]
+        return out
+
+
+def _merge_ranges(ranges: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Coalesce sorted half-open ranges into their disjoint union."""
+    merged: List[Tuple[int, int]] = []
+    for start, end in sorted(ranges):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _covers(merged: List[Tuple[int, int]], start: int, end: int) -> bool:
+    """True when the merged ranges contain all of ``[start, end)``."""
+    for lo, hi in merged:
+        if lo <= start and end <= hi:
+            return True
+    return False
+
+
+def _inclusive(ranges: Sequence[Tuple[int, int]]) -> Tuple[Tuple[int, int], ...]:
+    """Half-open ``(start, end)`` ranges to the wire's ``(start, last)``."""
+    return tuple((start, end - 1) for start, end in ranges if end > start)
+
+
+class ClusterHarness:
+    """Boot, drive, and verify a served cluster against its metadata twin."""
+
+    def __init__(
+        self,
+        spec: ChurnSpec,
+        *,
+        trace: Optional[Sequence[ChurnEvent]] = None,
+        processes: bool = False,
+        base_dir: Optional[str] = None,
+        rpc_timeout: float = 10.0,
+        costs: Optional[ProtocolCosts] = None,
+    ):
+        if processes and base_dir is None:
+            raise ValueError("process mode needs base_dir for unix sockets")
+        self.spec = spec
+        self.trace: List[ChurnEvent] = (
+            list(trace) if trace is not None else make_churn_trace(spec)
+        )
+        self.processes = processes
+        self.base_dir = base_dir
+        self.rpc_timeout = rpc_timeout
+        self.costs = costs or ProtocolCosts()
+        # Per-node data directories: explicit via the spec, or defaulted on
+        # in process mode (a rebooted process can only recover from disk).
+        self.data_root = spec.data_dir or (base_dir if processes else None)
+        self.durable = self.data_root is not None
+
+        self.twin = build_cluster(
+            spec.approach,
+            spec.n_snodes,
+            spec.vnodes_per_snode,
+            pmin=spec.pmin,
+            vmin=spec.vmin,
+            replication_factor=spec.replication_factor,
+            seed=spec.seed,
+        )
+        self.bh = self.twin.hash_space.bh
+        self.handles: Dict[int, NodeHandle] = {}
+        self.client = ClusterClient(
+            bh=self.bh, replication_factor=spec.replication_factor
+        )
+        self.faults = FaultInjector(spawner=self._spawn_process)
+        self.expected_total = 0
+        self.items_lost = 0
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Boot one served node per twin snode and create their vnodes."""
+        state = self._snapshot()
+        for snode_id in sorted(state.hosted):
+            await self._boot_node(snode_id)
+        for snode_id, refs in state.hosted.items():
+            for ref in sorted(refs):
+                await self._call(
+                    snode_id, VnodeCreate, ref=ref.canonical_name, fresh=True
+                )
+        await self._push_topology()
+        self._started = True
+
+    async def close(self) -> None:
+        for handle in self.handles.values():
+            await handle.close()
+        self.handles.clear()
+
+    async def __aenter__(self) -> "ClusterHarness":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- node plumbing ---------------------------------------------------------
+
+    def _node_dir(self, snode_id: int) -> Optional[str]:
+        if self.data_root is None:
+            return None
+        return os.path.join(self.data_root, f"node-{snode_id}")
+
+    async def _boot_node(self, snode_id: int) -> NodeHandle:
+        handle = NodeHandle(
+            snode_id=snode_id,
+            bh=self.bh,
+            replication_factor=self.spec.replication_factor,
+            data_dir=self._node_dir(snode_id),
+            process_mode=self.processes,
+        )
+        if self.processes:
+            await self._spawn_process(handle)
+        else:
+            node = SnodeNode(
+                snode_id,
+                bh=self.bh,
+                replication_factor=self.spec.replication_factor,
+                data_dir=handle.data_dir,
+            )
+            server = SnodeServer(node)
+            await server.start()
+            handle.node = node
+            handle.server = server
+            handle.address = server.address
+            handle.rpc = RpcClient(server.address, timeout=self.rpc_timeout)
+        self.handles[snode_id] = handle
+        self.client.connect(snode_id, handle.rpc)
+        return handle
+
+    async def _spawn_process(self, handle: NodeHandle) -> None:
+        """Spawn (or re-spawn) one snode as a real OS process on a unix socket."""
+        assert self.base_dir is not None
+        unix_path = os.path.join(self.base_dir, f"snode-{handle.snode_id}.sock")
+        if os.path.exists(unix_path):
+            os.unlink(unix_path)
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--snode",
+            str(handle.snode_id),
+            "--bh",
+            str(self.bh),
+            "--replication-factor",
+            str(self.spec.replication_factor),
+            "--unix",
+            unix_path,
+        ]
+        if handle.data_dir is not None:
+            argv += ["--data-dir", handle.data_dir]
+        handle.process = subprocess.Popen(argv)
+        handle.address = unix_path
+        handle.rpc = RpcClient(unix_path, timeout=self.rpc_timeout)
+        self.client.connect(handle.snode_id, handle.rpc)
+        await self._wait_ready(handle)
+
+    async def _wait_ready(self, handle: NodeHandle, deadline_s: float = 20.0) -> None:
+        started = time.monotonic()
+        while True:
+            try:
+                probe = RpcClient(handle.address, timeout=1.0, retries=0)
+                await probe.call(
+                    PingRequest(src=COORDINATOR_ID, dst=handle.snode_id)
+                )
+                await probe.close()
+                return
+            except Exception:
+                if time.monotonic() - started > deadline_s:
+                    raise HarnessError(
+                        f"snode {handle.snode_id} never became ready"
+                    ) from None
+                await asyncio.sleep(0.05)
+
+    async def _call(self, snode_id: int, message_cls, **fields_):
+        handle = self.handles[snode_id]
+        assert handle.rpc is not None
+        message = message_cls(src=COORDINATOR_ID, dst=snode_id, **fields_)
+        return await handle.rpc.call(message)
+
+    async def _call_ref(self, ref: VnodeRef, message_cls, **fields_):
+        return await self._call(
+            ref.snode.value, message_cls, ref=ref.canonical_name, **fields_
+        )
+
+    # -- twin snapshots --------------------------------------------------------
+
+    def _snapshot(self) -> _TwinState:
+        bh = self.bh
+        replicated = self.spec.replication_factor > 1
+        ownership: List[_Interval] = []
+        partitions: List[Tuple[int, int, VnodeRef, Tuple[VnodeRef, ...]]] = []
+        for partition, ref in self.twin.topology.iter_ownership():
+            start, end = partition.start(bh), partition.end(bh)
+            ownership.append((start, end, ref))
+            replicas = (
+                self.twin.placement.replicas_of(partition) if replicated else ()
+            )
+            partitions.append((start, end, ref, replicas))
+        ownership.sort(key=lambda interval: interval[0])
+        partitions.sort(key=lambda entry: entry[0])
+        hosted = {
+            snode_id.value: set(snode.vnodes.keys())
+            for snode_id, snode in self.twin.topology.snodes.items()
+        }
+        return _TwinState(
+            version=self.twin.topology.version,
+            ownership=ownership,
+            partitions=partitions,
+            hosted=hosted,
+        )
+
+    async def _push_topology(self) -> None:
+        state = self._snapshot()
+        entries = tuple(
+            (partition.level, partition.index, ref.canonical_name)
+            for partition, ref in self.twin.topology.iter_ownership()
+        )
+        view_entries = list(self.twin.topology.iter_ownership())
+        self.client.update_topology(state.version, view_entries)
+        for snode_id in sorted(state.hosted):
+            await self._call(
+                snode_id, TopologySnapshot, version=state.version, entries=entries
+            )
+
+    @staticmethod
+    def _replica_cover(
+        partitions: List[Tuple[int, int, VnodeRef, Tuple[VnodeRef, ...]]]
+    ) -> Dict[VnodeRef, List[Tuple[int, int]]]:
+        cover: Dict[VnodeRef, List[Tuple[int, int]]] = {}
+        for start, end, _primary, replicas in partitions:
+            for ref in replicas:
+                cover.setdefault(ref, []).append((start, end))
+        return {ref: _merge_ranges(ranges) for ref, ranges in cover.items()}
+
+    @staticmethod
+    def _diff_moves(
+        before: List[_Interval], after: List[_Interval]
+    ) -> List[Tuple[int, int, VnodeRef, VnodeRef]]:
+        """Segments whose owner changed, by merge-scanning both interval lists."""
+        moves: List[Tuple[int, int, VnodeRef, VnodeRef]] = []
+        i = j = 0
+        cursor = before[0][0] if before else 0
+        space_end = max(
+            before[-1][1] if before else 0, after[-1][1] if after else 0
+        )
+        while cursor < space_end and i < len(before) and j < len(after):
+            while i < len(before) and before[i][1] <= cursor:
+                i += 1
+            while j < len(after) and after[j][1] <= cursor:
+                j += 1
+            if i >= len(before) or j >= len(after):
+                break
+            segment_end = min(before[i][1], after[j][1])
+            if before[i][2] != after[j][2]:
+                moves.append((cursor, segment_end, before[i][2], after[j][2]))
+            cursor = segment_end
+        return moves
+
+    # -- data movement ---------------------------------------------------------
+
+    async def _move_primary(
+        self, src: VnodeRef, dst: VnodeRef, ranges: List[Tuple[int, int]]
+    ) -> None:
+        response = await self._call_ref(
+            src, RangeExtract, ranges=_inclusive(ranges), pop=True
+        )
+        await self._call_ref(dst, RangeAdopt, parts=response.payload)
+
+    async def _rebuild_from_replica(
+        self,
+        start: int,
+        end: int,
+        dst: VnodeRef,
+        before: _TwinState,
+        dead_refs: Set[VnodeRef],
+        cover: Dict[VnodeRef, List[Tuple[int, int]]],
+    ) -> bool:
+        """Rebuild ``[start, end)`` of ``dst``'s primary from a surviving replica.
+
+        Returns False when no surviving replica covers the range (the rows
+        are unrecoverable — only possible without replication).
+        """
+        for seg_start, seg_end, _primary, replicas in before.partitions:
+            lo, hi = max(start, seg_start), min(end, seg_end)
+            if lo >= hi:
+                continue
+            source = next(
+                (
+                    ref
+                    for ref in replicas
+                    if ref not in dead_refs
+                    and _covers(cover.get(ref, []), lo, hi)
+                ),
+                None,
+            )
+            if source is None:
+                return False
+            response = await self._call_ref(
+                source,
+                RangeExtract,
+                tier="replica",
+                ranges=_inclusive([(lo, hi)]),
+                pop=False,
+            )
+            await self._call_ref(dst, RangeAdopt, parts=response.payload)
+        return True
+
+    async def _apply_topology_event(self, event: ChurnEvent) -> Tuple[bool, str]:
+        """Mirror one twin topology change onto the served cluster."""
+        before = self._snapshot()
+        before_cover = self._replica_cover(before.partitions)
+
+        try:
+            outcome = apply_topology_event(self.twin, event)
+        except ReproError as exc:
+            return False, f"skipped: {exc}"
+
+        crash_sid = event.snode if event.kind == "snode_crash" else None
+        restart_sid = event.snode if event.kind == "snode_restart" else None
+        after = self._snapshot()
+        crashed_refs = set(before.hosted.get(crash_sid, set())) if crash_sid is not None else set()
+        restarted_refs = (
+            set(before.hosted.get(restart_sid, set())) if restart_sid is not None else set()
+        )
+
+        # 1. Inject the real fault.
+        if crash_sid is not None and crash_sid in self.handles:
+            await self.faults.crash(self.handles.pop(crash_sid))
+            self.client.disconnect(crash_sid)
+        if restart_sid is not None and restart_sid in self.handles:
+            handle = self.handles[restart_sid]
+            await self.faults.kill(handle)
+            await self.faults.reboot(handle)
+            self.client.connect(restart_sid, handle.rpc)
+            if not handle.in_process:
+                await self._wait_ready(handle)
+                for ref in sorted(restarted_refs):
+                    await self._call(
+                        restart_sid, VnodeCreate, ref=ref.canonical_name, fresh=False
+                    )
+
+        # 2. Boot joined snodes, create new vnodes.
+        for snode_id in sorted(set(after.hosted) - set(before.hosted)):
+            await self._boot_node(snode_id)
+        for snode_id, refs in after.hosted.items():
+            for ref in sorted(refs - before.hosted.get(snode_id, set())):
+                await self._call(
+                    snode_id, VnodeCreate, ref=ref.canonical_name, fresh=True
+                )
+
+        # 3. Restart recovery: WAL replay (durable) or replica rebuild.
+        note = outcome.note
+        if restarted_refs:
+            if self.durable:
+                for ref in sorted(restarted_refs):
+                    await self._call_ref(ref, WalReplay)
+            else:
+                for start, end, owner in after.ownership:
+                    if owner not in restarted_refs:
+                        continue
+                    recovered = await self._rebuild_from_replica(
+                        start, end, owner, before, restarted_refs, before_cover
+                    )
+                    if not recovered:
+                        note = f"{note}; restart lost [{start}, {end})".strip("; ")
+
+        # 4. Primary ownership moves (crash-owned segments come from replicas).
+        grouped: Dict[Tuple[VnodeRef, VnodeRef], List[Tuple[int, int]]] = {}
+        unrecovered = 0
+        for start, end, src, dst in self._diff_moves(before.ownership, after.ownership):
+            if src in crashed_refs:
+                recovered = await self._rebuild_from_replica(
+                    start, end, dst, before, crashed_refs, before_cover
+                )
+                if not recovered:
+                    unrecovered += 1
+            else:
+                grouped.setdefault((src, dst), []).append((start, end))
+        for (src, dst), ranges in grouped.items():
+            await self._move_primary(src, dst, ranges)
+        if unrecovered:
+            note = f"{note}; {unrecovered} ranges unrecoverable".strip("; ")
+
+        # 5. New routing state everywhere.
+        await self._push_topology()
+
+        # 6. Replica maintenance: retention then drop+refill.
+        if self.spec.replication_factor > 1:
+            after_cover = self._replica_cover(after.partitions)
+            for snode_id, refs in after.hosted.items():
+                for ref in sorted(refs):
+                    await self._call_ref(
+                        ref,
+                        RangeRetain,
+                        tier="replica",
+                        ranges=_inclusive(after_cover.get(ref, [])),
+                    )
+            for start, end, primary, replicas in after.partitions:
+                for ref in replicas:
+                    intact = (
+                        ref not in restarted_refs
+                        and _covers(before_cover.get(ref, []), start, end)
+                    )
+                    if intact:
+                        continue
+                    await self._call_ref(
+                        ref,
+                        RangeDrop,
+                        tier="replica",
+                        ranges=_inclusive([(start, end)]),
+                    )
+                    response = await self._call_ref(
+                        primary,
+                        RangeExtract,
+                        ranges=_inclusive([(start, end)]),
+                        pop=False,
+                    )
+                    await self._call_ref(
+                        ref, RangeAdopt, tier="replica", parts=response.payload
+                    )
+
+        # 7. Drop drained vnodes; retire departed nodes.
+        for snode_id, refs in before.hosted.items():
+            if snode_id == crash_sid:
+                continue
+            for ref in sorted(refs - after.hosted.get(snode_id, set())):
+                await self._call(snode_id, VnodeDrop, ref=ref.canonical_name)
+        for snode_id in sorted(set(before.hosted) - set(after.hosted)):
+            if snode_id == crash_sid:
+                continue
+            handle = self.handles.pop(snode_id, None)
+            if handle is not None:
+                await handle.close()
+            self.client.disconnect(snode_id)
+
+        return True, note
+
+    # -- verification ----------------------------------------------------------
+
+    async def measured_total(self) -> int:
+        """Summed primary rows across every served node."""
+        total = 0
+        for snode_id in sorted(self.handles):
+            response = await self._call(snode_id, NodeStatsRequest)
+            total += int(response.payload["primary"])
+        return total
+
+    async def check_conservation(self, allow_loss: bool) -> int:
+        """Raise :class:`HarnessError` unless the cluster holds what was loaded.
+
+        ``allow_loss`` sanctions a deficit (a crash with no surviving
+        replica); the loss is recorded and the expectation rebased.
+        Returns the measured total.
+        """
+        measured = await self.measured_total()
+        if measured != self.expected_total:
+            deficit = self.expected_total - measured
+            if allow_loss and deficit > 0:
+                self.items_lost += deficit
+                self.expected_total = measured
+            else:
+                raise HarnessError(
+                    f"conservation violated: expected {self.expected_total} "
+                    f"primary rows, measured {measured}"
+                )
+        return measured
+
+    async def verify_replication(self) -> int:
+        """Per-partition primary vs replica range counts over RPC.
+
+        Returns the number of (partition, replica) pairs checked; raises
+        :class:`HarnessError` on the first mismatch.
+        """
+        state = self._snapshot()
+        checked = 0
+        for start, end, primary, replicas in state.partitions:
+            if not replicas:
+                continue
+            ranges = _inclusive([(start, end)])
+            response = await self._call_ref(primary, RangeCount, ranges=ranges)
+            primary_count = response.payload[0]
+            for ref in replicas:
+                response = await self._call_ref(
+                    ref, RangeCount, tier="replica", ranges=ranges
+                )
+                if response.payload[0] != primary_count:
+                    raise HarnessError(
+                        f"replica divergence on [{start}, {end}): primary "
+                        f"{primary} holds {primary_count}, replica {ref} "
+                        f"holds {response.payload[0]}"
+                    )
+                checked += 1
+        return checked
+
+    # -- trace replay ----------------------------------------------------------
+
+    def make_keys(self):
+        """The distinct key population of the trace (same as the churn engine)."""
+        if self.spec.workload == "ids":
+            return id_keys(self.spec.n_keys, rng=self.spec.seed)
+        return uniform_keys(self.spec.n_keys, rng=self.spec.seed)
+
+    async def run(self, oracle: bool = True) -> HarnessReport:
+        """Replay the trace against the served cluster and verify every event.
+
+        With ``oracle=True`` the same trace is profiled by the lifecycle
+        simulator and each applied topology event is annotated with its
+        simulated cost-model duration.
+        """
+        if not self._started:
+            await self.start()
+        keys = self.make_keys()
+        key_column = (
+            keys if isinstance(keys, np.ndarray) else np.asarray(keys, dtype=object)
+        )
+        read_rng = np.random.default_rng(self.spec.seed + 1)
+
+        records: List[EventRecord] = []
+        loaded = lookups = applied = skipped = 0
+        conservation_checks = replication_checks = 0
+        replicated = self.spec.replication_factor > 1
+        wall_start = time.perf_counter()
+
+        for event in self.trace:
+            if event.kind == "load":
+                chunk = keys[event.lo : event.hi]
+                t0 = time.perf_counter()
+                n = await self.client.bulk_load(chunk)
+                duration = time.perf_counter() - t0
+                loaded += n
+                self.expected_total += n
+                records.append(EventRecord("load", event.describe(), True, duration))
+            elif event.kind == "lookup":
+                picks = read_rng.integers(0, event.hi, size=event.n_reads)
+                chunk = key_column[picks]
+                t0 = time.perf_counter()
+                for key in chunk.tolist():
+                    await self.client.get(key)
+                duration = time.perf_counter() - t0
+                lookups += len(chunk)
+                records.append(EventRecord("lookup", event.describe(), True, duration))
+            else:
+                t0 = time.perf_counter()
+                event_applied, note = await self._apply_topology_event(event)
+                duration = time.perf_counter() - t0
+                if event_applied:
+                    applied += 1
+                    allow_loss = not replicated and (
+                        event.kind == "snode_crash"
+                        or (event.kind == "snode_restart" and not self.durable)
+                    )
+                    await self.check_conservation(allow_loss)
+                    conservation_checks += 1
+                    if replicated:
+                        replication_checks += await self.verify_replication()
+                else:
+                    skipped += 1
+                records.append(
+                    EventRecord(event.kind, event.describe(), event_applied, duration, note)
+                )
+
+        wall = time.perf_counter() - wall_start
+
+        if oracle:
+            self._annotate_with_oracle(records)
+
+        latencies: List[float] = []
+        for handle in self.handles.values():
+            if handle.rpc is not None:
+                latencies.extend(handle.rpc.call_durations)
+
+        return HarnessReport(
+            name=self.spec.name,
+            processes=self.processes,
+            n_events=len(self.trace),
+            applied=applied,
+            skipped=skipped,
+            loaded=loaded,
+            lookups=lookups,
+            items_lost=self.items_lost,
+            conservation_checks=conservation_checks,
+            replication_checks=replication_checks,
+            wall_s=wall,
+            events=records,
+            rpc_latencies_s=latencies,
+            faults=list(self.faults.log),
+        )
+
+    def _annotate_with_oracle(self, records: List[EventRecord]) -> None:
+        """Pair each topology event with the simulator's cost-model duration.
+
+        The lifecycle simulator replays the *same trace* against its own
+        single-process DHT (loads included, so data-dependent costs are
+        real) and produces one profile per topology event, in trace order —
+        the pairing is positional.
+        """
+        simulator = LifecycleProtocolSimulator(
+            spec=self.spec, trace=self.trace, costs=self.costs
+        )
+        profiles = simulator.profiles()
+        topology_records = [
+            record for record in records if record.kind not in ("load", "lookup")
+        ]
+        for record, profile in zip(topology_records, profiles):
+            duration, _messages, _nbytes = lifecycle_event_cost(self.costs, profile)
+            record.simulated_s = duration
+
+
+__all__ = [
+    "ClusterHarness",
+    "EventRecord",
+    "HarnessError",
+    "HarnessReport",
+]

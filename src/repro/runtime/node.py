@@ -1,0 +1,318 @@
+"""The served snode: engine storage + placement behind an RPC dispatcher.
+
+A :class:`SnodeNode` is the state of one runtime snode — a
+:class:`~repro.core.storage.DHTStorage` (optionally durable, rooted in the
+node's own data directory so canonical vnode names never collide across
+nodes), a coordinator-pushed :class:`NodeTopologyView`, and a
+:class:`~repro.core.engine.placement.PlacementService` rebuilt lazily from
+the view exactly like the single-process engine rebuilds from its
+membership plane.  The dispatcher maps each typed request message to the
+engine's public API and wraps the result (or the exception kind) in an
+:class:`~repro.cluster.messages.Ack`.
+
+:class:`SnodeServer` serves a node over asyncio (TCP or unix socket): one
+frame-decoding loop per connection, responses matched to requests by id.
+The server is where faults bite: a *paused* server keeps reading but stops
+responding (requests time out, exactly like a hung process), a *killed*
+server drops every connection and refuses new ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.cluster.messages import (
+    Ack,
+    BulkLoadChunk,
+    DeleteRequest,
+    GetRequest,
+    LookupRequest,
+    Message,
+    NodeStatsRequest,
+    PingRequest,
+    PutRequest,
+    RangeAdopt,
+    RangeCount,
+    RangeDrop,
+    RangeExtract,
+    RangeRetain,
+    RestartNotice,
+    TopologySnapshot,
+    VnodeCreate,
+    VnodeDrop,
+    WalReplay,
+)
+from repro.core.durability import DurabilityConfig
+from repro.core.engine.placement import PlacementService
+from repro.core.hashspace import HashSpace, Partition
+from repro.core.ids import VnodeRef
+from repro.core.storage import DHTStorage
+from repro.runtime.codec import read_frame, write_frame
+
+
+class NodeTopologyView:
+    """A node's copy of the cluster ownership table, pushed by the coordinator.
+
+    Satisfies the topology protocol the placement plane consumes (``version``
+    plus ``iter_ownership``), so a node rebuilds its router and replica
+    placement with the exact same deterministic code path as the
+    single-process engine — placement never travels over the wire.
+    """
+
+    def __init__(self) -> None:
+        self.version = 0
+        self._entries: List[Tuple[Partition, VnodeRef]] = []
+
+    def update(self, version: int, entries: List[Tuple[Partition, VnodeRef]]) -> None:
+        self.version = version
+        self._entries = list(entries)
+
+    def iter_ownership(self) -> Iterator[Tuple[Partition, VnodeRef]]:
+        return iter(self._entries)
+
+
+class SnodeNode:
+    """State and request dispatcher of one runtime snode."""
+
+    def __init__(
+        self,
+        snode_id: int,
+        *,
+        bh: int,
+        replication_factor: int = 1,
+        data_dir: Optional[str] = None,
+    ):
+        self.snode_id = snode_id
+        self.hash_space = HashSpace(bh)
+        durability = DurabilityConfig(data_dir=data_dir) if data_dir else None
+        self.storage = DHTStorage(self.hash_space, durability=durability)
+        self.view = NodeTopologyView()
+        self.placement = PlacementService(
+            self.hash_space, self.view, replication_factor, replication_factor - 1
+        )
+        self.hosted: Set[VnodeRef] = set()
+        #: Requests dispatched since boot, by message class name.
+        self.requests_served: Dict[str, int] = {}
+
+    # -- dispatch --------------------------------------------------------------
+
+    def dispatch(self, message: Message) -> Ack:
+        """Handle one request message; never raises — errors ride the Ack."""
+        name = type(message).__name__
+        self.requests_served[name] = self.requests_served.get(name, 0) + 1
+        try:
+            payload = self._handle(message)
+        except KeyError as exc:
+            key = exc.args[0] if exc.args else None
+            return Ack(src=self.snode_id, dst=message.src, payload=key, error="KeyError")
+        except Exception as exc:
+            return Ack(
+                src=self.snode_id,
+                dst=message.src,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        return Ack(src=self.snode_id, dst=message.src, payload=payload)
+
+    def _handle(self, msg: Message) -> Any:
+        storage = self.storage
+        if isinstance(msg, PingRequest):
+            return None
+        if isinstance(msg, PutRequest):
+            ref = VnodeRef.parse(msg.ref)
+            if msg.tier == "replica":
+                storage.put_replica(ref, msg.key, msg.index, msg.value)
+            else:
+                storage.put(ref, msg.key, msg.index, msg.value)
+            return None
+        if isinstance(msg, GetRequest):
+            ref = VnodeRef.parse(msg.ref)
+            if msg.tier == "replica":
+                return storage.get_replica(ref, msg.key)
+            return storage.get(ref, msg.key)
+        if isinstance(msg, DeleteRequest):
+            ref = VnodeRef.parse(msg.ref)
+            if msg.tier == "replica":
+                return storage.delete_replica(ref, msg.key)
+            return storage.delete(ref, msg.key)
+        if isinstance(msg, BulkLoadChunk):
+            ref = VnodeRef.parse(msg.ref)
+            if msg.tier == "replica":
+                return storage.put_replica_batch(ref, msg.keys, msg.indexes, msg.values)
+            return storage.put_batch(ref, msg.keys, msg.indexes, msg.values)
+        if isinstance(msg, LookupRequest):
+            index = self.hash_space.hash_key(msg.key)
+            partition, ref = self.placement.locate(index)
+            return (
+                partition.level,
+                partition.index,
+                ref.canonical_name,
+                ref.snode.value,
+            )
+        if isinstance(msg, RangeExtract):
+            store = self._tier_store(msg.ref, msg.tier)
+            starts, lasts = storage.range_arrays(msg.ranges)
+            if msg.pop:
+                return store.pop_buckets(starts, lasts)
+            return store.copy_buckets(starts, lasts)
+        if isinstance(msg, RangeAdopt):
+            store = self._tier_store(msg.ref, msg.tier)
+            for pairs, segments in msg.parts:
+                store.adopt_parts(pairs, segments)
+            return None
+        if isinstance(msg, RangeDrop):
+            store = self._tier_store(msg.ref, msg.tier)
+            starts, lasts = storage.range_arrays(msg.ranges)
+            parts = store.pop_buckets(starts, lasts)
+            return sum(
+                len(pairs) + sum(len(seg[0]) for seg in segments)
+                for pairs, segments in parts
+            )
+        if isinstance(msg, RangeCount):
+            store = self._tier_store(msg.ref, msg.tier)
+            starts, lasts = storage.range_arrays(msg.ranges)
+            return [int(n) for n in store.count_buckets(starts, lasts)]
+        if isinstance(msg, RangeRetain):
+            store = self._tier_store(msg.ref, msg.tier)
+            starts, lasts = storage.range_arrays(msg.ranges)
+            return store.drop_outside(starts, lasts)
+        if isinstance(msg, VnodeCreate):
+            ref = VnodeRef.parse(msg.ref)
+            storage.register_vnode(ref, fresh=msg.fresh)
+            self.hosted.add(ref)
+            return None
+        if isinstance(msg, VnodeDrop):
+            ref = VnodeRef.parse(msg.ref)
+            storage.unregister_vnode(ref)
+            self.hosted.discard(ref)
+            return None
+        if isinstance(msg, WalReplay):
+            state = storage.replay_vnode(VnodeRef.parse(msg.ref))
+            return state.rows
+        if isinstance(msg, RestartNotice):
+            rows = 0
+            if storage.durable is not None:
+                for ref in storage.durable.pending_refs():
+                    rows += storage.replay_vnode(ref).rows
+            return rows
+        if isinstance(msg, TopologySnapshot):
+            entries = [
+                (Partition(level, index), VnodeRef.parse(name))
+                for level, index, name in msg.entries
+            ]
+            self.view.update(msg.version, entries)
+            return None
+        if isinstance(msg, NodeStatsRequest):
+            return self.stats()
+        raise TypeError(f"snode {self.snode_id} cannot serve {type(msg).__name__}")
+
+    def _tier_store(self, name: str, tier: str):
+        ref = VnodeRef.parse(name)
+        if tier == "replica":
+            return self.storage.replica_store(ref)
+        return self.storage.primary_store(ref)
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-node row counts and durability counters (the NodeStats reply)."""
+        storage = self.storage
+        out: Dict[str, Any] = {
+            "snode": self.snode_id,
+            "primary": storage.fast_primary_count(),
+            "replica": storage.fast_replica_count(),
+            "vnodes": {
+                ref.canonical_name: {
+                    "primary": storage.fast_primary_count(ref),
+                    "replica": storage.fast_replica_count(ref),
+                }
+                for ref in sorted(self.hosted)
+            },
+            "requests": dict(self.requests_served),
+        }
+        if storage.durable is not None:
+            out["durability"] = storage.durability.as_dict()
+        return out
+
+    # -- fault surface ---------------------------------------------------------
+
+    def lose_memory(self) -> int:
+        """Drop every in-memory row (both tiers), keep disk — a kill -9."""
+        return sum(self.storage.lose_vnode_memory(ref) for ref in sorted(self.hosted))
+
+
+class SnodeServer:
+    """Asyncio server around one :class:`SnodeNode`."""
+
+    def __init__(
+        self,
+        node: SnodeNode,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+    ):
+        self.node = node
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.paused = False
+        self.killed = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+
+    @property
+    def address(self):
+        """The connectable address (resolved after :meth:`start`)."""
+        if self.unix_path is not None:
+            return self.unix_path
+        return (self.host, self.port)
+
+    async def start(self) -> None:
+        if self.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.unix_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drop open connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+
+    async def kill(self) -> None:
+        """Simulated kill -9: connections dropped mid-flight, no goodbyes."""
+        self.killed = True
+        await self.stop()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while not self.killed:
+                request_id, _, message = await read_frame(reader)
+                if self.paused or self.killed:
+                    # A hung process reads from its socket buffer but never
+                    # replies; the client's timeout machinery takes it from
+                    # here.
+                    continue
+                response = self.node.dispatch(message)
+                await write_frame(writer, request_id, response, response=True)
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+
+__all__ = ["NodeTopologyView", "SnodeNode", "SnodeServer"]

@@ -1,0 +1,188 @@
+"""RPC client: persistent connection, per-request timeout, bounded retry.
+
+One :class:`RpcClient` owns one connection to one served snode.  Requests
+are written as frames carrying a fresh request id; a background reader task
+resolves the matching future when the response frame arrives, so many
+requests can be in flight on the same connection.
+
+A request that times out poisons the connection (the response may arrive
+later and would desynchronize the id space of a naive retry), so the
+client closes it, reconnects, and retries — up to ``retries`` times before
+raising :class:`RpcTimeoutError`.  Error replies (``Ack.error``) are
+re-raised as typed exceptions: ``KeyError`` comes back as a real
+``KeyError`` so replica-fallback reads can catch it, everything else as
+:class:`RpcRemoteError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple, Union
+
+from repro.cluster.messages import Ack, Message
+from repro.runtime.codec import read_frame, write_frame
+
+#: Address of a served snode: ``("host", port)`` for TCP or a unix socket path.
+Address = Union[Tuple[str, int], str]
+
+
+class RpcError(Exception):
+    """Base class of RPC-layer failures."""
+
+
+class RpcTimeoutError(RpcError):
+    """The request was retried ``retries`` times and never got a response."""
+
+
+class RpcConnectionError(RpcError):
+    """The peer is unreachable or hung up mid-exchange."""
+
+
+class RpcRemoteError(RpcError):
+    """The remote handler raised; carries the exception kind and message."""
+
+    def __init__(self, kind: str, detail: str):
+        super().__init__(f"{kind}: {detail}")
+        self.kind = kind
+        self.detail = detail
+
+
+def _raise_remote(ack: Ack) -> None:
+    kind, _, detail = (ack.error or "").partition(": ")
+    if kind == "KeyError":
+        raise KeyError(ack.payload if ack.payload is not None else detail)
+    raise RpcRemoteError(kind or "RemoteError", detail)
+
+
+class RpcClient:
+    """Client end of one snode connection."""
+
+    def __init__(
+        self,
+        address: Address,
+        *,
+        timeout: float = 5.0,
+        retries: int = 2,
+    ):
+        self.address = address
+        self.timeout = timeout
+        self.retries = retries
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._pending: Dict[int, "asyncio.Future[Message]"] = {}
+        self._next_id = 1
+        self._lock = asyncio.Lock()
+        #: Wall-clock seconds of every completed call, for latency profiles.
+        self.call_durations: list = []
+
+    # -- connection lifecycle --------------------------------------------------
+
+    async def _connect(self) -> None:
+        if isinstance(self.address, str):
+            reader, writer = await asyncio.open_unix_connection(self.address)
+        else:
+            host, port = self.address
+            reader, writer = await asyncio.open_connection(host, port)
+        self._writer = writer
+        self._reader_task = asyncio.ensure_future(self._read_loop(reader))
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                request_id, is_response, message = await read_frame(reader)
+                future = self._pending.pop(request_id, None)
+                if future is not None and not future.done() and is_response:
+                    future.set_result(message)
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._fail_pending(RpcConnectionError(f"connection to {self.address} lost"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def close(self) -> None:
+        """Close the connection; in-flight requests fail with a connection error."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+            self._writer = None
+        self._fail_pending(RpcConnectionError(f"connection to {self.address} closed"))
+
+    # -- calls -----------------------------------------------------------------
+
+    async def call(
+        self, message: Message, *, timeout: Optional[float] = None
+    ) -> Message:
+        """Send ``message`` and return the response message.
+
+        Retries (with a fresh connection) on timeout and on connection
+        loss; raises :class:`RpcTimeoutError` / :class:`RpcConnectionError`
+        once the retry budget is spent.  Error replies are re-raised as
+        typed exceptions (see module docstring).
+        """
+        loop = asyncio.get_event_loop()
+        deadline = timeout if timeout is not None else self.timeout
+        last_error: Exception = RpcConnectionError(f"never reached {self.address}")
+        for _ in range(self.retries + 1):
+            started = loop.time()
+            try:
+                response = await self._attempt(message, deadline)
+            except asyncio.TimeoutError:
+                last_error = RpcTimeoutError(
+                    f"{type(message).__name__} to {self.address} timed out "
+                    f"after {deadline}s"
+                )
+                await self.close()
+                continue
+            except (RpcConnectionError, ConnectionError, OSError) as exc:
+                last_error = (
+                    exc
+                    if isinstance(exc, RpcConnectionError)
+                    else RpcConnectionError(str(exc))
+                )
+                await self.close()
+                continue
+            self.call_durations.append(loop.time() - started)
+            if isinstance(response, Ack) and response.error is not None:
+                _raise_remote(response)
+            return response
+        raise last_error
+
+    async def _attempt(self, message: Message, timeout: float) -> Message:
+        async with self._lock:
+            if self._writer is None:
+                await self._connect()
+            request_id = self._next_id
+            self._next_id += 1
+            future: "asyncio.Future[Message]" = asyncio.get_event_loop().create_future()
+            self._pending[request_id] = future
+            assert self._writer is not None
+            await write_frame(self._writer, request_id, message)
+        try:
+            return await asyncio.wait_for(future, timeout)
+        finally:
+            self._pending.pop(request_id, None)
+
+
+__all__ = [
+    "Address",
+    "RpcClient",
+    "RpcConnectionError",
+    "RpcError",
+    "RpcRemoteError",
+    "RpcTimeoutError",
+]

@@ -81,7 +81,7 @@ class TestHashKeys:
 class TestLocateBatch:
     def test_matches_scalar_locate(self):
         dht = small_dht()
-        router = dht._ensure_router()
+        router = dht.placement.router()
         indices = dht.hash_space.hash_keys([f"k{i}" for i in range(200)])
         positions = router.locate_batch(indices)
         for idx, pos in zip(indices.tolist(), positions.tolist()):
@@ -90,11 +90,11 @@ class TestLocateBatch:
     def test_empty_router_raises(self):
         dht = LocalDHT(DHTConfig.for_local(pmin=4, vmin=4), rng=0)
         with pytest.raises(EmptyDHTError):
-            dht._ensure_router().locate_batch(np.array([0], dtype=np.uint64))
+            dht.placement.router().locate_batch(np.array([0], dtype=np.uint64))
 
     def test_out_of_range_rejected(self):
         dht = small_dht()
-        router = dht._ensure_router()
+        router = dht.placement.router()
         with pytest.raises(KeyLookupError):
             router.locate_batch(np.array([dht.hash_space.size], dtype=np.int64))
         with pytest.raises(KeyLookupError):

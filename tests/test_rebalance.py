@@ -273,7 +273,7 @@ class TestLoadRebalanceProperties:
         # Monotone: the plan never worsens the imbalance.
         assert report.after_max_over_mean <= before_mm + 1e-9
         # G4 lower bound always; G3'(uniform splitlevel per scope) always.
-        for scope, (members, level) in dht._load_scopes().items():
+        for scope, (members, level) in dht.load_scopes().items():
             for ref in members:
                 vnode = dht.get_vnode(ref)
                 assert vnode.partition_count >= dht.config.pmin
@@ -326,12 +326,12 @@ class TestLoadRebalanceProperties:
         dht.bulk_load(keys)
         report = dht.rebalance_load()
         assert report.splits > 0
-        assert dht._load_splits_occurred
+        assert dht.topology.load_splits_occurred
         assert dht._effective_strict(None) is False
         from repro.core import restore_dht, snapshot_dht
 
         clone = restore_dht(snapshot_dht(dht))
-        assert clone._load_splits_occurred
+        assert clone.topology.load_splits_occurred
         clone.check_invariants()
 
     def test_noop_on_empty_and_balanced(self):

@@ -123,7 +123,7 @@ class TestVnodeStoreRangePrimitives:
 
     def _halves(self, storage):
         size = storage.hash_space.size
-        return storage._range_arrays([(0, size // 2 - 1), (size // 2, size - 1)])
+        return storage.range_arrays([(0, size // 2 - 1), (size // 2, size - 1)])
 
     def test_count_buckets_counts_both_tiers(self):
         storage = self._loaded_storage()
@@ -155,7 +155,7 @@ class TestVnodeStoreRangePrimitives:
         storage = self._loaded_storage()
         store = storage._store(vref(0))
         size = storage.hash_space.size
-        starts, lasts = storage._range_arrays([(0, size // 2 - 1)])
+        starts, lasts = storage.range_arrays([(0, size // 2 - 1)])
         dropped = store.drop_outside(starts, lasts)
         assert dropped == 16
         assert store.fast_len() == 16
@@ -180,7 +180,7 @@ class TestReplicatedWrites:
     def test_scalar_put_delete_mirror_to_replicas(self):
         dht = build_replicated(factor=3)
         result = dht.put("k", "v")
-        replicas = dht._replicas_of(result.partition)
+        replicas = dht.replicas_of(result.partition)
         assert len(replicas) == 2
         for ref in replicas:
             assert dht.storage.get_replica(ref, "k") == "v"
@@ -200,7 +200,7 @@ class TestReplicatedWrites:
         dht.bulk_load(["a", "b", "a"], [1, 2, 3])
         assert dht.get("a") == 3
         result = dht.lookup("a")
-        for ref in dht._replicas_of(result.partition):
+        for ref in dht.replicas_of(result.partition):
             assert dht.storage.get_replica(ref, "a") == 3
         # The point read above merged the primary's segments (collapsing the
         # duplicate) while the replica segments stayed pending: the physical
@@ -210,7 +210,7 @@ class TestReplicatedWrites:
     def test_replica_items_of_lists_replica_pairs(self):
         dht = build_replicated(factor=2)
         dht.put("k", "v")
-        ref = dht._replicas_of(dht.lookup("k").partition)[0]
+        ref = dht.replicas_of(dht.lookup("k").partition)[0]
         assert dht.storage.replica_items_of(ref) == [("k", "v")]
 
 
@@ -390,7 +390,7 @@ class TestVerifyReplication:
         dht = build_replicated(factor=2)
         dht.bulk_load(id_keys(500, rng=11))
         # Forge a replica row the placement does not assign.
-        placement = dht._ensure_placement()
+        placement = dht.placement.placement()
         partition = placement.partitions[0]
         start, _ = dht.hash_space.partition_range(partition)
         stranger = [
@@ -404,7 +404,7 @@ class TestVerifyReplication:
     def test_deep_detects_value_divergence(self):
         dht = build_replicated(factor=2)
         dht.put("k", "good")
-        ref = dht._replicas_of(dht.lookup("k").partition)[0]
+        ref = dht.replicas_of(dht.lookup("k").partition)[0]
         index = dht.lookup("k").index
         dht.storage._replica(ref).put("k", index, "evil")
         dht.verify_replication()  # counts still agree
@@ -421,7 +421,7 @@ class TestVerifyReplication:
         dht = build_replicated(factor=2)
         dht.bulk_load(id_keys(200, rng=15))
         # Forge a primary row at a vnode that does not own its index.
-        placement = dht._ensure_placement()
+        placement = dht.placement.placement()
         start, _ = dht.hash_space.partition_range(placement.partitions[0])
         stranger = [r for r in dht.vnodes if r != placement.primaries[0]][0]
         dht.storage._store(stranger)._items["forged"] = (start, "x")
@@ -463,10 +463,10 @@ class TestSnapshotRoundTrip:
         dht.bulk_load(sequential_keys(50))
         snapshot = snapshot_dht(dht)
         item = snapshot["replica_items"][0]
-        placement = dht._ensure_placement()
+        placement = dht.placement.placement()
         # Re-home the row on a vnode that does not replicate its partition.
         pos = int(
-            dht._ensure_router().locate_batch(
+            dht.placement.router().locate_batch(
                 np.array([item["index"]], dtype=np.uint64)
             )[0]
         )

@@ -53,7 +53,7 @@ def run_crash_churn(seed: int, factor: int, n_keys: int, n_events: int):
 def assert_replication_invariants(dht, factor: int) -> None:
     """The three properties, checked against the live post-churn DHT."""
     # Placement: replicas of every partition on pairwise-distinct snodes.
-    placement = dht._ensure_placement()
+    placement = dht.placement.placement()
     for pos, primary in enumerate(placement.primaries):
         snodes = [primary.snode] + [r.snode for r in placement.replicas_at(pos)]
         assert len(set(snodes)) == len(snodes)

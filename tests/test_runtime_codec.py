@@ -1,0 +1,183 @@
+"""Wire-codec tests for the networked runtime.
+
+Every registered message type must survive ``encode()``/``decode()``
+bit-exactly — the runtime's RPC layer, the cost model and the lifecycle
+simulator all share these dataclasses, so a codec regression corrupts both
+the wire and the books.  Also covers the framing layer
+(:mod:`repro.runtime.codec`), the ``Ack`` size invariant the network cost
+model anchors on, and the ``rpc_time`` default-reply regression.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+
+import numpy as np
+import pytest
+
+from repro.cluster.messages import (
+    MESSAGE_TYPES,
+    Ack,
+    BulkLoadChunk,
+    GetRequest,
+    Message,
+    PutRequest,
+    RangeExtract,
+    TopologySnapshot,
+    WireError,
+    decode,
+)
+from repro.cluster.network import NetworkModel
+from repro.runtime.codec import (
+    MAX_FRAME_BYTES,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+
+class TestMessageCodec:
+    def test_every_registered_type_round_trips(self):
+        """Default-constructed instances of all types survive the codec."""
+        assert len(MESSAGE_TYPES) >= 20  # sim messages + the data plane
+        for code, cls in sorted(MESSAGE_TYPES.items()):
+            msg = cls(src=3, dst=9)
+            out = decode(msg.encode())
+            assert type(out) is cls, cls.__name__
+            assert out == msg, cls.__name__
+            assert cls.TYPE_CODE == code
+
+    def test_type_codes_are_unique_and_stable(self):
+        codes = [cls.TYPE_CODE for cls in MESSAGE_TYPES.values()]
+        assert len(codes) == len(set(codes))
+        # Definition order is the wire contract: Ack must keep its slot or
+        # every mixed-version conversation decodes garbage.
+        assert MESSAGE_TYPES[Ack.TYPE_CODE] is Ack
+
+    def test_populated_payloads_round_trip(self):
+        put = PutRequest(src=1, dst=2, ref="0.1", tier="replica", key=7, index=99, value="v")
+        assert decode(put.encode()) == put
+
+        snap = TopologySnapshot(
+            src=-1, dst=0, version=4, entries=((0, 0, "0.0"), (0, 1, "1.0"))
+        )
+        assert decode(snap.encode()) == snap
+
+        extract = RangeExtract(src=-1, dst=1, ref="1.0", ranges=((0, 63), (128, 200)))
+        assert decode(extract.encode()) == extract
+
+    def test_numpy_columns_round_trip(self):
+        keys = np.arange(10, dtype=np.uint64)
+        indexes = np.arange(10, dtype=np.int64)
+        chunk = BulkLoadChunk(src=-1, dst=0, ref="0.0", keys=keys, indexes=indexes)
+        out = decode(chunk.encode())
+        assert isinstance(out, BulkLoadChunk)
+        assert np.array_equal(out.keys, keys)
+        assert np.array_equal(out.indexes, indexes)
+        assert out.values is None
+
+    def test_decode_rejects_short_body(self):
+        with pytest.raises(WireError):
+            decode(b"\x00")
+
+    def test_decode_rejects_unknown_type_code(self):
+        body = struct.pack("!H", 60000) + pickle.dumps((1, 2))
+        with pytest.raises(WireError):
+            decode(body)
+
+    def test_decode_rejects_garbage_payload(self):
+        body = struct.pack("!H", Ack.TYPE_CODE) + b"not a pickle"
+        with pytest.raises(WireError):
+            decode(body)
+
+
+class TestMessageSizes:
+    def test_bare_ack_is_exactly_the_header_size(self):
+        """The cost model prices the default RPC reply off this invariant."""
+        assert Ack(src=0, dst=0).size_bytes() == float(Message.BASE_SIZE_BYTES) == 64.0
+
+    def test_payload_grows_ack_beyond_the_floor(self):
+        big = Ack(src=0, dst=0, payload=list(range(200)))
+        assert big.size_bytes() > 64.0
+        assert big.size_bytes() == float(len(big.encode()))
+
+    def test_data_plane_sizes_track_encoded_length(self):
+        chunk = BulkLoadChunk(
+            src=-1,
+            dst=0,
+            ref="0.0",
+            keys=np.arange(1000, dtype=np.uint64),
+            indexes=np.arange(1000, dtype=np.int64),
+        )
+        assert chunk.size_bytes() == float(len(chunk.encode()))
+        # Tiny messages never price below the fixed header floor.
+        assert GetRequest(src=0, dst=1, ref="0.0", key=1).size_bytes() >= 64.0
+
+
+class TestRpcTimeRegression:
+    def test_default_reply_is_a_bare_ack(self):
+        """rpc_time's default reply must be Ack-sized, not a hardcoded 64."""
+        net = NetworkModel(latency_s=1e-3, bandwidth_bytes_per_s=1e6)
+        assert net.rpc_time(100.0) == net.rpc_time(
+            100.0, Ack(src=0, dst=0).size_bytes()
+        )
+
+    def test_default_reply_tracks_ack_size_changes(self, monkeypatch):
+        net = NetworkModel(latency_s=1e-3, bandwidth_bytes_per_s=1e6)
+        monkeypatch.setattr(Ack, "BASE_SIZE_BYTES", 128)
+        assert net.rpc_time(100.0) == net.message_time(100.0) + net.message_time(128.0)
+
+
+class TestFrameCodec:
+    def test_frame_round_trip_requests_and_responses(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            request = PutRequest(src=1, dst=2, ref="0.0", key=7, index=9, value="x")
+            reply = Ack(src=2, dst=1, payload="ok")
+            reader.feed_data(encode_frame(42, request))
+            reader.feed_data(encode_frame(42, reply, response=True))
+            reader.feed_eof()
+
+            request_id, is_response, out = await read_frame(reader)
+            assert (request_id, is_response, out) == (42, False, request)
+            request_id, is_response, out = await read_frame(reader)
+            assert (request_id, is_response) == (42, True)
+            assert out.payload == "ok"
+
+        asyncio.run(scenario())
+
+    def test_oversize_frame_is_rejected(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack("!I", MAX_FRAME_BYTES + 1) + b"\x00" * 16)
+            reader.feed_eof()
+            with pytest.raises(WireError):
+                await read_frame(reader)
+
+        asyncio.run(scenario())
+
+    def test_write_frame_matches_encode_frame(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+
+            class _Sink:
+                def __init__(self):
+                    self.chunks = []
+
+                def write(self, data):
+                    self.chunks.append(data)
+
+                async def drain(self):
+                    pass
+
+            sink = _Sink()
+            message = GetRequest(src=0, dst=1, ref="0.0", key=5)
+            await write_frame(sink, 7, message, response=True)
+            reader.feed_data(b"".join(sink.chunks))
+            reader.feed_eof()
+            request_id, is_response, out = await read_frame(reader)
+            assert (request_id, is_response, out) == (7, True, message)
+
+        asyncio.run(scenario())
