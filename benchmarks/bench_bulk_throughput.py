@@ -15,30 +15,49 @@ amortized array work.  With the default integer-id workload at 10^6 keys
 the batch pipeline is >= 10x faster end to end; string keys gain less
 (BLAKE2b digests still happen per key) but still severalfold.
 
+A second mode sweeps the **multicore bulk pipeline** (``--workers``): the
+same workload is replayed at several worker-process counts and the scaling
+curve (plus per-stage breakdown) is printed and optionally written as JSON
+(``--output BENCH_bulk.json``).  Two gates make the sweep CI-enforceable:
+
+* ``--min-parallel-speedup X`` — the largest worker count must beat the
+  serial pipeline end to end by ``X``x (skipped with a warning when the
+  machine has fewer cores than workers);
+* the built-in 1-worker overhead guard — at >= 1M keys on a multicore
+  machine, ``workers=1`` must stay within ``--max-worker1-overhead``
+  (default 10%) of serial, so the shm + process-hop cost stays honest.
+
 Run directly (not collected by pytest)::
 
     PYTHONPATH=src python benchmarks/bench_bulk_throughput.py --keys 1000000
     PYTHONPATH=src python benchmarks/bench_bulk_throughput.py --keys 10000 --key-kind str
+    PYTHONPATH=src python benchmarks/bench_bulk_throughput.py \
+        --keys 10000000 --workers 1,2,4 --output BENCH_bulk.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core import DHTConfig, LocalDHT
+from repro.core import DHTConfig, LocalDHT, ParallelConfig
 from repro.core.base import BaseDHT
 from repro.report import format_table
 from repro.workloads import id_keys, uniform_keys
 
 
-def build_dht(args: argparse.Namespace) -> BaseDHT:
+def build_dht(args: argparse.Namespace, workers: int = 0) -> BaseDHT:
     """One DHT per side, built identically so placements match."""
-    dht = LocalDHT(DHTConfig.for_local(pmin=args.pmin, vmin=args.vmin), rng=args.seed)
+    config = DHTConfig.for_local(pmin=args.pmin, vmin=args.vmin)
+    if workers:
+        config = config.with_(parallel=ParallelConfig(workers=workers))
+    dht = LocalDHT(config, rng=args.seed)
     snodes = dht.add_snodes(args.snodes)
     for i in range(args.vnodes):
         dht.create_vnode(snodes[i % len(snodes)])
@@ -79,6 +98,140 @@ def run_batch(dht: BaseDHT, keys, values: np.ndarray) -> tuple:
     return t_put, t_lookup
 
 
+def run_worker_sweep(args: argparse.Namespace) -> int:
+    """Replay the workload at every requested worker count and gate scaling."""
+    worker_list = [int(w) for w in str(args.workers).split(",") if w != ""]
+    if any(w < 0 for w in worker_list):
+        print("--workers entries must be non-negative", file=sys.stderr)
+        return 2
+    if 0 not in worker_list:
+        worker_list.insert(0, 0)  # serial baseline anchors every ratio
+
+    keys, _, values = make_workload(args)
+    values = values if args.with_values else None
+    n = args.keys
+    cpus = os.cpu_count() or 1
+    baseline_sample: Optional[List] = None
+    sample_idx = list(range(0, n, max(1, n // 256)))
+    if isinstance(keys, np.ndarray) and keys.dtype != object:
+        sample_keys = keys[sample_idx].tolist()  # Python ints for the scalar path
+    else:
+        sample_keys = [keys[i] for i in sample_idx]
+
+    entries = []
+    for workers in worker_list:
+        best = None
+        for _ in range(max(1, args.repeats)):
+            dht = build_dht(args, workers=workers)
+            profiler = None
+            if args.profile and workers == worker_list[-1]:
+                import cProfile
+
+                profiler = cProfile.Profile()
+                profiler.enable()
+            report = dht.bulk_load_report(keys, values)
+            t0 = time.perf_counter()
+            dht.lookup_many(keys)
+            lookup_seconds = time.perf_counter() - t0
+            if profiler is not None:
+                profiler.disable()
+                import io
+                import pstats
+
+                buf = io.StringIO()
+                pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(15)
+                print(f"\ncProfile, workers={workers}:\n{buf.getvalue().rstrip()}\n")
+            if args.check_equivalence:
+                got = dht.get_many(sample_keys)
+                total = dht.storage.total_items()
+                if baseline_sample is None:
+                    baseline_sample = got
+                elif got != baseline_sample or total != n:
+                    dht.close()
+                    print(
+                        f"FAIL: workers={workers} diverged from the serial "
+                        f"pipeline ({total} items stored, sample mismatch: "
+                        f"{got != baseline_sample})",
+                        file=sys.stderr,
+                    )
+                    return 1
+            dht.close()
+            entry = {
+                "workers": workers,
+                "mode": report.mode,
+                "load_seconds": report.seconds,
+                "lookup_seconds": lookup_seconds,
+                "total_seconds": report.seconds + lookup_seconds,
+                "hash_seconds": report.hash_seconds,
+                "locate_seconds": report.locate_seconds,
+                "group_seconds": report.group_seconds,
+                "ingest_seconds": report.ingest_seconds,
+                "replica_seconds": report.replica_seconds,
+            }
+            if best is None or entry["total_seconds"] < best["total_seconds"]:
+                best = entry
+        best["keys_per_second"] = n / best["total_seconds"] if best["total_seconds"] else 0.0
+        entries.append(best)
+
+    serial_total = entries[0]["total_seconds"]
+    for entry in entries:
+        entry["speedup_vs_serial"] = (
+            serial_total / entry["total_seconds"] if entry["total_seconds"] else 0.0
+        )
+
+    print(f"multicore bulk pipeline @ {n:,} {args.key_kind} keys "
+          f"({cpus} cores, repeats={max(1, args.repeats)})\n")
+    print(format_table(
+        ["workers", "mode", "load s", "lookup s", "total s", "keys/s", "speedup"],
+        [
+            [str(e["workers"]), e["mode"], f"{e['load_seconds']:.3f}",
+             f"{e['lookup_seconds']:.3f}", f"{e['total_seconds']:.3f}",
+             f"{e['keys_per_second']:,.0f}", f"{e['speedup_vs_serial']:.2f}x"]
+            for e in entries
+        ],
+    ))
+
+    if args.output:
+        payload = {
+            "benchmark": "bulk_throughput_workers",
+            "keys": n,
+            "key_kind": args.key_kind,
+            "with_values": bool(args.with_values),
+            "cpu_count": cpus,
+            "repeats": max(1, args.repeats),
+            "sweep": entries,
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.output}")
+
+    failed = False
+    by_workers = {e["workers"]: e for e in entries}
+    one = by_workers.get(1)
+    if one is not None and args.max_worker1_overhead > 0:
+        if n >= 1_000_000 and cpus >= 2 and one["mode"] != "serial":
+            overhead = one["total_seconds"] / serial_total - 1.0
+            if overhead > args.max_worker1_overhead:
+                print(f"\nFAIL: workers=1 overhead {overhead:.1%} exceeds "
+                      f"{args.max_worker1_overhead:.0%} of serial", file=sys.stderr)
+                failed = True
+        else:
+            print("\nworkers=1 overhead guard skipped "
+                  f"(needs >= 1M keys and >= 2 cores; have {n:,} keys, {cpus} cores)")
+    if args.min_parallel_speedup:
+        top = entries[-1]
+        if cpus < top["workers"]:
+            print(f"\nmin-parallel-speedup gate skipped: {cpus} cores < "
+                  f"{top['workers']} workers (scaling needs real cores)")
+        elif top["speedup_vs_serial"] < args.min_parallel_speedup:
+            print(f"\nFAIL: {top['workers']}-worker speedup "
+                  f"{top['speedup_vs_serial']:.2f}x < required "
+                  f"{args.min_parallel_speedup:.1f}x", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--keys", type=int, default=1_000_000, help="number of keys")
@@ -91,7 +244,30 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--min-speedup", type=float, default=0.0,
                         help="exit non-zero if the end-to-end speedup falls below this")
+    parser.add_argument("--workers", default=None, metavar="LIST",
+                        help="comma-separated worker counts to sweep (e.g. 1,2,4); "
+                             "0 (serial) is always included as the baseline")
+    parser.add_argument("--with-values", action="store_true",
+                        help="sweep with one value object per key (heavier ingest)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="repeats per worker count (best total kept)")
+    parser.add_argument("--check-equivalence", action="store_true",
+                        help="verify every worker count stores exactly what serial does")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the largest worker count's run")
+    parser.add_argument("--output", metavar="PATH",
+                        help="write the sweep (stage timings included) as JSON")
+    parser.add_argument("--min-parallel-speedup", type=float, default=0.0,
+                        help="exit non-zero if the largest worker count's end-to-end "
+                             "speedup over serial falls below this (skipped when the "
+                             "machine has fewer cores than workers)")
+    parser.add_argument("--max-worker1-overhead", type=float, default=0.10,
+                        help="fail if workers=1 is more than this fraction slower than "
+                             "serial at >= 1M keys (0 disables)")
     args = parser.parse_args(argv)
+
+    if args.workers is not None:
+        return run_worker_sweep(args)
 
     keys, scalar_keys, values = make_workload(args)
     n = args.keys

@@ -37,7 +37,7 @@ from repro.workloads.keys import id_keys
 
 
 def build_and_load(args: argparse.Namespace, replication_factor: int) -> tuple:
-    """One freshly built cluster plus its bulk-load wall time."""
+    """One freshly built cluster plus its full bulk-load report."""
     dht = build_cluster(
         "local",
         args.snodes,
@@ -46,12 +46,11 @@ def build_and_load(args: argparse.Namespace, replication_factor: int) -> tuple:
         vmin=args.vmin,
         replication_factor=replication_factor,
         seed=args.seed,
+        workers=args.workers,
     )
     keys = id_keys(args.keys, rng=args.seed)
-    t0 = time.perf_counter()
-    dht.bulk_load(keys)
-    seconds = time.perf_counter() - t0
-    return dht, seconds
+    report = dht.bulk_load_report(keys)
+    return dht, report
 
 
 def crash_one_snode(dht: BaseDHT) -> dict:
@@ -89,6 +88,9 @@ def main(argv=None) -> int:
     parser.add_argument("--pmin", type=int, default=8)
     parser.add_argument("--vmin", type=int, default=8)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes for the multicore bulk pipeline "
+                             "(default 0 = serial)")
     parser.add_argument("--max-slowdown", type=float, default=0.0,
                         help="exit non-zero if replicated/unreplicated load time "
                              "exceeds this ratio (0 disables the gate)")
@@ -100,10 +102,12 @@ def main(argv=None) -> int:
     if args.snodes < args.replication:
         parser.error("--snodes must be >= --replication for full rank coverage")
 
-    plain_dht, plain_seconds = build_and_load(args, replication_factor=1)
+    plain_dht, plain_report = build_and_load(args, replication_factor=1)
+    plain_seconds = plain_report.seconds
     assert plain_dht.storage.fast_item_count() == args.keys
 
-    repl_dht, repl_seconds = build_and_load(args, replication_factor=args.replication)
+    repl_dht, repl_report = build_and_load(args, replication_factor=args.replication)
+    repl_seconds = repl_report.seconds
     assert repl_dht.storage.fast_primary_count() == args.keys
     assert repl_dht.storage.fast_item_count() == args.replication * args.keys, (
         "replicated load did not produce replication_factor x keys physical rows"
@@ -133,6 +137,17 @@ def main(argv=None) -> int:
              rate(args.keys, repl_seconds), f"{slowdown:.2f}x"],
         ],
     ))
+    print(f"\nreplicated load by rank (mode: {repl_report.mode})\n")
+    print(format_table(
+        ["rank", "rows", "seconds", "rows/s"],
+        [
+            ["primary" if rank == 0 else f"replica {rank}", f"{rows:,}",
+             f"{secs:.3f}", rate(rows, secs)]
+            for rank, (rows, secs) in enumerate(
+                zip(repl_report.rows_by_rank, repl_report.seconds_by_rank)
+            )
+        ],
+    ))
     print(f"\ncrash of snode {crash['crashed_snode']} "
           f"({crash['rows_wiped']:,} rows wiped, no drain)\n")
     print(format_table(
@@ -155,6 +170,9 @@ def main(argv=None) -> int:
             "unreplicated_seconds": plain_seconds,
             "replicated_seconds": repl_seconds,
             "slowdown": slowdown,
+            "workers": args.workers,
+            "unreplicated_load": plain_report.as_dict(),
+            "replicated_load": repl_report.as_dict(),
             "crash": crash,
             "replication_stats": repl_dht.storage.replication.as_dict(),
         }
@@ -162,6 +180,8 @@ def main(argv=None) -> int:
             json.dump(payload, fh, indent=2)
         print(f"\nresults written to {args.output}")
 
+    plain_dht.close()
+    repl_dht.close()
     if args.max_slowdown and slowdown > args.max_slowdown:
         print(f"\nFAIL: replicated load slowdown {slowdown:.2f}x > allowed "
               f"{args.max_slowdown:.2f}x", file=sys.stderr)

@@ -100,6 +100,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bulk.add_argument("--approach", choices=("local", "global"), default="local")
     bulk.add_argument("--seed", type=int, default=0)
+    bulk.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for the multicore bulk pipeline (default 0 = serial)",
+    )
+    bulk.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage bulk-load breakdown and a cProfile summary",
+    )
+    bulk.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write the full reports (stage timings included) as JSON",
+    )
 
     churn = sub.add_parser(
         "churn-bench",
@@ -346,18 +363,72 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_bulk_bench(args: argparse.Namespace) -> int:
+    import dataclasses
+
     try:
         specs = builtin_scenarios(n_keys=args.keys, seed=args.seed, approach=args.approach)
+        if args.workers:
+            specs = [dataclasses.replace(s, workers=args.workers) for s in specs]
     except ValueError as exc:
         print(f"bulk-bench: {exc}", file=sys.stderr)
         return 2
     if args.scenario != "all":
         specs = [s for s in specs if s.name == args.scenario]
-    rows = []
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    reports = []
     for spec in specs:
-        report = ScenarioDriver(spec).run()
-        rows.append(report.as_row())
-    print(format_table(ScenarioReport.ROW_HEADER, rows))
+        reports.append(ScenarioDriver(spec).run())
+    if profiler is not None:
+        profiler.disable()
+
+    print(format_table(ScenarioReport.ROW_HEADER, [r.as_row() for r in reports]))
+    if args.profile:
+        # Stage breakdown: where each scenario's bulk-load wall time went.
+        stage_rows = [
+            [
+                r.name,
+                r.load_mode,
+                f"{r.load_seconds:.3f}",
+                f"{r.hash_seconds:.3f}",
+                f"{r.locate_seconds:.3f}",
+                f"{r.group_seconds:.3f}",
+                f"{r.ingest_seconds:.3f}",
+                f"{r.replica_seconds:.3f}",
+            ]
+            for r in reports
+        ]
+        print()
+        print(
+            format_table(
+                ["scenario", "mode", "load s", "hash s", "locate s",
+                 "group s", "ingest s", "replica s"],
+                stage_rows,
+            )
+        )
+        import io
+        import pstats
+
+        buf = io.StringIO()
+        pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(15)
+        print()
+        print(buf.getvalue().rstrip())
+    if args.output:
+        payload = {
+            "keys": args.keys,
+            "approach": args.approach,
+            "workers": args.workers,
+            "scenarios": [r.as_dict() for r in reports],
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.output}")
     return 0
 
 

@@ -38,7 +38,7 @@ from repro.core.rebalance import (
     plan_vnode_removal,
     transfer_improves_balance,
 )
-from repro.core.config import DHTConfig, SimulationConfig, DEFAULT_BH
+from repro.core.config import DHTConfig, ParallelConfig, SimulationConfig, DEFAULT_BH
 from repro.core.durability import DurabilityConfig, DurabilityStats
 from repro.core.engine import (
     PlacementService,
@@ -53,6 +53,7 @@ from repro.core.errors import (
     EmptyDHTError,
     InvariantViolation,
     KeyLookupError,
+    ParallelError,
     PartitionError,
     ProtocolError,
     ReplicationError,
@@ -175,6 +176,7 @@ __all__ = [
     "CrashReport",
     "RestartReport",
     "DurabilityConfig",
+    "ParallelConfig",
     "DurabilityStats",
     "DurabilityError",
     "ReplicationError",
@@ -184,6 +186,7 @@ __all__ = [
     "UnknownSnodeError",
     "UnknownVnodeError",
     "UnknownGroupError",
+    "ParallelError",
     "PartitionError",
     "StorageError",
     "KeyLookupError",

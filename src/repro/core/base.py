@@ -84,9 +84,22 @@ class BaseDHT(ABC):
             config.replication_factor,
             config.replica_ranks,
         )
+        parallel = None
+        if config.parallel is not None and config.parallel.enabled:
+            # Imported lazily: the multicore pipeline is optional and its
+            # module spawns no processes until the first eligible batch.
+            from repro.parallel.executor import ParallelExecutor
+
+            parallel = ParallelExecutor(config.parallel, self.hash_space)
+        #: Multicore executor (``None`` when ``config.parallel`` is off).
+        self.parallel = parallel
         #: Data plane: replica-aware reads/writes over ``self.storage``.
         self.data = StorageEngine(
-            self.storage, self.placement, self.hash_space, config.replica_ranks
+            self.storage,
+            self.placement,
+            self.hash_space,
+            config.replica_ranks,
+            parallel=parallel,
         )
         #: Failure plane: crash/restart recovery (delegates vnode removal
         #: back to this shell, which knows the model-specific policy).
@@ -98,6 +111,22 @@ class BaseDHT(ABC):
             hash_space=self.hash_space,
             replica_ranks=config.replica_ranks,
         )
+
+    def close(self) -> None:
+        """Release multicore resources (worker processes, shared memory).
+
+        Required only when ``config.parallel`` is enabled; a no-op (and
+        safe to call repeatedly) otherwise.  Zero-copy segments the bulk
+        pipeline adopted into vnode stores are materialized as private
+        copies first, so every read keeps working after close — only the
+        worker pool and its shared-memory arena go away.
+        """
+        if self.parallel is None:
+            return
+        self.storage.materialize_shared(self.parallel.owns_array)
+        self.parallel.close()
+        self.parallel = None
+        self.data.parallel = None
 
     # ------------------------------------------------------------------ snodes
 
@@ -467,11 +496,23 @@ class BaseDHT(ABC):
                 indices=np.empty(0, dtype=np.uint64),
                 positions=np.empty(0, dtype=np.int64),
             )
-        indices = self.hash_space.hash_keys(keys)
         router = self.placement.router()
-        positions = router.locate_batch(indices)
+        present: Optional[List[int]] = None
+        routed = (
+            self.parallel.hash_locate(router, keys) if self.parallel is not None else None
+        )
+        if routed is not None:
+            # Fused parallel hash+locate (bit-identical to the serial pair).
+            indices, positions, present = routed
+        else:
+            indices = self.hash_space.hash_keys(keys)
+            positions = router.locate_batch(indices)
+        if present is None:
+            # bincount + flatnonzero beats np.unique here: positions are
+            # small non-negative ints and the occupied set is tiny.
+            present = np.flatnonzero(np.bincount(positions)).tolist()
         route_table = {}
-        for pos in np.unique(positions).tolist():
+        for pos in present:
             partition, ref = router.entry_at(pos)
             route_table[pos] = (partition, ref, ref.snode, self.get_vnode(ref).group_id)
         return BatchLookupResult(indices=indices, positions=positions, route_table=route_table)
@@ -529,6 +570,19 @@ class BaseDHT(ABC):
         position runs).  Returns the number of items ingested.
         """
         return self.data.bulk_load(keys, values)
+
+    def bulk_load_report(
+        self,
+        keys: Union[Sequence[Hashable], np.ndarray],
+        values: Optional[Union[Sequence[Any], np.ndarray]] = None,
+    ):
+        """:meth:`bulk_load` returning the full per-stage/per-rank report.
+
+        See :class:`repro.core.engine.storage.BulkLoadReport` for the
+        fields (wall time, stage breakdown, rows and seconds per replica
+        rank, and whether the multicore pipeline ran).
+        """
+        return self.data.bulk_load_report(keys, values)
 
     def get_many(self, keys: Union[Sequence[Hashable], np.ndarray]) -> List[Any]:
         """Fetch the values for a batch of keys, in input order.

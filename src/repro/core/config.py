@@ -42,6 +42,64 @@ def _check_pow2(value: int, name: str) -> int:
 
 
 @dataclass(frozen=True)
+class ParallelConfig:
+    """Multicore bulk-pipeline settings (see :mod:`repro.parallel`).
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for the shared-memory bulk pipeline.  ``0`` (the
+        default) disables the pool entirely — every path stays the serial,
+        bit-identical engine.  ``workers=1`` exercises the full shm
+        pipeline on one worker (the overhead-guard configuration).
+    min_batch:
+        Batches smaller than this stay on the serial path even with
+        workers enabled: process fan-out has a fixed dispatch cost
+        (~hundreds of microseconds) that small batches cannot amortize.
+    start_method:
+        Multiprocessing start method (``"fork"``/``"spawn"``/
+        ``"forkserver"``).  ``None`` picks ``fork`` when the platform
+        offers it (cheap worker startup on Linux) and ``spawn`` otherwise.
+    """
+
+    workers: int = 0
+    min_batch: int = 32_768
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workers, bool) or not isinstance(self.workers, int):
+            raise ConfigError(
+                f"parallel workers must be an int, got {type(self.workers).__name__}"
+            )
+        if self.workers < 0:
+            raise ConfigError(f"parallel workers must be >= 0, got {self.workers}")
+        if isinstance(self.min_batch, bool) or not isinstance(self.min_batch, int):
+            raise ConfigError(
+                f"parallel min_batch must be an int, got {type(self.min_batch).__name__}"
+            )
+        if self.min_batch < 1:
+            raise ConfigError(f"parallel min_batch must be >= 1, got {self.min_batch}")
+        if self.start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ConfigError(
+                f"parallel start_method must be fork/spawn/forkserver or None, "
+                f"got {self.start_method!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when the configuration actually requests worker processes."""
+        return self.workers > 0
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (snapshots round-trip it)."""
+        return {
+            "workers": self.workers,
+            "min_batch": self.min_batch,
+            "start_method": self.start_method,
+        }
+
+
+@dataclass(frozen=True)
 class DHTConfig:
     """Configuration shared by the global and local DHT models.
 
@@ -74,6 +132,15 @@ class DHTConfig:
         segment files under ``data_dir``, enabling
         :meth:`~repro.core.base.BaseDHT.restart_snode` to recover
         acknowledged writes even with no surviving replica.
+    parallel:
+        Multicore bulk-pipeline settings (a library extension — the
+        paper's cost model is single-threaded).  ``None`` (default) or
+        ``ParallelConfig(workers=0)`` keeps every path the serial,
+        bit-identical engine; ``workers > 0`` fans the hot bulk pipelines
+        (``hash_keys``, ``bulk_load``, ``lookup_many``, the replica-sync
+        count pass) out over a persistent pool of worker processes
+        operating on shared-memory columnar segments (see
+        :mod:`repro.parallel`).
     """
 
     bh: int = DEFAULT_BH
@@ -81,6 +148,7 @@ class DHTConfig:
     vmin: Optional[int] = 32
     replication_factor: int = 1
     durability: Optional[DurabilityConfig] = None
+    parallel: Optional[ParallelConfig] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.bh, bool) or not isinstance(self.bh, int):
@@ -104,6 +172,11 @@ class DHTConfig:
             raise ConfigError(
                 f"durability must be a DurabilityConfig or None, got "
                 f"{type(self.durability).__name__}"
+            )
+        if self.parallel is not None and not isinstance(self.parallel, ParallelConfig):
+            raise ConfigError(
+                f"parallel must be a ParallelConfig or None, got "
+                f"{type(self.parallel).__name__}"
             )
         _check_pow2(self.pmin, "pmin")
         if self.pmin < 2:
@@ -164,10 +237,20 @@ class DHTConfig:
 
     @classmethod
     def for_global(
-        cls, bh: int = DEFAULT_BH, pmin: int = 32, replication_factor: int = 1
+        cls,
+        bh: int = DEFAULT_BH,
+        pmin: int = 32,
+        replication_factor: int = 1,
+        parallel: Optional[ParallelConfig] = None,
     ) -> "DHTConfig":
         """Configuration for the global approach (no groups)."""
-        return cls(bh=bh, pmin=pmin, vmin=None, replication_factor=replication_factor)
+        return cls(
+            bh=bh,
+            pmin=pmin,
+            vmin=None,
+            replication_factor=replication_factor,
+            parallel=parallel,
+        )
 
     @classmethod
     def for_local(
@@ -176,9 +259,16 @@ class DHTConfig:
         pmin: int = 32,
         vmin: int = 32,
         replication_factor: int = 1,
+        parallel: Optional[ParallelConfig] = None,
     ) -> "DHTConfig":
         """Configuration for the local approach (grouped)."""
-        return cls(bh=bh, pmin=pmin, vmin=vmin, replication_factor=replication_factor)
+        return cls(
+            bh=bh,
+            pmin=pmin,
+            vmin=vmin,
+            replication_factor=replication_factor,
+            parallel=parallel,
+        )
 
     @classmethod
     def paper_default(cls) -> "DHTConfig":

@@ -73,5 +73,15 @@ class ProtocolError(ReproError):
     """Cluster protocol simulation error (bad message, unknown destination...)."""
 
 
+class ParallelError(ReproError):
+    """Multicore pipeline failure (dead worker process, bad shm descriptor).
+
+    Raised by :mod:`repro.parallel` when a worker process dies mid-task
+    (e.g. kill -9) or a shared-memory descriptor cannot be resolved.  The
+    error is surfaced immediately — a dead worker never hangs the caller —
+    and names the worker that failed.
+    """
+
+
 class EmptyDHTError(ReproError):
     """Operation requires at least one vnode but the DHT is empty."""

@@ -268,7 +268,11 @@ class HashSpace:
         digest = hashlib.blake2b(data, digest_size=16).digest()
         return int.from_bytes(digest, "big") % self.size
 
-    def hash_keys(self, keys: Union[Sequence[KeyLike], np.ndarray]) -> np.ndarray:
+    def hash_keys(
+        self,
+        keys: Union[Sequence[KeyLike], np.ndarray],
+        parallel=None,
+    ) -> np.ndarray:
         """Hash a batch of keys into an array of hash indices.
 
         The batch counterpart of :meth:`hash_key` — same hash functions, same
@@ -282,9 +286,21 @@ class HashSpace:
         * anything else (mixed types, python ints, wide hash spaces) falls
           back to per-key :meth:`hash_key` calls.
 
+        ``parallel`` optionally takes a
+        :class:`~repro.parallel.executor.ParallelExecutor` (duck-typed —
+        this module does not import the parallel machinery): eligible
+        batches are then hashed chunk-wise across its worker processes,
+        with the executor guaranteeing identical output; ineligible batches
+        (too small, unsupported kinds, ``bh > 64``) silently fall through
+        to the serial code below.
+
         Returns a ``uint64`` array for ``bh <= 64`` and an object array of
         python ints otherwise.
         """
+        if parallel is not None:
+            hashed = parallel.hash_keys(keys)
+            if hashed is not None:
+                return hashed
         n = len(keys)
         if self.bh > 64:
             return np.array([self.hash_key(k) for k in keys], dtype=object)

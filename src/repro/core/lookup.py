@@ -153,6 +153,19 @@ class PartitionRouter:
         """The ``(partition, owner)`` pair at a table position."""
         return self._entries[position]
 
+    def range_columns(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The interval table as ``(starts, lasts)`` uint64 columns.
+
+        ``lasts`` holds *inclusive* last indices (see :meth:`rebuild`).
+        Only available for ``bh <= 64`` on a non-empty table — the columnar
+        form the parallel executor ships to worker processes.
+        """
+        if self._starts_arr is None or self._last_arr is None:
+            raise EmptyDHTError(
+                "routing table has no vectorized columns (empty DHT or bh > 64)"
+            )
+        return self._starts_arr, self._last_arr
+
     def entries(self) -> List[Tuple[Partition, VnodeRef]]:
         """The whole sorted interval table (used by the replica placer)."""
         return list(self._entries)

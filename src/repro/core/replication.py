@@ -248,21 +248,53 @@ def _range_pairs(storage: DHTStorage, placement: ReplicaPlacement) -> List[Tuple
     return pairs
 
 
+def _store_counts(
+    jobs: List[Tuple["object", np.ndarray, np.ndarray]], parallel=None
+) -> List[np.ndarray]:
+    """Range counts for several ``(store, starts, lasts)`` jobs at once.
+
+    The batch form of :meth:`~repro.core.storage.VnodeStore.count_buckets`
+    — and the sync passes' parallelization point: with a
+    :class:`~repro.parallel.executor.ParallelExecutor` attached (duck-typed,
+    optional) the per-store bucketing fans out across worker processes,
+    one shared-memory job per store.  Output is identical either way; the
+    executor declines (``None``) small batches and wide hash spaces.
+    """
+    if parallel is not None and jobs and jobs[0][1].dtype == np.uint64:
+        shm_jobs = [
+            (store.index_columns(np.uint64), starts, lasts)
+            for store, starts, lasts in jobs
+        ]
+        results = parallel.count_ranges_many(shm_jobs)
+        if results is not None:
+            return results
+    return [store.count_buckets(starts, lasts) for store, starts, lasts in jobs]
+
+
 def _primary_counts(
-    storage: DHTStorage, placement: ReplicaPlacement, pairs: List[Tuple[int, int]]
+    storage: DHTStorage,
+    placement: ReplicaPlacement,
+    pairs: List[Tuple[int, int]],
+    parallel=None,
 ) -> np.ndarray:
     """Physical primary rows per table position (one bucketing per owner)."""
     counts = np.zeros(len(pairs), dtype=np.int64)
     by_primary: Dict[VnodeRef, List[int]] = {}
     for pos, ref in enumerate(placement.primaries):
         by_primary.setdefault(ref, []).append(pos)
-    for ref, positions in by_primary.items():
+    owners = list(by_primary.items())
+    jobs = []
+    for ref, positions in owners:
         starts, lasts = storage.range_arrays([pairs[p] for p in positions])
-        counts[positions] = storage.primary_store(ref).count_buckets(starts, lasts)
+        jobs.append((storage.primary_store(ref), starts, lasts))
+    for (ref, positions), owner_counts in zip(owners, _store_counts(jobs, parallel)):
+        counts[positions] = owner_counts
     return counts
 
 
-def sync_replicas(storage: DHTStorage, placement: ReplicaPlacement) -> SyncReport:
+def sync_replicas(
+    storage: DHTStorage, placement: ReplicaPlacement, parallel=None
+) -> SyncReport:
     """Reconcile every replica store with ``placement``.
 
     Two phases per replica store, both columnar and merge-free:
@@ -296,7 +328,7 @@ def sync_replicas(storage: DHTStorage, placement: ReplicaPlacement) -> SyncRepor
         return report
 
     pairs = _range_pairs(storage, placement)
-    primary_counts = _primary_counts(storage, placement, pairs)
+    primary_counts = _primary_counts(storage, placement, pairs, parallel)
     if bool(np.any(primary_counts == 0)) and any(
         store.fast_len() for store in [s for _, s in storage.replica_store_items()]
     ):
@@ -305,10 +337,17 @@ def sync_replicas(storage: DHTStorage, placement: ReplicaPlacement) -> SyncRepor
         # The precomputed pairs/counts are reused, so this adds no extra
         # full scan when nothing needs restoring (legitimately empty
         # partitions on sparse datasets).
-        recovery = recover_primaries(storage, placement, pairs, primary_counts)
+        recovery = recover_primaries(storage, placement, pairs, primary_counts, parallel)
         if recovery.rows_restored:
-            primary_counts = _primary_counts(storage, placement, pairs)
+            primary_counts = _primary_counts(storage, placement, pairs, parallel)
 
+    # Retain first for every store, then count every store in one batched
+    # pass (the parallelization point — see _store_counts), then refill.
+    # The phases commute with the original per-store interleaving: retain
+    # and refill touch only that replica store, and refill *reads* primaries
+    # non-destructively (copy_buckets), so no store's counts are affected
+    # by another store's reconciliation.
+    refill_jobs = []
     for ref, store in storage.replica_store_items():
         positions = placement.positions_of.get(ref)
         if not positions:
@@ -316,7 +355,12 @@ def sync_replicas(storage: DHTStorage, placement: ReplicaPlacement) -> SyncRepor
             continue
         starts, lasts = storage.range_arrays([pairs[p] for p in positions])
         report.rows_dropped += store.drop_outside(starts, lasts)
-        have = store.count_buckets(starts, lasts)
+        refill_jobs.append((store, positions, starts, lasts))
+
+    have_counts = _store_counts(
+        [(store, starts, lasts) for store, _, starts, lasts in refill_jobs], parallel
+    )
+    for (store, positions, starts, lasts), have in zip(refill_jobs, have_counts):
         for k, pos in enumerate(positions):
             need = int(primary_counts[pos])
             if int(have[k]) == need:
@@ -342,6 +386,7 @@ def recover_primaries(
     placement: ReplicaPlacement,
     pairs: Optional[List[Tuple[int, int]]] = None,
     primary_counts: Optional[np.ndarray] = None,
+    parallel=None,
 ) -> RecoveryReport:
     """Rebuild empty primaries from surviving replica rows (crash recovery).
 
@@ -375,7 +420,7 @@ def recover_primaries(
     if pairs is None:
         pairs = _range_pairs(storage, placement)
     if primary_counts is None:
-        primary_counts = _primary_counts(storage, placement, pairs)
+        primary_counts = _primary_counts(storage, placement, pairs, parallel)
     needy = [pos for pos in range(placement.n_positions) if primary_counts[pos] == 0]
     if not needy and not storage.has_pending_replay():
         return report
@@ -385,10 +430,15 @@ def recover_primaries(
     best_source: List[Optional[VnodeRef]] = [None] * len(needy)
     if needy:
         starts, lasts = storage.range_arrays(needy_pairs)
-        for ref, store in storage.replica_store_items():
-            if store.fast_len() == 0:
-                continue
-            counts = store.count_buckets(starts, lasts)
+        survivors = [
+            (ref, store)
+            for ref, store in storage.replica_store_items()
+            if store.fast_len() > 0
+        ]
+        survivor_counts = _store_counts(
+            [(store, starts, lasts) for _, store in survivors], parallel
+        )
+        for (ref, store), counts in zip(survivors, survivor_counts):
             for k in np.flatnonzero(counts > best_rows).tolist():
                 best_rows[k] = counts[k]
                 best_source[k] = ref

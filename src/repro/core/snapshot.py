@@ -38,7 +38,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.config import DHTConfig
+from repro.core.config import DHTConfig, ParallelConfig
 from repro.core.durability import DurabilityConfig
 from repro.core.entities import Group, Snode, Vnode
 from repro.core.errors import KeyLookupError, ReproError
@@ -84,6 +84,12 @@ def snapshot_dht(dht: AnyDHT, include_data: bool = True) -> Dict[str, Any]:
             else None
         ),
     }
+    # Multicore settings round-trip too (a restored DHT builds a fresh
+    # worker pool on its first eligible batch).  The key is only present
+    # when configured so parallel-free snapshots stay byte-identical to
+    # pre-multicore ones.
+    if dht.config.parallel is not None:
+        config["parallel"] = dht.config.parallel.as_dict()
     snodes = [
         {
             "id": snode.id.value,
@@ -250,6 +256,7 @@ def restore_dht(snapshot: Dict[str, Any], rng: RngLike = None) -> AnyDHT:
             f"unsupported snapshot version {version!r} (expected {SNAPSHOT_VERSION})"
         )
     durability_dict = snapshot["config"].get("durability")
+    parallel_dict = snapshot["config"].get("parallel")
     config = DHTConfig(
         bh=snapshot["config"]["bh"],
         pmin=snapshot["config"]["pmin"],
@@ -258,6 +265,7 @@ def restore_dht(snapshot: Dict[str, Any], rng: RngLike = None) -> AnyDHT:
         durability=(
             DurabilityConfig(**durability_dict) if durability_dict else None
         ),
+        parallel=(ParallelConfig(**parallel_dict) if parallel_dict else None),
     )
     approach = snapshot.get("approach")
     if approach == "local":

@@ -506,6 +506,43 @@ class VnodeStore:
         if len(self._segments) > _MAX_PENDING_SEGMENTS:
             self._compact_segments()
 
+    def index_columns(self, dtype) -> List[np.ndarray]:
+        """Every hash-index column of this store, both tiers, no merging.
+
+        One materialized column for the hash tier (when non-empty) plus the
+        pending segments' index columns by reference.  This is the input of
+        the parallel replica-sync count pass — the worker-side counterpart
+        of :meth:`count_buckets` consumes exactly these columns.
+        """
+        columns: List[np.ndarray] = []
+        n = len(self._items)
+        if n:
+            columns.append(
+                np.fromiter((item[0] for item in self._items.values()), dtype=dtype, count=n)
+            )
+        for segment in self._segments:
+            if len(segment[1]):
+                columns.append(segment[1])
+        return columns
+
+    def materialize_segments(self, owns) -> int:
+        """Copy pending-segment columns out of foreign-owned memory.
+
+        ``owns(array) -> bool`` identifies columns living in memory whose
+        lifetime this store does not control — the shared-memory blocks the
+        parallel bulk pipeline adopts zero-copy.  Called before that memory
+        is torn down (``BaseDHT.close``).  Returns the number of segments
+        rewritten.
+        """
+        changed = 0
+        for i, (keys, indexes, values) in enumerate(self._segments):
+            new_keys = keys.copy() if owns(keys) else keys
+            new_indexes = indexes.copy() if owns(indexes) else indexes
+            if new_keys is not keys or new_indexes is not indexes:
+                self._segments[i] = (new_keys, new_indexes, values)
+                changed += 1
+        return changed
+
     def _compact_segments(self) -> None:
         """Concatenate every pending segment into one, in write order.
 
@@ -765,6 +802,56 @@ class DHTStorage:
         for every key.  Returns the number of items ingested.
         """
         return self._ingest_batch(self._store(owner), keys, indexes, values)
+
+    def put_batch_columns(
+        self,
+        owner: VnodeRef,
+        keys: np.ndarray,
+        indexes: np.ndarray,
+        values: Optional[np.ndarray] = None,
+    ) -> int:
+        """Adopt pre-validated columns as one segment — the trusted fast
+        path of the parallel bulk pipeline.
+
+        Unlike :meth:`put_batch` the columns are adopted *as is*: no length
+        or range validation (the caller's hash kernel produced the index
+        column already masked to the hash space) and no defensive copy (the
+        columns are shared-memory views or freshly gathered arrays the
+        caller promises never to mutate).  Segment filters and compaction
+        always build new arrays, so adopted views are safe downstream.
+        """
+        self._store(owner).put_many(keys, indexes, values)
+        return len(keys)
+
+    def put_replica_batch_columns(
+        self,
+        owner: VnodeRef,
+        keys: np.ndarray,
+        indexes: np.ndarray,
+        values: Optional[np.ndarray] = None,
+    ) -> int:
+        """Replica-store counterpart of :meth:`put_batch_columns`.
+
+        The parallel replica fan-out adopts the *same* column arrays for
+        the primary and every replica rank — safe because segments are
+        immutable once appended (every mutation path replaces them).
+        """
+        self._replica(owner).put_many(keys, indexes, values)
+        self.replication.replica_rows_written += len(keys)
+        return len(keys)
+
+    def materialize_shared(self, owns) -> int:
+        """Copy every store's segments out of foreign-owned (shm) memory.
+
+        See :meth:`VnodeStore.materialize_segments`; walks every primary
+        and replica store.  Returns the number of segments rewritten.
+        """
+        changed = 0
+        for store in self._stores.values():
+            changed += store.materialize_segments(owns)
+        for store in self._replica_stores.values():
+            changed += store.materialize_segments(owns)
+        return changed
 
     def get(self, owner: VnodeRef, key: Hashable) -> Any:
         """Fetch the value stored for ``key`` at vnode ``owner``."""

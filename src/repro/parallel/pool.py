@@ -1,0 +1,168 @@
+"""Persistent worker-process pool with fail-fast dead-worker detection.
+
+The pool starts ``n`` daemon processes, each served by its own duplex
+:class:`multiprocessing.Pipe` (no shared queue — per-worker pipes make
+round-robin dispatch deterministic and let a dead worker be attributed
+precisely).  Workers live for the life of the pool; steady-state dispatch
+cost is one small pickle per task, all bulk data travels through the
+shared-memory arena.
+
+Failure model: a worker killed mid-task (``kill -9``) surfaces as
+:class:`~repro.core.errors.ParallelError` naming the worker — parent-side
+``send`` raises ``BrokenPipeError`` and ``recv`` raises ``EOFError`` once
+the child end closes, both mapped to the same precise error.  The caller
+never hangs.  Exceptions *raised by* a task (as opposed to a dying worker)
+are re-raised in the caller with their original type.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.errors import ParallelError
+from repro.parallel.worker import worker_main
+
+#: Seconds to wait for a worker to exit after the stop sentinel before
+#: escalating to terminate().
+_JOIN_TIMEOUT = 5.0
+
+
+def _pick_start_method(requested: Optional[str]) -> str:
+    """``fork`` where available (cheap startup, inherits imports), else
+    ``spawn`` — unless the configuration pins a method explicitly."""
+    if requested is not None:
+        return requested
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class WorkerPool:
+    """``n`` persistent worker processes reachable over per-worker pipes."""
+
+    def __init__(self, n_workers: int, start_method: Optional[str] = None):
+        if n_workers < 1:
+            raise ParallelError(f"worker pool needs >= 1 workers, got {n_workers}")
+        self.n_workers = n_workers
+        self._ctx = mp.get_context(_pick_start_method(start_method))
+        self._procs: List = []
+        self._conns: List = []
+        self._started = False
+        self._closed = False
+        #: Cumulative in-task seconds reported by workers (profiling).
+        self.busy_seconds = 0.0
+        #: Tasks dispatched over the pool's lifetime.
+        self.tasks_dispatched = 0
+
+    # ------------------------------------------------------------------ start
+
+    def start(self) -> None:
+        """Launch the workers (idempotent; called lazily on first dispatch)."""
+        if self._started:
+            return
+        if self._closed:
+            raise ParallelError("worker pool is closed")
+        for i in range(self.n_workers):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=worker_main,
+                args=(child_conn,),
+                name=f"repro-worker-{i}",
+                daemon=True,
+            )
+            proc.start()
+            # The parent must drop its handle on the child end, or a dead
+            # worker's pipe never reports EOF (the parent itself would keep
+            # the write side open).
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._started = True
+        atexit.register(self.close)
+
+    # --------------------------------------------------------------- dispatch
+
+    def _dead(self, worker: int, stage: str) -> ParallelError:
+        proc = self._procs[worker]
+        code = proc.exitcode
+        return ParallelError(
+            f"worker {worker} ({proc.name}) died during {stage}"
+            f" (exitcode {code}); parallel pipeline aborted"
+        )
+
+    def run_tasks(self, tasks: Sequence[Tuple[str, dict]]) -> List:
+        """Dispatch tasks round-robin and gather results in task order.
+
+        Blocks until every task finishes.  Raises :class:`ParallelError` if
+        a worker dies, or the task's own exception if one failed cleanly.
+        """
+        if not tasks:
+            return []
+        self.start()
+        n = self.n_workers
+        # Send everything first (pipes buffer small payloads), then collect.
+        for t, (name, payload) in enumerate(tasks):
+            worker = t % n
+            try:
+                self._conns[worker].send((name, payload))
+            except (BrokenPipeError, OSError):
+                raise self._dead(worker, f"dispatch of task {name!r}") from None
+        results: List = []
+        first_error: Optional[BaseException] = None
+        for t, (name, _) in enumerate(tasks):
+            worker = t % n
+            try:
+                status, value, busy = self._conns[worker].recv()
+            except (EOFError, OSError):
+                raise self._dead(worker, f"task {name!r}") from None
+            self.busy_seconds += busy
+            self.tasks_dispatched += 1
+            if status == "err":
+                # Keep draining the remaining replies (workers are fine, the
+                # task raised) so the pipes stay in lockstep, then re-raise.
+                if first_error is None:
+                    first_error = value
+                results.append(None)
+            else:
+                results.append(value)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def ping(self) -> None:
+        """Round-trip every worker once (startup warm-up / liveness check)."""
+        self.run_tasks([("ping", {})] * self.n_workers)
+
+    # ------------------------------------------------------------------ close
+
+    def close(self) -> None:
+        """Stop the workers (sentinel, then join, then terminate). Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=_JOIN_TIMEOUT)
+            if proc.is_alive():  # pragma: no cover - stuck worker backstop
+                proc.terminate()
+                proc.join(timeout=_JOIN_TIMEOUT)
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []
+
+    @property
+    def alive(self) -> bool:
+        """True when started and every worker process is still running."""
+        return (
+            self._started
+            and not self._closed
+            and all(proc.is_alive() for proc in self._procs)
+        )
+
+
+__all__ = ["WorkerPool"]

@@ -1,0 +1,57 @@
+"""Worker-process entry point of the multicore bulk pipeline.
+
+Each worker runs :func:`worker_main`: a blocking receive loop over one
+duplex :class:`multiprocessing.Pipe`.  Messages are ``(task_name,
+payload)`` tuples dispatched through :data:`repro.parallel.tasks.TASKS`;
+replies are ``("ok", result, busy_seconds)`` or ``("err", exception,
+busy_seconds)``.  ``None`` is the stop sentinel.
+
+The function is a plain module-level callable so it pickles under every
+start method (``spawn``/``forkserver`` import this module by name; ``fork``
+inherits it).  Exceptions raised by a task are *returned*, not fatal: the
+worker stays alive for the next task, and the parent re-raises in the
+caller's context.  Only a broken pipe (parent gone) or the sentinel ends
+the loop.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.parallel.shm import mute_worker_tracker
+from repro.parallel.tasks import TASKS
+
+
+def worker_main(conn) -> None:
+    """Serve tasks over ``conn`` until the stop sentinel or EOF."""
+    mute_worker_tracker()  # parent owns every block we will ever attach
+    attached: dict = {}  # SharedMemory handles, cached per block name
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break  # parent died or closed the pipe
+            if message is None:
+                break
+            name, payload = message
+            started = time.perf_counter()
+            try:
+                result = TASKS[name](payload, attached)
+                reply = ("ok", result, time.perf_counter() - started)
+            except BaseException as exc:  # noqa: BLE001 - relayed to parent
+                reply = ("err", exc, time.perf_counter() - started)
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        for shm in attached.values():
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - views die with us anyway
+                pass
+        conn.close()
+
+
+__all__ = ["worker_main"]

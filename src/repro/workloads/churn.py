@@ -163,6 +163,9 @@ class ChurnSpec:
     #: tier, restarted snodes must serve every acknowledged write even at
     #: ``replication_factor == 1``.
     data_dir: Optional[str] = None
+    #: Worker processes for the multicore bulk pipeline (0 = serial; the
+    #: equivalence tests replay identical traces at several worker counts).
+    workers: int = 0
     #: Model parameters (small defaults keep 64-event traces fast).
     pmin: int = 8
     vmin: int = 8
@@ -557,6 +560,7 @@ class ChurnEngine:
             replication_factor=spec.replication_factor,
             seed=spec.seed,
             data_dir=spec.data_dir,
+            workers=spec.workers,
         )
 
     def make_keys(self) -> Union[np.ndarray, List[str]]:
@@ -584,10 +588,22 @@ class ChurnEngine:
 
         ``deep_verify`` additionally runs the DHT's full invariant suite and
         an exact (merged-path) recount at the end of the run.
+
+        A DHT built internally is closed before returning (releasing the
+        multicore worker pool when ``spec.workers > 0``); a caller-provided
+        DHT is left alone.
         """
-        spec = self.spec
+        owns_dht = dht is None
         if dht is None:
             dht = self.build_dht()
+        try:
+            return self._run(dht, deep_verify)
+        finally:
+            if owns_dht:
+                dht.close()
+
+    def _run(self, dht: BaseDHT, deep_verify: bool) -> ChurnReport:
+        spec = self.spec
         # Caller-supplied DHTs may already hold data; conservation is judged
         # against this baseline (merged count, so the final recount compares
         # like with like).

@@ -23,12 +23,12 @@ plus a ``heterogeneous`` variant that enrolls capacity-weighted snodes via
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core import DHTConfig, DurabilityConfig, GlobalDHT, LocalDHT
+from repro.core import DHTConfig, DurabilityConfig, GlobalDHT, LocalDHT, ParallelConfig
 from repro.core.base import BaseDHT
 from repro.workloads.heterogeneity import enrollment_from_capacity
 from repro.workloads.keys import id_keys, uniform_keys, zipf_keys
@@ -47,6 +47,8 @@ def build_cluster(
     replication_factor: int = 1,
     seed: int = 0,
     data_dir: Optional[str] = None,
+    workers: int = 0,
+    parallel: Optional[ParallelConfig] = None,
 ) -> BaseDHT:
     """Enroll a cluster (homogeneous or capacity-weighted) for a scenario.
 
@@ -58,6 +60,9 @@ def build_cluster(
     capacity via :func:`~repro.workloads.heterogeneity.enrollment_from_capacity`).
     ``data_dir`` turns on the durable tier (WAL + checkpointed segments per
     primary vnode under that directory; see :mod:`repro.core.durability`).
+    ``workers > 0`` enables the multicore bulk pipeline
+    (:mod:`repro.parallel`) with that many worker processes; the caller is
+    then responsible for :meth:`~repro.core.base.BaseDHT.close`.
     """
     if approach == "local":
         config = DHTConfig.for_local(
@@ -69,6 +74,12 @@ def build_cluster(
         raise ValueError(f"approach must be one of {APPROACHES}, got {approach!r}")
     if data_dir is not None:
         config = config.with_(durability=DurabilityConfig(data_dir=data_dir))
+    if parallel is not None:
+        # Full control (worker count, min_batch, start method) for tests
+        # and benchmarks; ``workers`` is the everyday shorthand.
+        config = config.with_(parallel=parallel)
+    elif workers > 0:
+        config = config.with_(parallel=ParallelConfig(workers=workers))
     if approach == "local":
         dht: BaseDHT = LocalDHT(config, rng=seed)
     else:
@@ -116,6 +127,8 @@ class ScenarioSpec:
     vmin: int = 32
     #: Master seed for key generation and victim-group selection.
     seed: int = 0
+    #: Worker processes for the multicore bulk pipeline (0 = serial).
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOADS:
@@ -132,6 +145,8 @@ class ScenarioSpec:
             raise ValueError("chunk_size must be >= 1")
         if self.read_multiplier < 0:
             raise ValueError("read_multiplier must be non-negative")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
 
 
 @dataclass
@@ -151,6 +166,24 @@ class ScenarioReport:
     sigma_qn: float
     #: Largest per-snode share of stored items (fraction of the total).
     max_snode_share: float
+    #: Worker processes the run was configured with (0 = serial pipeline).
+    workers: int = 0
+    #: Bulk-load mode actually taken: ``serial``, ``parallel`` or
+    #: ``parallel-hash`` (see :class:`~repro.core.engine.storage.BulkLoadReport`).
+    load_mode: str = "serial"
+    #: Accumulated per-stage bulk-load seconds (across all chunks).
+    hash_seconds: float = 0.0
+    locate_seconds: float = 0.0
+    group_seconds: float = 0.0
+    ingest_seconds: float = 0.0
+    replica_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (adds the derived throughput numbers)."""
+        out = asdict(self)
+        out["load_keys_per_second"] = self.load_keys_per_second
+        out["lookup_keys_per_second"] = self.lookup_keys_per_second
+        return out
 
     @property
     def load_keys_per_second(self) -> float:
@@ -211,6 +244,7 @@ class ScenarioDriver:
             pmin=spec.pmin,
             vmin=spec.vmin,
             seed=spec.seed,
+            workers=spec.workers,
         )
 
     def make_keys(self) -> Union[np.ndarray, List[str]]:
@@ -242,51 +276,77 @@ class ScenarioDriver:
     # -- execution ------------------------------------------------------------
 
     def run(self, dht: Optional[BaseDHT] = None) -> ScenarioReport:
-        """Build (unless given), load the trace in chunks and measure."""
+        """Build (unless given), load the trace in chunks and measure.
+
+        A DHT built internally is closed before returning (releasing any
+        multicore worker pool); a caller-provided DHT is left alone.
+        """
         spec = self.spec
+        owns_dht = dht is None
         if dht is None:
             dht = self.build_dht()
 
-        keys = self.make_keys()
-        load_seconds = 0.0
-        loaded = 0
-        for lo in range(0, len(keys), spec.chunk_size):
-            chunk = keys[lo : lo + spec.chunk_size]
-            t0 = time.perf_counter()
-            loaded += dht.bulk_load(chunk)
-            load_seconds += time.perf_counter() - t0
+        try:
+            keys = self.make_keys()
+            load_seconds = 0.0
+            loaded = 0
+            load_mode = "serial"
+            stage = {"hash": 0.0, "locate": 0.0, "group": 0.0, "ingest": 0.0, "replica": 0.0}
+            for lo in range(0, len(keys), spec.chunk_size):
+                chunk = keys[lo : lo + spec.chunk_size]
+                t0 = time.perf_counter()
+                report = dht.bulk_load_report(chunk)
+                load_seconds += time.perf_counter() - t0
+                loaded += report.stored
+                if report.mode != "serial":
+                    load_mode = report.mode
+                stage["hash"] += report.hash_seconds
+                stage["locate"] += report.locate_seconds
+                stage["group"] += report.group_seconds
+                stage["ingest"] += report.ingest_seconds
+                stage["replica"] += report.replica_seconds
 
-        trace = self.make_read_trace(keys)
-        lookup_seconds = 0.0
-        issued = 0
-        for lo in range(0, len(trace), spec.chunk_size):
-            chunk = trace[lo : lo + spec.chunk_size]
-            t0 = time.perf_counter()
-            batch = dht.lookup_many(chunk)
-            lookup_seconds += time.perf_counter() - t0
-            issued += len(batch)
+            trace = self.make_read_trace(keys)
+            lookup_seconds = 0.0
+            issued = 0
+            for lo in range(0, len(trace), spec.chunk_size):
+                chunk = trace[lo : lo + spec.chunk_size]
+                t0 = time.perf_counter()
+                batch = dht.lookup_many(chunk)
+                lookup_seconds += time.perf_counter() - t0
+                issued += len(batch)
 
-        # Balance of the *stored data* across physical nodes.
-        per_snode: Dict[Any, int] = {}
-        for ref in dht.vnodes:
-            per_snode[ref.snode] = per_snode.get(ref.snode, 0) + dht.storage.item_count(ref)
-        total = sum(per_snode.values())
-        max_share = max(per_snode.values()) / total if total else 0.0
+            # Balance of the *stored data* across physical nodes.
+            per_snode: Dict[Any, int] = {}
+            for ref in dht.vnodes:
+                per_snode[ref.snode] = per_snode.get(ref.snode, 0) + dht.storage.item_count(ref)
+            total = sum(per_snode.values())
+            max_share = max(per_snode.values()) / total if total else 0.0
 
-        return ScenarioReport(
-            name=spec.name,
-            approach=spec.approach,
-            n_snodes=dht.n_snodes,
-            n_vnodes=dht.n_vnodes,
-            n_partitions=dht.total_partitions,
-            keys_loaded=loaded,
-            load_seconds=load_seconds,
-            lookups_issued=issued,
-            lookup_seconds=lookup_seconds,
-            sigma_qv=dht.sigma_qv(),
-            sigma_qn=dht.sigma_qn(),
-            max_snode_share=max_share,
-        )
+            return ScenarioReport(
+                name=spec.name,
+                approach=spec.approach,
+                n_snodes=dht.n_snodes,
+                n_vnodes=dht.n_vnodes,
+                n_partitions=dht.total_partitions,
+                keys_loaded=loaded,
+                load_seconds=load_seconds,
+                lookups_issued=issued,
+                lookup_seconds=lookup_seconds,
+                sigma_qv=dht.sigma_qv(),
+                sigma_qn=dht.sigma_qn(),
+                max_snode_share=max_share,
+                workers=spec.workers,
+                load_mode=load_mode,
+                hash_seconds=stage["hash"],
+                locate_seconds=stage["locate"],
+                group_seconds=stage["group"],
+                ingest_seconds=stage["ingest"],
+                replica_seconds=stage["replica"],
+            )
+        finally:
+            if owns_dht:
+                dht.close()
 
 
 def builtin_scenarios(

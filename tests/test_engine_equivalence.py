@@ -91,11 +91,34 @@ def _golden_spec(approach: str, data_dir: str) -> ChurnSpec:
     )
 
 
-def _capture(approach: str) -> Dict[str, Any]:
-    """Replay the pinned trace and capture every pinned artifact."""
+def _capture(approach: str, workers: int = 0) -> Dict[str, Any]:
+    """Replay the pinned trace and capture every pinned artifact.
+
+    ``workers > 0`` runs the same trace through the multicore bulk
+    pipeline (``min_batch=1`` so the small golden chunks actually fan
+    out); the capture is normalized so it remains directly comparable to
+    the serial goldens — the multicore pipeline must be bit-invisible.
+    """
     with tempfile.TemporaryDirectory() as data_dir:
-        engine = ChurnEngine(_golden_spec(approach, data_dir))
-        dht = engine.build_dht()
+        spec = _golden_spec(approach, data_dir)
+        engine = ChurnEngine(spec)
+        if workers:
+            from repro.core import ParallelConfig
+            from repro.workloads.driver import build_cluster
+
+            dht = build_cluster(
+                spec.approach,
+                spec.n_snodes,
+                spec.vnodes_per_snode,
+                pmin=spec.pmin,
+                vmin=spec.vmin,
+                replication_factor=spec.replication_factor,
+                seed=spec.seed,
+                data_dir=spec.data_dir,
+                parallel=ParallelConfig(workers=workers, min_batch=1),
+            )
+        else:
+            dht = engine.build_dht()
         report = engine.run(dht, deep_verify=True)
 
         snapshot = snapshot_dht(dht, include_data=True)
@@ -103,6 +126,10 @@ def _capture(approach: str) -> Dict[str, Any]:
         # so the digest does not depend on the host's tempfile naming.
         if snapshot["config"]["durability"] is not None:
             snapshot["config"]["durability"]["data_dir"] = "<data_dir>"
+        # The parallel config is the one *intended* difference between a
+        # multicore capture and the serial goldens; everything else is
+        # pinned, so drop it before hashing.
+        snapshot["config"].pop("parallel", None)
 
         raw: Dict[str, Dict[str, list]] = {}
         for ref in sorted(dht.vnodes, key=lambda r: r.canonical_name):
@@ -117,7 +144,7 @@ def _capture(approach: str) -> Dict[str, Any]:
                 ),
             }
 
-        return {
+        captured = {
             "report": _strip_timing(report.as_dict(include_events=True)),
             "snapshot_sha": _sha(snapshot),
             "raw_sha": _sha(raw),
@@ -127,6 +154,8 @@ def _capture(approach: str) -> Dict[str, Any]:
             "items": dht.storage.total_items(),
             "replica_items": dht.storage.replica_item_count(),
         }
+        dht.close()  # releases the worker pool for multicore captures
+        return captured
 
 
 def _load_goldens() -> Dict[str, Any]:
@@ -151,6 +180,21 @@ def test_pinned_trace_replays_bit_identical(approach: str) -> None:
     """The pinned churn trace must replay exactly as pre-refactor HEAD did."""
     goldens = _load_goldens()
     got = _capture(approach)
+    expected = goldens[approach]
+    assert _canonical(got) == _canonical(expected), _diff(expected, got)
+
+
+@pytest.mark.parametrize("approach", ["global", "local"])
+def test_pinned_trace_with_parallel_pipeline_matches_goldens(approach: str) -> None:
+    """The multicore bulk pipeline must be bit-invisible on the pinned trace.
+
+    The same churn trace — bulk loads, lookups, joins/leaves, crashes,
+    restarts, rebalances, all replicated and durable — replayed with two
+    worker processes has to reproduce the *serial* goldens exactly: same
+    report, same snapshot digest, same per-vnode rows.
+    """
+    goldens = _load_goldens()
+    got = _capture(approach, workers=2)
     expected = goldens[approach]
     assert _canonical(got) == _canonical(expected), _diff(expected, got)
 
