@@ -15,10 +15,18 @@ cost-model duration next to the measured wall-clock of the real runtime.
 The report (p50/p99 RPC latency, events/s, per-kind simulated vs measured
 seconds) is written as JSON for CI artifacts.
 
+With ``--rebalance-rate`` the trace also includes NodeStats-driven load
+rebalances whose row payloads flow snode-to-snode (the coordinator link
+carries metadata only); ``--min-load-reduction`` turns the measured
+max/mean improvement into a CI gate, and the JSON report breaks out
+coordinator vs peer bytes per rebalance.
+
 Run directly (not collected by pytest)::
 
     PYTHONPATH=src python benchmarks/bench_runtime.py --keys 20000
     PYTHONPATH=src python benchmarks/bench_runtime.py --keys 5000 --processes
+    PYTHONPATH=src python benchmarks/bench_runtime.py --keys 1000000 \\
+        --workload zipf --rebalance-rate 0.2 --min-load-reduction 2.0
 """
 
 from __future__ import annotations
@@ -38,6 +46,16 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--keys", type=int, default=20_000, help="keys to bulk-load")
     parser.add_argument("--events", type=int, default=16, help="topology events")
+    parser.add_argument("--workload", choices=("ids", "uniform", "zipf"),
+                        default="ids")
+    parser.add_argument("--zipf-exponent", type=float, default=1.1,
+                        help="skew exponent for --workload zipf")
+    parser.add_argument("--rebalance-rate", type=float, default=0.0,
+                        help="fraction of topology events that run a "
+                             "NodeStats-driven load rebalance")
+    parser.add_argument("--min-load-reduction", type=float, default=None,
+                        help="fail unless some rebalance improved max/mean "
+                             "snode load by at least this factor")
     parser.add_argument("--snodes", type=int, default=4, help="initial snodes")
     parser.add_argument("--vnodes-per-snode", type=int, default=2)
     parser.add_argument("--pmin", type=int, default=8)
@@ -51,9 +69,16 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-runtime-") as tmp:
+        if not (0.0 <= args.rebalance_rate < 1.0):
+            print("--rebalance-rate must be in [0, 1)", file=sys.stderr)
+            return 2
+        # The five graceful/fault weights below sum to 1, so a weight of
+        # p/(1-p) makes rebalances exactly a p-fraction of the trace.
+        rebalance_weight = args.rebalance_rate / (1.0 - args.rebalance_rate)
         spec = ChurnSpec(
             name="bench-runtime",
-            workload="ids",
+            workload=args.workload,
+            zipf_exponent=args.zipf_exponent,
             n_keys=args.keys,
             n_events=args.events,
             approach="local",
@@ -66,6 +91,7 @@ def main(argv=None) -> int:
             enroll_weight=0.1,
             crash_weight=0.2,
             restart_weight=0.2,
+            rebalance_weight=rebalance_weight,
             replication_factor=args.replication,
             data_dir=None if args.processes else f"{tmp}/data",
             pmin=args.pmin,
@@ -113,8 +139,30 @@ def main(argv=None) -> int:
             ["conservation checks", str(report.conservation_checks)],
             ["replication pair checks", str(report.replication_checks)],
             ["items lost", str(report.items_lost)],
+            ["coordinator bytes (total)", f"{report.coordinator_bytes:,}"],
         ],
     ))
+
+    if report.rebalances:
+        rows = [
+            [
+                str(i),
+                str(rec["transfers"]),
+                f"{rec['rows_moved']:,}",
+                f"{rec['before_max_over_mean']:.3f}",
+                f"{rec['after_max_over_mean']:.3f}",
+                f"{rec['reduction']:.2f}x",
+                f"{rec['coordinator_transfer_bytes']:,}",
+                f"{rec['peer_bytes']:,}",
+            ]
+            for i, rec in enumerate(report.rebalances)
+        ]
+        print()
+        print(format_table(
+            ["rebalance", "transfers", "rows", "max/mean before", "after",
+             "reduction", "coordinator B", "peer B"],
+            rows,
+        ))
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
@@ -124,9 +172,20 @@ def main(argv=None) -> int:
     if report.items_lost:
         print(f"\nFAIL: {report.items_lost} items lost under churn", file=sys.stderr)
         return 1
-    if not rows:
+    if not report.oracle_by_kind():
         print("\nFAIL: oracle produced no per-kind profiles", file=sys.stderr)
         return 1
+    if args.min_load_reduction is not None:
+        best = max((rec["reduction"] for rec in report.rebalances), default=0.0)
+        if best < args.min_load_reduction:
+            print(
+                f"\nFAIL: best rebalance max/mean reduction {best:.2f}x is below "
+                f"the {args.min_load_reduction:.2f}x gate",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"\nload-reduction gate passed: {best:.2f}x "
+              f">= {args.min_load_reduction:.2f}x")
     return 0
 
 

@@ -263,7 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--keys", type=int, default=10_000, help="distinct keys to load")
     cluster.add_argument("--events", type=int, default=12, help="topology events in the trace")
     cluster.add_argument("--approach", choices=("local", "global"), default="local")
-    cluster.add_argument("--workload", choices=("ids", "uniform"), default="ids")
+    cluster.add_argument("--workload", choices=("ids", "uniform", "zipf"), default="ids")
+    cluster.add_argument(
+        "--zipf-exponent", type=float, default=1.1, metavar="S",
+        help="skew exponent for --workload zipf (default 1.1)",
+    )
     cluster.add_argument("--snodes", type=int, default=3, help="initial snodes")
     cluster.add_argument("--vnodes-per-snode", type=int, default=2)
     cluster.add_argument("--pmin", type=int, default=8)
@@ -279,6 +283,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--restart-rate", type=float, default=0.0, metavar="P",
         help="fraction of topology events that kill -9 and reboot a snode",
+    )
+    cluster.add_argument(
+        "--rebalance-rate", type=float, default=0.0, metavar="P",
+        help="fraction of topology events that run a NodeStats-driven "
+             "load rebalance with peer-to-peer row transfers",
     )
     cluster.add_argument(
         "--read-multiplier", type=float, default=0.1, metavar="X",
@@ -694,8 +703,8 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
                 tempfile.TemporaryDirectory(prefix="repro-cluster-durable-")
             )
         try:
-            crash_weight, _, restart_weight = _event_weights(
-                args.crash_rate, 0.0, args.restart_rate
+            crash_weight, rebalance_weight, restart_weight = _event_weights(
+                args.crash_rate, args.rebalance_rate, args.restart_rate
             )
             spec = ChurnSpec(
                 name=f"cluster-{args.workload}",
@@ -708,7 +717,9 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
                 pmin=args.pmin,
                 vmin=args.vmin,
                 replication_factor=args.replication,
+                zipf_exponent=args.zipf_exponent,
                 crash_weight=crash_weight,
+                rebalance_weight=rebalance_weight,
                 restart_weight=restart_weight,
                 read_multiplier=args.read_multiplier,
                 data_dir=data_dir,
@@ -745,6 +756,15 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
         ["RPC p50 (us)", f"{latency['p50_us']:,.0f}"],
         ["RPC p99 (us)", f"{latency['p99_us']:,.0f}"],
     ]
+    for i, rec in enumerate(report.rebalances):
+        rows.append(
+            [
+                f"  rebalance #{i}",
+                f"{rec['transfers']} transfers, {rec['rows_moved']:,} rows p2p, "
+                f"max/mean {rec['before_max_over_mean']:.2f} -> "
+                f"{rec['after_max_over_mean']:.2f}",
+            ]
+        )
     for kind, bucket in sorted(report.oracle_by_kind().items()):
         rows.append(
             [

@@ -461,8 +461,55 @@ class TopologySnapshot(Message):
 class NodeStatsRequest(Message):
     """Ask a node for its per-vnode row counts and durability counters.
 
-    Replies ``Ack(payload=stats_dict)``.
+    Replies ``Ack(payload=stats_dict)``.  With ``partitions=True`` the
+    reply additionally carries, per hosted vnode, the primary row count of
+    every owned partition (``stats_dict["partitions"][ref_name]`` maps
+    ``(level, index)`` partition keys to row counts) — the measurement
+    feed of the runtime's load-aware rebalancer.
     """
+
+    partitions: bool = False
 
     def size_bytes(self) -> float:
         return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class PeerTransferRequest(Message):
+    """Coordinator order: push owned rows directly to a peer node.
+
+    The source node extracts ``ranges`` (inclusive ``(start, last)``
+    pairs) from ``ref``'s ``tier``, ships them to ``target_address`` as a
+    ``RangeAdopt`` into ``target_ref`` over its own outbound connection,
+    and only after the peer acknowledges the adoption drops its local
+    copy (when ``pop=True``).  Replies
+    ``Ack(payload={"rows": n, "peer_bytes": b})``.  The coordinator link
+    carries only this order and its ack — row payloads flow peer-to-peer.
+    """
+
+    ref: str = ""
+    target_ref: str = ""
+    target_address: Tuple[str, int] = ("", 0)
+    tier: str = "primary"
+    ranges: Tuple[Tuple[int, int], ...] = ()
+    pop: bool = True
+
+    def size_bytes(self) -> float:
+        return _measured_size(self)
+
+
+@dataclass(frozen=True)
+class PeerTransferDone(Message):
+    """Completion ack of one peer-to-peer range transfer.
+
+    A metadata-only control message: it reports how many rows and payload
+    bytes moved on the *peer* link, without carrying them.  Priced by the
+    cost model as the coordinator-side cost of a p2p handover
+    (:attr:`~repro.cluster.protocol.ProtocolCosts.peer_transfer_metadata_bytes`).
+    """
+
+    rows: int = 0
+    payload_bytes: float = 0.0
+
+    def size_bytes(self) -> float:
+        return float(self.BASE_SIZE_BYTES + 16)

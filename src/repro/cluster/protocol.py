@@ -93,6 +93,11 @@ class ProtocolCosts:
     #: CPU time to replay one WAL record during restart recovery (local-disk
     #: sequential read + apply; no network transfer is involved).
     wal_replay_record_s: float = 5e-7
+    #: Coordinator-side wire bytes of one peer-to-peer partition handover
+    #: (the ``PeerTransferRequest`` order plus its ``PeerTransferDone``
+    #: ack).  The row payload itself is priced on the peer link — the
+    #: coordinator never relays it.
+    peer_transfer_metadata_bytes: float = 96.0
 
     def __post_init__(self) -> None:
         if self.record_entry_processing_s < 0:
@@ -103,6 +108,8 @@ class ProtocolCosts:
             raise ValueError("row_payload_bytes must be non-negative")
         if self.wal_replay_record_s < 0:
             raise ValueError("wal_replay_record_s must be non-negative")
+        if self.peer_transfer_metadata_bytes < 0:
+            raise ValueError("peer_transfer_metadata_bytes must be non-negative")
 
 
 @dataclass
@@ -495,6 +502,8 @@ def lifecycle_event_cost(
     rows promoted back to primaries, the replica-sync fan-out by the rows
     refilled per replica rank, and rebalance passes by the plan's
     transfers (plus one extra record broadcast per scope split).
+    Rebalance row payloads flow on the peer link — the coordinator pays
+    metadata-only bytes per handover (order + done ack).
     """
     net = costs.network
     peers = max(0, profile.involved_snodes - 1)
@@ -554,17 +563,33 @@ def lifecycle_event_cost(
 
     bandwidth = net.bandwidth_bytes_per_s
 
-    # Graceful data migration: one transfer message per partition handover,
-    # carrying the rows the replay actually moved.
+    # Graceful data migration.  Rebalance handovers flow peer-to-peer: the
+    # coordinator sends one PeerTransferRequest order and receives one
+    # PeerTransferDone ack per partition (metadata only), while the source
+    # snode ships the rows directly to the target as one RebalanceTransfer
+    # on the peer link.  Other graceful moves are still relayed as one
+    # PartitionTransfer per handover carrying the rows the replay moved.
     if profile.partitions_moved:
-        transfer_cls = RebalanceTransfer if profile.kind == "rebalance" else PartitionTransfer
-        payload = (
-            profile.partitions_moved * transfer_cls.BASE_SIZE_BYTES
-            + profile.rows_moved * costs.row_payload_bytes
-        )
-        duration += profile.partitions_moved * net.latency_s + payload / bandwidth
-        messages += profile.partitions_moved
-        nbytes += payload
+        if profile.kind == "rebalance":
+            meta = profile.partitions_moved * costs.peer_transfer_metadata_bytes
+            payload = (
+                profile.partitions_moved * RebalanceTransfer.BASE_SIZE_BYTES
+                + profile.rows_moved * costs.row_payload_bytes
+            )
+            duration += (
+                profile.partitions_moved * 2 * net.latency_s
+                + (meta + payload) / bandwidth
+            )
+            messages += 3 * profile.partitions_moved
+            nbytes += meta + payload
+        else:
+            payload = (
+                profile.partitions_moved * PartitionTransfer.BASE_SIZE_BYTES
+                + profile.rows_moved * costs.row_payload_bytes
+            )
+            duration += profile.partitions_moved * net.latency_s + payload / bandwidth
+            messages += profile.partitions_moved
+            nbytes += payload
 
     # Restart recovery: the rejoining snode replays its own WAL/segments
     # from local disk.  Pure CPU time — no messages, no network bytes.
@@ -797,13 +822,20 @@ class LifecycleProtocolSimulator:
         return dht
 
     def _make_keys(self):
-        from repro.workloads.keys import id_keys, uniform_keys
+        from repro.workloads.keys import id_keys, uniform_keys, zipf_id_keys
 
         spec = self.spec
         if spec is None:
             return None
         if spec.workload == "ids":
             return id_keys(spec.n_keys, rng=spec.seed)
+        if spec.workload == "zipf":
+            return zipf_id_keys(
+                spec.n_keys,
+                exponent=spec.zipf_exponent,
+                n_ranges=spec.zipf_ranges,
+                rng=spec.seed,
+            )
         return uniform_keys(spec.n_keys, rng=spec.seed)
 
     @staticmethod

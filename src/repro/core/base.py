@@ -39,13 +39,14 @@ from repro.core.engine.recovery import RecoveryManager
 from repro.core.engine.storage import StorageEngine, _position_runs  # noqa: F401  (compat re-export)
 from repro.core.engine.topology import SnodeLike, TopologyManager
 from repro.core.rebalance import (
+    LoadRebalancePlan,
     LoadRebalanceReport,
     RebalancePlan,
     ScopeKey,
     SplitAllAction,
+    StorageLoadProvider,
     TransferAction,
-    measure_loads,
-    plan_load_round,
+    drive_load_rebalance,
     plan_vnode_removal,
 )
 from repro.core.config import DHTConfig
@@ -341,63 +342,51 @@ class BaseDHT(ABC):
         conserves the logical item count exactly.
         """
         t0 = time.perf_counter()
-        stats = self.storage.stats
-        base_rows, base_partitions = stats.items_moved, stats.partitions_moved
-        snapshot = measure_loads(self)
-        report = LoadRebalanceReport(
-            total_rows=snapshot.total_rows,
-            before_max=snapshot.max_snode_rows,
-            before_mean=snapshot.mean_snode_rows,
-            before_max_over_mean=snapshot.max_over_mean,
-            after_max=snapshot.max_snode_rows,
-            after_mean=snapshot.mean_snode_rows,
-            after_max_over_mean=snapshot.max_over_mean,
-        )
-        if not self.vnodes or snapshot.total_rows == 0:
-            report.seconds = time.perf_counter() - t0
-            return report
-
-        boosts: Dict[ScopeKey, int] = {}
         with self.data.deferred_sync():
-            while report.rounds < max_rounds:
-                plan = plan_load_round(
-                    snapshot,
-                    pmin=self.config.pmin,
-                    pmax=self.config.pmax,
-                    bh=self.hash_space.bh,
-                    tolerance=tolerance,
-                    allow_splits=allow_splits and report.splits < max_splits,
-                    level_boosts=boosts,
-                    max_partitions_per_vnode=max_partitions_per_vnode,
-                )
-                if not plan:
-                    break
-                report.rounds += 1
-                for action in plan.transfers:
-                    victim = self.get_vnode(action.victim)
-                    recipient = self.get_vnode(action.recipient)
-                    victim.remove_partition(action.partition)
-                    recipient.add_partition(action.partition)
-                    self.storage.migrate_partition(
-                        action.partition, action.victim, action.recipient
-                    )
-                    self._sync_record_counts((action.victim, action.recipient))
-                    report.transfers += 1
-                for action in plan.splits:
-                    self._apply_scope_split(action.scope)
-                    boosts[action.scope] = boosts.get(action.scope, 0) + 1
-                    report.splits += 1
-                    self.topology.load_splits_occurred = True
-                self.topology.bump()
-                snapshot = measure_loads(self)
-
-        report.after_max = snapshot.max_snode_rows
-        report.after_mean = snapshot.mean_snode_rows
-        report.after_max_over_mean = snapshot.max_over_mean
-        report.rows_moved = stats.items_moved - base_rows
-        report.partitions_moved = stats.partitions_moved - base_partitions
+            report = drive_load_rebalance(
+                StorageLoadProvider(self),
+                self,
+                pmin=self.config.pmin,
+                pmax=self.config.pmax,
+                bh=self.hash_space.bh,
+                max_rounds=max_rounds,
+                tolerance=tolerance,
+                allow_splits=allow_splits,
+                max_splits=max_splits,
+                max_partitions_per_vnode=max_partitions_per_vnode,
+            )
         report.seconds = time.perf_counter() - t0
         return report
+
+    def execute_load_round(self, plan: LoadRebalancePlan) -> Tuple[int, int]:
+        """Apply one planned load-rebalance round in-process.
+
+        The :class:`~repro.core.engine.interfaces.LoadPlanExecutor` side of
+        the load-aware engine: transfers move whole partitions through the
+        vectorized migration machinery, splits binary-split their whole
+        scope, and the topology version bumps once per round.  Returns the
+        ``(rows, partitions)`` actually moved (storage-stat deltas), so
+        callers can account movement without re-measuring.
+        """
+        stats = self.storage.stats
+        base_rows, base_partitions = stats.items_moved, stats.partitions_moved
+        for action in plan.transfers:
+            victim = self.get_vnode(action.victim)
+            recipient = self.get_vnode(action.recipient)
+            victim.remove_partition(action.partition)
+            recipient.add_partition(action.partition)
+            self.storage.migrate_partition(
+                action.partition, action.victim, action.recipient
+            )
+            self._sync_record_counts((action.victim, action.recipient))
+        for action in plan.splits:
+            self._apply_scope_split(action.scope)
+            self.topology.load_splits_occurred = True
+        self.topology.bump()
+        return (
+            stats.items_moved - base_rows,
+            stats.partitions_moved - base_partitions,
+        )
 
     # ------------------------------------------------------------------ routing
 

@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # typing-only: these modules pull in numpy at runtime
     from repro.core.hashspace import Partition
     from repro.core.ids import SnodeId, VnodeRef
     from repro.core.lookup import PartitionRouter
+    from repro.core.rebalance import LoadRebalancePlan, LoadSnapshot
     from repro.core.replication import (
         CrashReport,
         RecoveryReport,
@@ -118,6 +119,43 @@ class StorageEngineProtocol(Protocol):
 
 
 @runtime_checkable
+class LoadProvider(Protocol):
+    """Measurement plane of the load-aware rebalancing engine.
+
+    A provider produces the :class:`~repro.core.rebalance.LoadSnapshot` the
+    planner (:func:`~repro.core.rebalance.plan_load_round`) consumes: every
+    partition of the balancing domain exactly once with its *measured*
+    primary row count, plus the entity-layer partition counts and scope
+    membership.  The in-process implementation
+    (:class:`~repro.core.rebalance.StorageLoadProvider`) counts rows with
+    one merge-free ``count_buckets`` pass per vnode over
+    ``DHTStorage.primary_range_counts``; the networked runtime aggregates
+    ``NodeStats`` replies from the served snodes instead.  Two providers
+    reporting identical loads must yield decision-identical plans — the
+    planner itself is a pure function of the snapshot.
+    """
+
+    def measure(self) -> "LoadSnapshot":
+        """One fresh measurement of the per-partition primary item loads."""
+
+
+@runtime_checkable
+class LoadPlanExecutor(Protocol):
+    """Transport half of the load-aware engine: apply one planned round.
+
+    The planner only *decides*; an executor moves the rows.  The in-process
+    executor is :meth:`~repro.core.base.BaseDHT.execute_load_round`
+    (``pop_buckets``/``adopt_parts`` through the vectorized migration
+    machinery); the networked runtime executes the same plan by ordering
+    each transfer's *source* snode to push the extracted rows directly to
+    the target over RPC.
+    """
+
+    def execute_load_round(self, plan: "LoadRebalancePlan") -> Tuple[int, int]:
+        """Apply every action of ``plan``; return ``(rows, partitions)`` moved."""
+
+
+@runtime_checkable
 class MembershipOps(Protocol):
     """What the failure plane needs from the model shell.
 
@@ -148,6 +186,8 @@ class RecoveryProtocol(Protocol):
 
 
 __all__ = [
+    "LoadPlanExecutor",
+    "LoadProvider",
     "MembershipOps",
     "PlacementProtocol",
     "RecoveryProtocol",

@@ -25,10 +25,17 @@ count multisets.
 
 Planners only *decide*; applying a plan (moving actual
 :class:`~repro.core.hashspace.Partition` objects, migrating stored rows,
-updating replicas) is the DHT's job — see
-:meth:`repro.core.base.BaseDHT.rebalance_load` for the load-aware
-executor, which runs measure → plan → execute rounds through the
-vectorized migration machinery and re-syncs replicas afterwards.
+updating replicas) is an *executor's* job.  The load-aware policy is
+fully decoupled from both the measurement source and the transport:
+:func:`drive_load_rebalance` runs measure → plan → execute rounds
+against any :class:`~repro.core.engine.interfaces.LoadProvider` /
+:class:`~repro.core.engine.interfaces.LoadPlanExecutor` pair.  In
+process, :meth:`repro.core.base.BaseDHT.rebalance_load` drives it with
+:class:`StorageLoadProvider` (columnar ``count_buckets`` measurement)
+and :meth:`~repro.core.base.BaseDHT.execute_load_round` (vectorized
+migration, replicas re-synced afterwards); the networked runtime
+substitutes NodeStats aggregation and peer-to-peer RPC transfers while
+reusing the identical planning rounds.
 
 Invariant contract of the load-aware policy
 -------------------------------------------
@@ -557,6 +564,10 @@ def measure_loads(dht: "BaseDHT") -> LoadSnapshot:
     vnode's owned ranges) — the same merge-free machinery migration and
     replica sync use, so measuring never destroys the columnar segments
     that keep those paths fast.
+
+    This is the measurement half of :class:`StorageLoadProvider`, the
+    in-process implementation of the
+    :class:`~repro.core.engine.interfaces.LoadProvider` protocol.
     """
     bh = dht.hash_space.bh
     partitions: List[PartitionLoad] = []
@@ -577,6 +588,52 @@ def measure_loads(dht: "BaseDHT") -> LoadSnapshot:
             partitions.extend(
                 PartitionLoad(partition=p, vnode=ref, scope=scope, rows=int(r))
                 for p, r in zip(ordered, rows.tolist())
+            )
+    return LoadSnapshot(
+        partitions=partitions,
+        counts=counts,
+        scope_levels=scope_levels,
+        scope_members=scope_members,
+    )
+
+
+def snapshot_from_counts(
+    dht: "BaseDHT",
+    row_counts: Mapping[str, Mapping[Tuple[int, int], int]],
+) -> LoadSnapshot:
+    """Build a :class:`LoadSnapshot` from externally measured row counts.
+
+    ``dht`` supplies the topology (scopes, members, partitions — typically
+    a coordinator's metadata twin holding zero items); ``row_counts`` maps
+    each vnode's canonical name to its measured per-partition primary rows
+    keyed by ``(level, index)``.  Missing vnodes or partitions count as
+    zero rows.  The iteration order is *identical* to
+    :func:`measure_loads`, so a remote provider reporting the same loads
+    yields a decision-identical snapshot — the differential guarantee the
+    runtime's NodeStats-driven rebalancer is pinned against.
+    """
+    partitions: List[PartitionLoad] = []
+    counts: Dict[VnodeRef, int] = {}
+    scope_levels: Dict[ScopeKey, int] = {}
+    scope_members: Dict[ScopeKey, Tuple[VnodeRef, ...]] = {}
+    for scope, (members, level) in dht.load_scopes().items():
+        scope_levels[scope] = level
+        scope_members[scope] = tuple(members)
+        for ref in members:
+            vnode = dht.get_vnode(ref)
+            ordered = sorted(vnode.partitions, key=Partition.ring_sort_key)
+            counts[ref] = len(ordered)
+            if not ordered:
+                continue
+            measured = row_counts.get(ref.canonical_name, {})
+            partitions.extend(
+                PartitionLoad(
+                    partition=p,
+                    vnode=ref,
+                    scope=scope,
+                    rows=int(measured.get((p.level, p.index), 0)),
+                )
+                for p in ordered
             )
     return LoadSnapshot(
         partitions=partitions,
@@ -751,3 +808,90 @@ def plan_load_round(
                     )
                     break
     return plan
+
+
+# ------------------------------------------------------ provider / driver split
+
+
+class StorageLoadProvider:
+    """:class:`~repro.core.engine.interfaces.LoadProvider` over a live DHT.
+
+    Measures through :meth:`~repro.core.storage.DHTStorage.primary_range_counts`
+    (see :func:`measure_loads`); the networked runtime substitutes a
+    provider that aggregates ``NodeStats`` replies into the same snapshot
+    structure, so planning is identical regardless of where the rows live.
+    """
+
+    def __init__(self, dht: "BaseDHT"):
+        self.dht = dht
+
+    def measure(self) -> LoadSnapshot:
+        return measure_loads(self.dht)
+
+
+def drive_load_rebalance(
+    provider,
+    executor,
+    *,
+    pmin: int,
+    pmax: int,
+    bh: int,
+    max_rounds: int = 64,
+    tolerance: float = 1.15,
+    allow_splits: bool = True,
+    max_splits: int = 12,
+    max_partitions_per_vnode: int = 1024,
+) -> LoadRebalanceReport:
+    """Run measure → plan → execute rounds until the load is within tolerance.
+
+    The transport-agnostic driver of the load-aware policy: ``provider``
+    implements :class:`~repro.core.engine.interfaces.LoadProvider` (where
+    the loads come from), ``executor`` implements
+    :class:`~repro.core.engine.interfaces.LoadPlanExecutor` (how the rows
+    move).  :meth:`~repro.core.base.BaseDHT.rebalance_load` drives it with
+    the in-process pair; any other transport reuses the exact same round
+    structure, so two runs observing identical measurements make identical
+    decisions.  Level boosts (one per executed scope split) are tracked
+    here so split scopes get the doubled count cap on the next round.
+    """
+    snapshot = provider.measure()
+    report = LoadRebalanceReport(
+        total_rows=snapshot.total_rows,
+        before_max=snapshot.max_snode_rows,
+        before_mean=snapshot.mean_snode_rows,
+        before_max_over_mean=snapshot.max_over_mean,
+        after_max=snapshot.max_snode_rows,
+        after_mean=snapshot.mean_snode_rows,
+        after_max_over_mean=snapshot.max_over_mean,
+    )
+    if not snapshot.counts or snapshot.total_rows == 0:
+        return report
+
+    boosts: Dict[ScopeKey, int] = {}
+    while report.rounds < max_rounds:
+        plan = plan_load_round(
+            snapshot,
+            pmin=pmin,
+            pmax=pmax,
+            bh=bh,
+            tolerance=tolerance,
+            allow_splits=allow_splits and report.splits < max_splits,
+            level_boosts=boosts,
+            max_partitions_per_vnode=max_partitions_per_vnode,
+        )
+        if not plan:
+            break
+        report.rounds += 1
+        rows_moved, partitions_moved = executor.execute_load_round(plan)
+        report.transfers += len(plan.transfers)
+        for action in plan.splits:
+            boosts[action.scope] = boosts.get(action.scope, 0) + 1
+            report.splits += 1
+        report.rows_moved += rows_moved
+        report.partitions_moved += partitions_moved
+        snapshot = provider.measure()
+
+    report.after_max = snapshot.max_snode_rows
+    report.after_mean = snapshot.mean_snode_rows
+    report.after_max_over_mean = snapshot.max_over_mean
+    return report

@@ -43,9 +43,11 @@ def encode_frame(request_id: int, message: Message, *, response: bool = False) -
     )
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Tuple[int, bool, Message]:
-    """Read one frame; returns ``(request_id, is_response, message)``.
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[int, bool, Message, int]:
+    """Read one frame; returns ``(request_id, is_response, message, n_bytes)``.
 
+    ``n_bytes`` is the full on-wire size of the frame (length prefix
+    included) — the receive side of the per-connection byte accounting.
     Raises :class:`asyncio.IncompleteReadError` on clean EOF and
     :class:`~repro.cluster.messages.WireError` on garbage.
     """
@@ -55,7 +57,8 @@ async def read_frame(reader: asyncio.StreamReader) -> Tuple[int, bool, Message]:
     payload = await reader.readexactly(length)
     request_id, flags = _FRAME_HEADER.unpack_from(payload)
     message = decode(payload[_FRAME_HEADER.size :])
-    return request_id, bool(flags & FLAG_RESPONSE), message
+    n_bytes = _FRAME_LENGTH.size + length
+    return request_id, bool(flags & FLAG_RESPONSE), message, n_bytes
 
 
 async def write_frame(
@@ -64,10 +67,12 @@ async def write_frame(
     message: Message,
     *,
     response: bool = False,
-) -> None:
-    """Write one frame and drain the transport's buffer."""
-    writer.write(encode_frame(request_id, message, response=response))
+) -> int:
+    """Write one frame and drain the transport's buffer; returns its size."""
+    frame = encode_frame(request_id, message, response=response)
+    writer.write(frame)
     await writer.drain()
+    return len(frame)
 
 
 __all__ = [

@@ -54,6 +54,8 @@ class NodeHandle:
         """Graceful teardown: close the client, stop the server/process."""
         if self.rpc is not None:
             await self.rpc.close()
+        if self.node is not None:
+            await self.node.close_peers()
         if self.server is not None:
             await self.server.stop()
         if self.process is not None:
@@ -99,6 +101,7 @@ class FaultInjector:
         if handle.in_process:
             assert handle.server is not None and handle.node is not None
             await handle.server.kill()
+            await handle.node.close_peers()
             handle.node.lose_memory()
         elif handle.process is not None:
             handle.process.send_signal(signal.SIGKILL)
@@ -113,6 +116,8 @@ class FaultInjector:
         if handle.in_process:
             assert handle.server is not None
             await handle.server.kill()
+            if handle.node is not None:
+                await handle.node.close_peers()
             handle.node = None
         elif handle.process is not None:
             handle.process.send_signal(signal.SIGKILL)

@@ -30,9 +30,17 @@ doubles as a **differential oracle**: the same trace is profiled and priced
 by the cost model, and the report pairs each applied topology event's
 simulated duration with its measured wall-clock.
 
-Known limitation: the twin holds no data, so load-*aware* ``rebalance``
-events are no-ops on it (nothing to measure); traces driven through the
-harness should keep the rebalance weight at zero.
+Load-aware ``rebalance`` events run over the runtime itself: the harness
+aggregates per-partition primary row counts from concurrent ``NodeStats``
+replies into the exact snapshot structure the in-process planner consumes
+(:class:`RuntimeLoadProvider` → :func:`repro.core.rebalance.snapshot_from_counts`),
+plans each round with the same pure :func:`~repro.core.rebalance.plan_load_round`,
+and executes every transfer by ordering the *source* snode to push the
+extracted rows directly to the target (``PeerTransferRequest``) — the
+coordinator link carries only the order and its metadata ack, never the
+row payload.  The twin mirrors each executed action through the public
+:meth:`~repro.core.base.BaseDHT.execute_load_round`, and a replica
+maintenance pass restores placement after the rounds.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ import numpy as np
 
 from repro.cluster.messages import (
     NodeStatsRequest,
+    PeerTransferRequest,
     PingRequest,
     RangeAdopt,
     RangeCount,
@@ -67,10 +76,17 @@ from repro.cluster.protocol import (
 )
 from repro.core.errors import ReproError
 from repro.core.ids import VnodeRef
+from repro.core.rebalance import (
+    LoadRebalancePlan,
+    LoadRebalanceReport,
+    LoadSnapshot,
+    plan_load_round,
+    snapshot_from_counts,
+)
 from repro.runtime.client import COORDINATOR_ID, ClusterClient
 from repro.runtime.faults import FaultInjector, NodeHandle
 from repro.runtime.node import SnodeNode, SnodeServer
-from repro.runtime.rpc import RpcClient
+from repro.runtime.rpc import RpcClient, RpcError
 from repro.workloads.churn import (
     ChurnEvent,
     ChurnSpec,
@@ -78,7 +94,7 @@ from repro.workloads.churn import (
     make_churn_trace,
 )
 from repro.workloads.driver import build_cluster
-from repro.workloads.keys import id_keys, uniform_keys
+from repro.workloads.keys import id_keys, uniform_keys, zipf_id_keys
 
 #: ``(start, end, ref)`` half-open ownership interval.
 _Interval = Tuple[int, int, VnodeRef]
@@ -129,6 +145,12 @@ class HarnessReport:
     events: List[EventRecord] = field(default_factory=list)
     rpc_latencies_s: List[float] = field(default_factory=list)
     faults: List[tuple] = field(default_factory=list)
+    #: One record per executed runtime rebalance event: the full
+    #: :class:`~repro.core.rebalance.LoadRebalanceReport` dict plus the
+    #: coordinator-vs-peer byte breakdown of its transfers.
+    rebalances: List[Dict[str, Any]] = field(default_factory=list)
+    #: Total on-wire bytes of the coordinator's connections over the run.
+    coordinator_bytes: int = 0
 
     def events_per_second(self) -> float:
         return self.n_events / self.wall_s if self.wall_s > 0 else 0.0
@@ -174,6 +196,8 @@ class HarnessReport:
             "rpc_latency": self.latency_percentiles(),
             "oracle_by_kind": self.oracle_by_kind(),
             "faults": [list(entry) for entry in self.faults],
+            "coordinator_bytes": self.coordinator_bytes,
+            "rebalances": list(self.rebalances),
         }
         if include_events:
             out["events"] = [
@@ -212,6 +236,38 @@ def _covers(merged: List[Tuple[int, int]], start: int, end: int) -> bool:
 def _inclusive(ranges: Sequence[Tuple[int, int]]) -> Tuple[Tuple[int, int], ...]:
     """Half-open ``(start, end)`` ranges to the wire's ``(start, last)``."""
     return tuple((start, end - 1) for start, end in ranges if end > start)
+
+
+class RuntimeLoadProvider:
+    """Load measurement over the served cluster (the runtime LoadProvider).
+
+    Aggregates one concurrent ``NodeStats(partitions=True)`` round into the
+    exact :class:`~repro.core.rebalance.LoadSnapshot` structure the planner
+    consumes — topology (scopes, members, partition order) from the
+    coordinator's metadata twin, per-partition primary row counts from the
+    served nodes.  Identical measured loads therefore yield
+    decision-identical plans to the in-process
+    :func:`~repro.core.rebalance.measure_loads` provider; the differential
+    tests pin this.  ``measure`` is a coroutine (measurement is RPC), which
+    is why the harness drives its own planning rounds instead of the sync
+    :func:`~repro.core.rebalance.drive_load_rebalance`.
+    """
+
+    def __init__(self, harness: "ClusterHarness"):
+        self.harness = harness
+        #: Peer-link traffic totals reported by the last measurement round.
+        self.peer_bytes_sent = 0
+        self.peer_bytes_received = 0
+
+    async def measure(self) -> LoadSnapshot:
+        stats = await self.harness.gather_stats(partitions=True)
+        row_counts: Dict[str, Dict[Tuple[int, int], int]] = {}
+        self.peer_bytes_sent = self.peer_bytes_received = 0
+        for payload in stats.values():
+            row_counts.update(payload.get("partitions") or {})
+            self.peer_bytes_sent += int(payload.get("peer_bytes_sent", 0))
+            self.peer_bytes_received += int(payload.get("peer_bytes_received", 0))
+        return snapshot_from_counts(self.harness.twin, row_counts)
 
 
 class ClusterHarness:
@@ -260,6 +316,14 @@ class ClusterHarness:
         self.expected_total = 0
         self.items_lost = 0
         self._started = False
+        #: One dict per executed rebalance event (report + byte breakdown).
+        self.rebalance_records: List[Dict[str, Any]] = []
+        #: Set when a failed mid-transfer source could not be rebuilt
+        #: (no replica, no disk) — sanctions the loss for that event only.
+        self._rebalance_loss = False
+        #: Coordinator-link bytes of connections already closed (retired or
+        #: crashed nodes), so totals never go backwards.
+        self._retired_coordinator_bytes = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -367,11 +431,13 @@ class ClusterHarness:
                     ) from None
                 await asyncio.sleep(0.05)
 
-    async def _call(self, snode_id: int, message_cls, **fields_):
+    async def _call(
+        self, snode_id: int, message_cls, *, timeout: Optional[float] = None, **fields_
+    ):
         handle = self.handles[snode_id]
         assert handle.rpc is not None
         message = message_cls(src=COORDINATOR_ID, dst=snode_id, **fields_)
-        return await handle.rpc.call(message)
+        return await handle.rpc.call(message, timeout=timeout)
 
     async def _call_ref(self, ref: VnodeRef, message_cls, **fields_):
         return await self._call(
@@ -501,8 +567,27 @@ class ClusterHarness:
             await self._call_ref(dst, RangeAdopt, parts=response.payload)
         return True
 
+    def _coordinator_bytes(self) -> int:
+        """Total on-wire bytes of the coordinator's connections, ever."""
+        live = sum(
+            handle.rpc.bytes_sent + handle.rpc.bytes_received
+            for handle in self.handles.values()
+            if handle.rpc is not None
+        )
+        return self._retired_coordinator_bytes + live
+
+    def _retire_rpc_bytes(self, handle: Optional[NodeHandle]) -> None:
+        """Bank a connection's byte counters before it is dropped/replaced."""
+        if handle is not None and handle.rpc is not None:
+            self._retired_coordinator_bytes += (
+                handle.rpc.bytes_sent + handle.rpc.bytes_received
+            )
+
     async def _apply_topology_event(self, event: ChurnEvent) -> Tuple[bool, str]:
         """Mirror one twin topology change onto the served cluster."""
+        if event.kind == "rebalance":
+            return await self._runtime_rebalance()
+
         before = self._snapshot()
         before_cover = self._replica_cover(before.partitions)
 
@@ -521,11 +606,14 @@ class ClusterHarness:
 
         # 1. Inject the real fault.
         if crash_sid is not None and crash_sid in self.handles:
-            await self.faults.crash(self.handles.pop(crash_sid))
+            handle = self.handles.pop(crash_sid)
+            self._retire_rpc_bytes(handle)
+            await self.faults.crash(handle)
             self.client.disconnect(crash_sid)
         if restart_sid is not None and restart_sid in self.handles:
             handle = self.handles[restart_sid]
             await self.faults.kill(handle)
+            self._retire_rpc_bytes(handle)
             await self.faults.reboot(handle)
             self.client.connect(restart_sid, handle.rpc)
             if not handle.in_process:
@@ -581,39 +669,7 @@ class ClusterHarness:
         await self._push_topology()
 
         # 6. Replica maintenance: retention then drop+refill.
-        if self.spec.replication_factor > 1:
-            after_cover = self._replica_cover(after.partitions)
-            for snode_id, refs in after.hosted.items():
-                for ref in sorted(refs):
-                    await self._call_ref(
-                        ref,
-                        RangeRetain,
-                        tier="replica",
-                        ranges=_inclusive(after_cover.get(ref, [])),
-                    )
-            for start, end, primary, replicas in after.partitions:
-                for ref in replicas:
-                    intact = (
-                        ref not in restarted_refs
-                        and _covers(before_cover.get(ref, []), start, end)
-                    )
-                    if intact:
-                        continue
-                    await self._call_ref(
-                        ref,
-                        RangeDrop,
-                        tier="replica",
-                        ranges=_inclusive([(start, end)]),
-                    )
-                    response = await self._call_ref(
-                        primary,
-                        RangeExtract,
-                        ranges=_inclusive([(start, end)]),
-                        pop=False,
-                    )
-                    await self._call_ref(
-                        ref, RangeAdopt, tier="replica", parts=response.payload
-                    )
+        await self._replica_maintenance(after, before_cover, restarted_refs)
 
         # 7. Drop drained vnodes; retire departed nodes.
         for snode_id, refs in before.hosted.items():
@@ -626,20 +682,267 @@ class ClusterHarness:
                 continue
             handle = self.handles.pop(snode_id, None)
             if handle is not None:
+                self._retire_rpc_bytes(handle)
                 await handle.close()
             self.client.disconnect(snode_id)
 
         return True, note
 
+    async def _replica_maintenance(
+        self,
+        after: _TwinState,
+        before_cover: Dict[VnodeRef, List[Tuple[int, int]]],
+        restarted_refs: Set[VnodeRef],
+    ) -> None:
+        """Retention then drop+refill until replicas match the twin's placement.
+
+        ``before_cover`` is the replica cover *before* the topology change:
+        a replica range it already covered is intact (its rows are keyed by
+        hash and primaries never mutate rows during a move), everything
+        else — new placement, or a replica hosted by a restarted node whose
+        memory is gone — is dropped and refilled from the current primary.
+        """
+        if self.spec.replication_factor <= 1:
+            return
+        after_cover = self._replica_cover(after.partitions)
+        for snode_id, refs in after.hosted.items():
+            for ref in sorted(refs):
+                await self._call_ref(
+                    ref,
+                    RangeRetain,
+                    tier="replica",
+                    ranges=_inclusive(after_cover.get(ref, [])),
+                )
+        for start, end, primary, replicas in after.partitions:
+            for ref in replicas:
+                intact = (
+                    ref not in restarted_refs
+                    and _covers(before_cover.get(ref, []), start, end)
+                )
+                if intact:
+                    continue
+                await self._call_ref(
+                    ref,
+                    RangeDrop,
+                    tier="replica",
+                    ranges=_inclusive([(start, end)]),
+                )
+                response = await self._call_ref(
+                    primary,
+                    RangeExtract,
+                    ranges=_inclusive([(start, end)]),
+                    pop=False,
+                )
+                await self._call_ref(
+                    ref, RangeAdopt, tier="replica", parts=response.payload
+                )
+
+    # -- runtime load rebalance ------------------------------------------------
+
+    async def _runtime_rebalance(
+        self,
+        tolerance: float = 1.25,
+        max_rounds: int = 64,
+        max_splits: int = 2,
+        max_partitions_per_vnode: int = 1024,
+    ) -> Tuple[bool, str]:
+        """One load-aware rebalance event executed over the served cluster.
+
+        Measure → plan → execute rounds with the runtime provider feeding
+        the same pure planner the in-process engine uses (tolerance and
+        split budget match :func:`~repro.workloads.churn.apply_topology_event`'s
+        rebalance defaults).  Each planned transfer is executed by ordering
+        the source snode to push the rows directly to the target
+        (:class:`~repro.cluster.messages.PeerTransferRequest`); the twin
+        mirrors the executed action through
+        :meth:`~repro.core.base.BaseDHT.execute_load_round` so ownership,
+        placement and future diffs stay authoritative.  A source that dies
+        mid-push is recovered like a restart and the event aborts cleanly.
+        A replica maintenance pass restores placement afterwards.
+        """
+        before = self._snapshot()
+        before_cover = self._replica_cover(before.partitions)
+        provider = RuntimeLoadProvider(self)
+        coord_before = self._coordinator_bytes()
+        self._rebalance_loss = False
+
+        snapshot = await provider.measure()
+        report = LoadRebalanceReport(
+            total_rows=snapshot.total_rows,
+            before_max=snapshot.max_snode_rows,
+            before_mean=snapshot.mean_snode_rows,
+            before_max_over_mean=snapshot.max_over_mean,
+            after_max=snapshot.max_snode_rows,
+            after_mean=snapshot.mean_snode_rows,
+            after_max_over_mean=snapshot.max_over_mean,
+        )
+        peer_bytes = 0
+        coordinator_transfer_bytes = 0
+        restarted: Set[VnodeRef] = set()
+        failure_note = ""
+        boosts: Dict[Any, int] = {}
+        aborted = False
+
+        if snapshot.counts and snapshot.total_rows:
+            while report.rounds < max_rounds and not aborted:
+                plan = plan_load_round(
+                    snapshot,
+                    pmin=self.twin.config.pmin,
+                    pmax=self.twin.config.pmax,
+                    bh=self.bh,
+                    tolerance=tolerance,
+                    allow_splits=report.splits < max_splits,
+                    level_boosts=boosts,
+                    max_partitions_per_vnode=max_partitions_per_vnode,
+                )
+                if not plan:
+                    break
+                report.rounds += 1
+                for action in plan.transfers:
+                    start = action.partition.start(self.bh)
+                    end = action.partition.end(self.bh)
+                    target = self.handles[action.recipient.snode.value]
+                    coord0 = self._coordinator_bytes()
+                    try:
+                        response = await self._call_ref(
+                            action.victim,
+                            PeerTransferRequest,
+                            target_ref=action.recipient.canonical_name,
+                            target_address=target.address,
+                            ranges=_inclusive([(start, end)]),
+                        )
+                    except (RpcError, ConnectionError, OSError):
+                        failure_note, lost_refs = await self._recover_failed_transfer(
+                            action, (start, end), before, before_cover
+                        )
+                        restarted |= lost_refs
+                        aborted = True
+                        break
+                    coordinator_transfer_bytes += self._coordinator_bytes() - coord0
+                    report.transfers += 1
+                    report.partitions_moved += 1
+                    report.rows_moved += int(response.payload["rows"])
+                    peer_bytes += int(response.payload["peer_bytes"])
+                    self.twin.execute_load_round(LoadRebalancePlan(actions=[action]))
+                if aborted:
+                    break
+                for action in plan.splits:
+                    self.twin.execute_load_round(LoadRebalancePlan(actions=[action]))
+                    boosts[action.scope] = boosts.get(action.scope, 0) + 1
+                    report.splits += 1
+                await self._push_topology()
+                snapshot = await provider.measure()
+
+            report.after_max = snapshot.max_snode_rows
+            report.after_mean = snapshot.mean_snode_rows
+            report.after_max_over_mean = snapshot.max_over_mean
+
+        await self._push_topology()
+        await self._replica_maintenance(self._snapshot(), before_cover, restarted)
+
+        record = report.as_dict()
+        record["coordinator_bytes"] = self._coordinator_bytes() - coord_before
+        record["coordinator_transfer_bytes"] = coordinator_transfer_bytes
+        record["peer_bytes"] = peer_bytes
+        record["aborted"] = aborted
+        self.rebalance_records.append(record)
+
+        note = report.summary()
+        if failure_note:
+            note = f"{note}; {failure_note}"
+        return True, note
+
+    async def _recover_failed_transfer(
+        self,
+        action,
+        hash_range: Tuple[int, int],
+        before: _TwinState,
+        before_cover: Dict[VnodeRef, List[Tuple[int, int]]],
+    ) -> Tuple[str, Set[VnodeRef]]:
+        """Clean up after a transfer source died mid-peer-push.
+
+        The handshake is adopt-before-drop, so at the moment of death the
+        moved rows exist on the target (already adopted), on the source
+        (never dropped), or on both — never on neither.  The failed action
+        was not mirrored on the twin (ownership stays with the victim), so
+        the target's partial adoption is dropped — idempotent, it owned no
+        primary rows in that range — and the source is recovered like a
+        restart: WAL replay when durable, replica rebuild otherwise (the
+        pre-event replica cover is still physically intact mid-rebalance
+        because replica maintenance only runs after the rounds).  Returns
+        a note plus the refs whose replica tiers must be refilled.
+        """
+        await self._call_ref(
+            action.recipient, RangeDrop, ranges=_inclusive([hash_range])
+        )
+        sid = action.victim.snode.value
+        handle = self.handles.get(sid)
+        if handle is None:
+            return f"transfer source s{sid} gone", set()
+        refs = set(before.hosted.get(sid, set()))
+        self._retire_rpc_bytes(handle)
+        await self.faults.reboot(handle)
+        self.client.connect(sid, handle.rpc)
+        if not handle.in_process:
+            await self._wait_ready(handle)
+            for ref in sorted(refs):
+                await self._call(sid, VnodeCreate, ref=ref.canonical_name, fresh=False)
+        note = f"transfer source s{sid} died mid-transfer; recovered"
+        if self.durable:
+            for ref in sorted(refs):
+                await self._call_ref(ref, WalReplay)
+        else:
+            current = self._snapshot()
+            lost = 0
+            for start, end, owner in current.ownership:
+                if owner not in refs:
+                    continue
+                recovered = await self._rebuild_from_replica(
+                    start, end, owner, before, refs, before_cover
+                )
+                if not recovered:
+                    lost += 1
+            if lost:
+                self._rebalance_loss = True
+                note = (
+                    f"transfer source s{sid} died mid-transfer; "
+                    f"{lost} ranges unrecoverable"
+                )
+        return note, refs
+
     # -- verification ----------------------------------------------------------
+
+    async def gather_stats(
+        self, partitions: bool = False, timeout: Optional[float] = None
+    ) -> Dict[int, Dict[str, Any]]:
+        """One concurrent NodeStats round: ``{snode_id: stats payload}``.
+
+        Requests go out to every served node at once with a per-request
+        timeout, so a single paused snode delays the round by at most one
+        timeout instead of stalling every node behind it serially.
+        """
+        ids = sorted(self.handles)
+        per_request = timeout if timeout is not None else self.rpc_timeout
+        responses = await asyncio.gather(
+            *(
+                self._call(
+                    snode_id,
+                    NodeStatsRequest,
+                    partitions=partitions,
+                    timeout=per_request,
+                )
+                for snode_id in ids
+            )
+        )
+        return {
+            snode_id: response.payload
+            for snode_id, response in zip(ids, responses)
+        }
 
     async def measured_total(self) -> int:
         """Summed primary rows across every served node."""
-        total = 0
-        for snode_id in sorted(self.handles):
-            response = await self._call(snode_id, NodeStatsRequest)
-            total += int(response.payload["primary"])
-        return total
+        stats = await self.gather_stats()
+        return sum(int(payload["primary"]) for payload in stats.values())
 
     async def check_conservation(self, allow_loss: bool) -> int:
         """Raise :class:`HarnessError` unless the cluster holds what was loaded.
@@ -694,6 +997,13 @@ class ClusterHarness:
         """The distinct key population of the trace (same as the churn engine)."""
         if self.spec.workload == "ids":
             return id_keys(self.spec.n_keys, rng=self.spec.seed)
+        if self.spec.workload == "zipf":
+            return zipf_id_keys(
+                self.spec.n_keys,
+                exponent=self.spec.zipf_exponent,
+                n_ranges=self.spec.zipf_ranges,
+                rng=self.spec.seed,
+            )
         return uniform_keys(self.spec.n_keys, rng=self.spec.seed)
 
     async def run(self, oracle: bool = True) -> HarnessReport:
@@ -741,10 +1051,13 @@ class ClusterHarness:
                 duration = time.perf_counter() - t0
                 if event_applied:
                     applied += 1
-                    allow_loss = not replicated and (
-                        event.kind == "snode_crash"
-                        or (event.kind == "snode_restart" and not self.durable)
-                    )
+                    allow_loss = (
+                        not replicated
+                        and (
+                            event.kind == "snode_crash"
+                            or (event.kind == "snode_restart" and not self.durable)
+                        )
+                    ) or (event.kind == "rebalance" and self._rebalance_loss)
                     await self.check_conservation(allow_loss)
                     conservation_checks += 1
                     if replicated:
@@ -780,6 +1093,8 @@ class ClusterHarness:
             events=records,
             rpc_latencies_s=latencies,
             faults=list(self.faults.log),
+            rebalances=list(self.rebalance_records),
+            coordinator_bytes=self._coordinator_bytes(),
         )
 
     def _annotate_with_oracle(self, records: List[EventRecord]) -> None:
@@ -807,4 +1122,5 @@ __all__ = [
     "EventRecord",
     "HarnessError",
     "HarnessReport",
+    "RuntimeLoadProvider",
 ]

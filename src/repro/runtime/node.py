@@ -30,6 +30,7 @@ from repro.cluster.messages import (
     LookupRequest,
     Message,
     NodeStatsRequest,
+    PeerTransferRequest,
     PingRequest,
     PutRequest,
     RangeAdopt,
@@ -49,6 +50,7 @@ from repro.core.hashspace import HashSpace, Partition
 from repro.core.ids import VnodeRef
 from repro.core.storage import DHTStorage
 from repro.runtime.codec import read_frame, write_frame
+from repro.runtime.rpc import RpcClient
 
 
 class NodeTopologyView:
@@ -94,15 +96,27 @@ class SnodeNode:
         self.hosted: Set[VnodeRef] = set()
         #: Requests dispatched since boot, by message class name.
         self.requests_served: Dict[str, int] = {}
+        #: Outbound connections to peer nodes (peer-to-peer range pushes),
+        #: keyed by address.  Lazily opened, closed with the node.
+        self._peers: Dict[Any, RpcClient] = {}
+        self._peer_request_id = 0
+        #: Test-only fault points of the peer-transfer handshake: a named
+        #: awaitable called at that point of :meth:`_peer_transfer` (e.g.
+        #: ``"after_adopt"`` runs between the target's adoption ack and the
+        #: local drop — the window a kill -9 must not lose rows in).
+        self.transfer_hooks: Dict[str, Any] = {}
 
     # -- dispatch --------------------------------------------------------------
 
-    def dispatch(self, message: Message) -> Ack:
+    async def dispatch(self, message: Message) -> Ack:
         """Handle one request message; never raises — errors ride the Ack."""
         name = type(message).__name__
         self.requests_served[name] = self.requests_served.get(name, 0) + 1
         try:
-            payload = self._handle(message)
+            if isinstance(message, PeerTransferRequest):
+                payload = await self._peer_transfer(message)
+            else:
+                payload = self._handle(message)
         except KeyError as exc:
             key = exc.args[0] if exc.args else None
             return Ack(src=self.snode_id, dst=message.src, payload=key, error="KeyError")
@@ -203,7 +217,7 @@ class SnodeNode:
             self.view.update(msg.version, entries)
             return None
         if isinstance(msg, NodeStatsRequest):
-            return self.stats()
+            return self.stats(partitions=msg.partitions)
         raise TypeError(f"snode {self.snode_id} cannot serve {type(msg).__name__}")
 
     def _tier_store(self, name: str, tier: str):
@@ -212,10 +226,77 @@ class SnodeNode:
             return self.storage.replica_store(ref)
         return self.storage.primary_store(ref)
 
+    # -- peer-to-peer transfers ------------------------------------------------
+
+    def _peer(self, address: Any) -> RpcClient:
+        """The pooled outbound connection to the peer at ``address``."""
+        key = tuple(address) if isinstance(address, (list, tuple)) else address
+        client = self._peers.get(key)
+        if client is None:
+            client = RpcClient(
+                tuple(address) if isinstance(address, (list, tuple)) else address
+            )
+            self._peers[key] = client
+        return client
+
+    async def _await_hook(self, point: str) -> None:
+        hook = self.transfer_hooks.get(point)
+        if hook is not None:
+            await hook()
+
+    async def _peer_transfer(self, msg: PeerTransferRequest) -> Dict[str, Any]:
+        """Push owned rows directly to a peer; drop locally only after its ack.
+
+        The data half of a coordinator-planned range move: rows are *copied*
+        out, adopted on the target over this node's own outbound connection,
+        and popped from the local store only once the target has
+        acknowledged — so a source killed mid-transfer leaves either both
+        copies (idempotently reconciled by the coordinator) or the rows
+        safely adopted, never neither.  Returns the coordinator-ack payload:
+        the row count and the bytes that flowed on the peer link.
+        """
+        store = self._tier_store(msg.ref, msg.tier)
+        starts, lasts = self.storage.range_arrays(msg.ranges)
+        parts = store.copy_buckets(starts, lasts)
+        rows = sum(
+            len(pairs) + sum(len(seg[0]) for seg in segments)
+            for pairs, segments in parts
+        )
+        peer = self._peer(msg.target_address)
+        sent_before = peer.bytes_sent + peer.bytes_received
+        await self._await_hook("before_adopt")
+        await peer.call(
+            RangeAdopt(
+                src=self.snode_id,
+                dst=-1,
+                ref=msg.target_ref,
+                tier=msg.tier,
+                parts=parts,
+            )
+        )
+        await self._await_hook("after_adopt")
+        if msg.pop:
+            store.pop_buckets(starts, lasts)
+        peer_bytes = peer.bytes_sent + peer.bytes_received - sent_before
+        return {"rows": rows, "peer_bytes": peer_bytes}
+
+    async def close_peers(self) -> None:
+        """Close every pooled outbound peer connection."""
+        peers, self._peers = list(self._peers.values()), {}
+        for client in peers:
+            await client.close()
+
     # -- introspection ---------------------------------------------------------
 
-    def stats(self) -> Dict[str, Any]:
-        """Per-node row counts and durability counters (the NodeStats reply)."""
+    def stats(self, partitions: bool = False) -> Dict[str, Any]:
+        """Per-node row counts and durability counters (the NodeStats reply).
+
+        With ``partitions=True`` the reply adds ``"partitions"`` — per
+        hosted vnode, the primary row count of every owned partition keyed
+        by ``(level, index)`` (one merge-free ``count_buckets`` pass per
+        vnode, the runtime's load-measurement feed) — and the node's peer
+        traffic counters.
+        """
         storage = self.storage
         out: Dict[str, Any] = {
             "snode": self.snode_id,
@@ -230,8 +311,31 @@ class SnodeNode:
             },
             "requests": dict(self.requests_served),
         }
+        if partitions:
+            out["partitions"] = self._partition_counts()
+            out["peer_bytes_sent"] = sum(c.bytes_sent for c in self._peers.values())
+            out["peer_bytes_received"] = sum(
+                c.bytes_received for c in self._peers.values()
+            )
         if storage.durable is not None:
             out["durability"] = storage.durability.as_dict()
+        return out
+
+    def _partition_counts(self) -> Dict[str, Dict[Tuple[int, int], int]]:
+        """Measured primary rows of every owned partition, per hosted vnode."""
+        bh = self.hash_space.bh
+        owned: Dict[VnodeRef, List[Partition]] = {}
+        for partition, ref in self.view.iter_ownership():
+            if ref in self.hosted:
+                owned.setdefault(ref, []).append(partition)
+        out: Dict[str, Dict[Tuple[int, int], int]] = {}
+        for ref in sorted(owned):
+            ordered = sorted(owned[ref], key=Partition.ring_sort_key)
+            ranges = [(p.start(bh), p.end(bh) - 1) for p in ordered]
+            rows = self.storage.primary_range_counts(ref, ranges)
+            out[ref.canonical_name] = {
+                (p.level, p.index): int(r) for p, r in zip(ordered, rows.tolist())
+            }
         return out
 
     # -- fault surface ---------------------------------------------------------
@@ -300,13 +404,13 @@ class SnodeServer:
         self._writers.add(writer)
         try:
             while not self.killed:
-                request_id, _, message = await read_frame(reader)
+                request_id, _, message, _nbytes = await read_frame(reader)
                 if self.paused or self.killed:
                     # A hung process reads from its socket buffer but never
                     # replies; the client's timeout machinery takes it from
                     # here.
                     continue
-                response = self.node.dispatch(message)
+                response = await self.node.dispatch(message)
                 await write_frame(writer, request_id, response, response=True)
         except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError):
             pass

@@ -74,6 +74,11 @@ class RpcClient:
         self._lock = asyncio.Lock()
         #: Wall-clock seconds of every completed call, for latency profiles.
         self.call_durations: list = []
+        #: On-wire bytes written/read on this connection (frames included) —
+        #: the per-connection accounting that proves row payloads flow
+        #: peer-to-peer while the coordinator link stays metadata-only.
+        self.bytes_sent = 0
+        self.bytes_received = 0
 
     # -- connection lifecycle --------------------------------------------------
 
@@ -89,7 +94,8 @@ class RpcClient:
     async def _read_loop(self, reader: asyncio.StreamReader) -> None:
         try:
             while True:
-                request_id, is_response, message = await read_frame(reader)
+                request_id, is_response, message, n_bytes = await read_frame(reader)
+                self.bytes_received += n_bytes
                 future = self._pending.pop(request_id, None)
                 if future is not None and not future.done() and is_response:
                     future.set_result(message)
@@ -171,7 +177,7 @@ class RpcClient:
             future: "asyncio.Future[Message]" = asyncio.get_event_loop().create_future()
             self._pending[request_id] = future
             assert self._writer is not None
-            await write_frame(self._writer, request_id, message)
+            self.bytes_sent += await write_frame(self._writer, request_id, message)
         try:
             return await asyncio.wait_for(future, timeout)
         finally:

@@ -61,10 +61,10 @@ from repro.core.replication import CrashReport, RestartReport
 from repro.metrics.balance import item_load_stats
 from repro.core.ids import SnodeId
 from repro.workloads.driver import APPROACHES, build_cluster
-from repro.workloads.keys import id_keys, uniform_keys
+from repro.workloads.keys import id_keys, uniform_keys, zipf_id_keys
 
 #: Trace families the churn engine can replay.
-CHURN_WORKLOADS = ("ids", "uniform")
+CHURN_WORKLOADS = ("ids", "uniform", "zipf")
 #: Event kinds that mutate the topology (and trigger conservation checks).
 TOPOLOGY_KINDS = (
     "snode_join",
@@ -121,7 +121,9 @@ class ChurnSpec:
 
     #: Scenario name (shown in reports).
     name: str = "churn"
-    #: Trace family: ``"ids"`` (uint64 ids, fully vectorized) or ``"uniform"``.
+    #: Trace family: ``"ids"`` (uint64 ids, fully vectorized), ``"uniform"``
+    #: or ``"zipf"`` (distinct uint64 ids with zipf-skewed hash-space
+    #: placement — the workload that makes load-aware rebalancing matter).
     workload: str = "ids"
     #: Number of distinct keys loaded over the course of the trace.
     n_keys: int = 100_000
@@ -169,6 +171,10 @@ class ChurnSpec:
     #: Model parameters (small defaults keep 64-event traces fast).
     pmin: int = 8
     vmin: int = 8
+    #: Skew exponent of the ``"zipf"`` workload (ignored otherwise).
+    zipf_exponent: float = 1.1
+    #: Hash-space buckets of the ``"zipf"`` workload (power of two).
+    zipf_ranges: int = 256
     #: Master seed (trace generation, cluster build and read picks).
     seed: int = 0
 
@@ -203,6 +209,10 @@ class ChurnSpec:
             raise ValueError("event weights must be non-negative and not all zero")
         if self.replication_factor < 1:
             raise ValueError("replication_factor must be >= 1")
+        if self.zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be positive")
+        if self.zipf_ranges < 2 or self.zipf_ranges & (self.zipf_ranges - 1):
+            raise ValueError("zipf_ranges must be a power of two >= 2")
 
 
 def make_churn_trace(spec: ChurnSpec) -> List[ChurnEvent]:
@@ -568,6 +578,13 @@ class ChurnEngine:
         spec = self.spec
         if spec.workload == "ids":
             return id_keys(spec.n_keys, rng=spec.seed)
+        if spec.workload == "zipf":
+            return zipf_id_keys(
+                spec.n_keys,
+                exponent=spec.zipf_exponent,
+                n_ranges=spec.zipf_ranges,
+                rng=spec.seed,
+            )
         return uniform_keys(spec.n_keys, rng=spec.seed)
 
     # -- execution ------------------------------------------------------------

@@ -373,6 +373,44 @@ class TestLifecycleCostModel:
             > lifecycle_event_cost(costs, one_rank)[1]
         )
 
+    def test_rebalance_handover_priced_peer_to_peer(self):
+        """Rebalance moves cost three metadata frames on the coordinator and
+        ship the rows once on the peer link — unlike relayed migrations."""
+        from repro.cluster.messages import RebalanceTransfer
+
+        costs = ProtocolCosts()
+        net = costs.network
+        base = EventProfile(kind="rebalance", time=0.0)
+        moved = dataclasses.replace(base, partitions_moved=10, rows_moved=5000)
+        d0, m0, b0 = lifecycle_event_cost(costs, base)
+        d1, m1, b1 = lifecycle_event_cost(costs, moved)
+        meta = 10 * costs.peer_transfer_metadata_bytes
+        payload = (
+            10 * RebalanceTransfer.BASE_SIZE_BYTES
+            + 5000 * costs.row_payload_bytes
+        )
+        # Order + peer push + done-ack per handover.
+        assert m1 - m0 == 3 * 10
+        assert b1 - b0 == pytest.approx(meta + payload)
+        assert d1 - d0 == pytest.approx(
+            10 * 2 * net.latency_s + (meta + payload) / net.bandwidth_bytes_per_s
+        )
+        # The coordinator's share is metadata-sized, dwarfed by the rows.
+        assert meta < 0.01 * payload
+
+    def test_relayed_migration_still_priced_through_the_coordinator(self):
+        costs = ProtocolCosts()
+        base = EventProfile(kind="snode_leave", time=0.0)
+        moved = dataclasses.replace(base, partitions_moved=10, rows_moved=5000)
+        _, m0, _ = lifecycle_event_cost(costs, base)
+        _, m1, _ = lifecycle_event_cost(costs, moved)
+        # One relayed PartitionTransfer per handover, no p2p handshake.
+        assert m1 - m0 == 10
+
+    def test_peer_transfer_metadata_bytes_validated(self):
+        with pytest.raises(ValueError):
+            ProtocolCosts(peer_transfer_metadata_bytes=-1.0)
+
     def test_staggered_arrival_times(self):
         assert staggered_arrival_times(5, batch_size=2, gap=0.5) == [0.0, 0.0, 0.5, 0.5, 1.0]
         assert staggered_arrival_times(0, batch_size=4, gap=1.0) == []

@@ -136,13 +136,15 @@ class TestFrameCodec:
             reader = asyncio.StreamReader()
             request = PutRequest(src=1, dst=2, ref="0.0", key=7, index=9, value="x")
             reply = Ack(src=2, dst=1, payload="ok")
-            reader.feed_data(encode_frame(42, request))
+            request_frame = encode_frame(42, request)
+            reader.feed_data(request_frame)
             reader.feed_data(encode_frame(42, reply, response=True))
             reader.feed_eof()
 
-            request_id, is_response, out = await read_frame(reader)
+            request_id, is_response, out, n_bytes = await read_frame(reader)
             assert (request_id, is_response, out) == (42, False, request)
-            request_id, is_response, out = await read_frame(reader)
+            assert n_bytes == len(request_frame)
+            request_id, is_response, out, _ = await read_frame(reader)
             assert (request_id, is_response) == (42, True)
             assert out.payload == "ok"
 
@@ -174,10 +176,13 @@ class TestFrameCodec:
 
             sink = _Sink()
             message = GetRequest(src=0, dst=1, ref="0.0", key=5)
-            await write_frame(sink, 7, message, response=True)
-            reader.feed_data(b"".join(sink.chunks))
+            n_written = await write_frame(sink, 7, message, response=True)
+            data = b"".join(sink.chunks)
+            assert n_written == len(data)
+            reader.feed_data(data)
             reader.feed_eof()
-            request_id, is_response, out = await read_frame(reader)
+            request_id, is_response, out, n_bytes = await read_frame(reader)
             assert (request_id, is_response, out) == (7, True, message)
+            assert n_bytes == len(data)
 
         asyncio.run(scenario())
